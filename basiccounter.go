@@ -1,0 +1,59 @@
+package streamagg
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/bcount"
+	"repro/internal/css"
+)
+
+// BasicCounter maintains an ε-approximate count of the 1s within a
+// count-based sliding window of a bit stream (Theorem 4.1). Space is
+// O(ε⁻¹ log n); ingesting a minibatch of µ bits costs O(ε⁻¹ log n + µ)
+// work with polylog depth.
+type BasicCounter struct {
+	mu   sync.RWMutex
+	impl *bcount.Counter
+}
+
+// NewBasicCounter creates a counter for a window of the last n bits
+// (n >= 1) with relative error epsilon in (0, 1].
+func NewBasicCounter(n int64, epsilon float64) (*BasicCounter, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("%w: window size %d", ErrBadParam, n)
+	}
+	if epsilon <= 0 || epsilon > 1 {
+		return nil, fmt.Errorf("%w: epsilon %v", ErrBadParam, epsilon)
+	}
+	return &BasicCounter{impl: bcount.New(n, epsilon)}, nil
+}
+
+// ProcessBits ingests a minibatch of bits.
+func (c *BasicCounter) ProcessBits(bits []bool) {
+	seg := css.FromBools(bits) // parallel CSS construction (Lemma 2.1)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.impl.Advance(seg)
+}
+
+// Estimate returns the approximate number of 1s in the window:
+// true <= Estimate() <= (1+ε)·true.
+func (c *BasicCounter) Estimate() int64 {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.impl.Estimate()
+}
+
+// WindowSize returns n.
+func (c *BasicCounter) WindowSize() int64 { return c.impl.N() }
+
+// Epsilon returns the configured relative error.
+func (c *BasicCounter) Epsilon() float64 { return c.impl.Epsilon() }
+
+// SpaceWords reports the memory footprint in 64-bit words.
+func (c *BasicCounter) SpaceWords() int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.impl.SpaceWords()
+}

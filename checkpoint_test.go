@@ -1,0 +1,190 @@
+package streamagg
+
+import (
+	"encoding"
+	"errors"
+	"testing"
+
+	"repro/internal/workload"
+)
+
+// marshaler is the pair of interfaces every aggregate must implement.
+type marshaler interface {
+	encoding.BinaryMarshaler
+	encoding.BinaryUnmarshaler
+}
+
+// TestCheckpointRoundTripMidStream: process the first half of a stream,
+// checkpoint, restore into a fresh instance, feed both the second half,
+// and require identical estimates — the Spark-style recovery contract.
+func TestCheckpointRoundTripMidStream(t *testing.T) {
+	stream := workload.Zipf(1, 60000, 1.2, 1<<14)
+	first := workload.Batches(stream[:30000], 2048)
+	second := workload.Batches(stream[30000:], 2048)
+	probes := []uint64{0, 1, 2, 3, 10, 100, 5000, 1 << 40}
+
+	t.Run("FreqEstimator", func(t *testing.T) {
+		orig, _ := NewFreqEstimator(0.01)
+		for _, b := range first {
+			orig.ProcessBatch(b)
+		}
+		restored := &FreqEstimator{}
+		roundTrip(t, orig, restored)
+		for _, b := range second {
+			orig.ProcessBatch(b)
+			restored.ProcessBatch(b)
+		}
+		if orig.StreamLen() != restored.StreamLen() {
+			t.Fatal("stream length diverged")
+		}
+		for _, p := range probes {
+			if orig.Estimate(p) != restored.Estimate(p) {
+				t.Fatalf("estimate diverged for %d", p)
+			}
+		}
+	})
+
+	t.Run("SlidingFreqEstimator", func(t *testing.T) {
+		for _, v := range []SlidingVariant{VariantBasic, VariantSpaceEfficient, VariantWorkEfficient} {
+			orig, _ := NewSlidingFreqEstimator(8192, 0.02, v)
+			for _, b := range first {
+				orig.ProcessBatch(b)
+			}
+			restored := &SlidingFreqEstimator{}
+			roundTrip(t, orig, restored)
+			for _, b := range second {
+				orig.ProcessBatch(b)
+				restored.ProcessBatch(b)
+			}
+			for _, p := range probes {
+				if orig.Estimate(p) != restored.Estimate(p) {
+					t.Fatalf("%v: estimate diverged for %d", v, p)
+				}
+			}
+			if orig.TrackedItems() != restored.TrackedItems() {
+				t.Fatalf("%v: tracked items diverged", v)
+			}
+		}
+	})
+
+	t.Run("CountMin", func(t *testing.T) {
+		orig, _ := NewCountMin(0.001, 0.01, 7)
+		for _, b := range first {
+			orig.ProcessBatch(b)
+		}
+		restored := &CountMin{}
+		roundTrip(t, orig, restored)
+		for _, b := range second {
+			orig.ProcessBatch(b)
+			restored.ProcessBatch(b)
+		}
+		for _, p := range probes {
+			if orig.Query(p) != restored.Query(p) {
+				t.Fatalf("query diverged for %d", p)
+			}
+		}
+		if orig.TotalCount() != restored.TotalCount() {
+			t.Fatal("total diverged")
+		}
+	})
+
+	t.Run("CountSketch", func(t *testing.T) {
+		orig, _ := NewCountSketch(0.05, 0.01, 7)
+		for _, b := range first {
+			orig.ProcessBatch(b)
+		}
+		restored := &CountSketch{}
+		roundTrip(t, orig, restored)
+		for _, b := range second {
+			orig.ProcessBatch(b)
+			restored.ProcessBatch(b)
+		}
+		for _, p := range probes {
+			if orig.Query(p) != restored.Query(p) {
+				t.Fatalf("query diverged for %d", p)
+			}
+		}
+	})
+}
+
+func TestCheckpointBasicCounterAndSum(t *testing.T) {
+	bits := workload.BurstyBits(3, 1<<16, 1000, 0.05, 0.9)
+	bb := workload.BitBatches(bits, 1024)
+	orig, _ := NewBasicCounter(4096, 0.05)
+	for _, b := range bb[:32] {
+		orig.ProcessBits(b)
+	}
+	restored := &BasicCounter{}
+	roundTrip(t, orig, restored)
+	for _, b := range bb[32:] {
+		orig.ProcessBits(b)
+		restored.ProcessBits(b)
+	}
+	if orig.Estimate() != restored.Estimate() {
+		t.Fatalf("basic counter diverged: %d vs %d", orig.Estimate(), restored.Estimate())
+	}
+
+	vals := workload.Values(4, 1<<15, 1023, 2)
+	vb := workload.Batches(vals, 1024)
+	os, _ := NewWindowSum(4096, 1023, 0.05)
+	for _, b := range vb[:16] {
+		if err := os.ProcessBatch(b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rs := &WindowSum{}
+	roundTrip(t, os, rs)
+	for _, b := range vb[16:] {
+		os.ProcessBatch(b)
+		rs.ProcessBatch(b)
+	}
+	if os.Estimate() != rs.Estimate() {
+		t.Fatalf("window sum diverged: %d vs %d", os.Estimate(), rs.Estimate())
+	}
+}
+
+func TestCheckpointCountMinRange(t *testing.T) {
+	orig, _ := NewCountMinRange(12, 0.005, 0.01, 3)
+	items := workload.Uniform(5, 20000, 4096)
+	orig.ProcessBatch(items)
+	restored := &CountMinRange{}
+	roundTrip(t, orig, restored)
+	for _, probe := range [][2]uint64{{0, 100}, {500, 3000}, {0, 4095}} {
+		if orig.RangeCount(probe[0], probe[1]) != restored.RangeCount(probe[0], probe[1]) {
+			t.Fatalf("range count diverged on [%d,%d]", probe[0], probe[1])
+		}
+	}
+	if orig.Quantile(0.5) != restored.Quantile(0.5) {
+		t.Fatal("quantile diverged")
+	}
+}
+
+func TestCheckpointKindMismatch(t *testing.T) {
+	f, _ := NewFreqEstimator(0.1)
+	data, err := f.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var c CountMin
+	if err := c.UnmarshalBinary(data); !errors.Is(err, ErrBadParam) {
+		t.Fatalf("cross-type restore accepted: %v", err)
+	}
+}
+
+func TestCheckpointGarbage(t *testing.T) {
+	var f FreqEstimator
+	if err := f.UnmarshalBinary([]byte("not a checkpoint")); err == nil {
+		t.Fatal("garbage accepted")
+	}
+}
+
+func roundTrip(t *testing.T, src, dst marshaler) {
+	t.Helper()
+	data, err := src.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := dst.UnmarshalBinary(data); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,249 @@
+// streamtool applies the streamagg aggregates to a stream of tokens read
+// from stdin, processing in minibatches and printing a report. It is the
+// library's command-line face: pipe logs, word streams, or numeric
+// readings through it.
+//
+// Usage:
+//
+//	streamtool hh   [-phi 0.05] [-eps 0.005] [-window N] [-batch 8192] < tokens
+//	    Heavy hitters / top-k over whitespace-separated tokens. With
+//	    -window, uses the sliding-window algorithm; otherwise infinite.
+//
+//	streamtool count [-window 1e6] [-eps 0.01] [-batch 8192] < bits
+//	    Sliding-window count of nonzero tokens ("0"/"1" per token).
+//
+//	streamtool sum  [-window 1e6] [-max 4095] [-eps 0.01] < integers
+//	    Sliding-window sum of non-negative integers.
+//
+//	streamtool quantiles [-bits 20] [-q 0.5,0.9,0.99] < integers
+//	    Streaming quantiles via the dyadic count-min structure.
+package main
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	streamagg "repro"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	cmd, args := os.Args[1], os.Args[2:]
+	switch cmd {
+	case "hh":
+		runHH(args)
+	case "count":
+		runCount(args)
+	case "sum":
+		runSum(args)
+	case "quantiles":
+		runQuantiles(args)
+	default:
+		usage()
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: streamtool {hh|count|sum|quantiles} [flags] < input")
+	os.Exit(2)
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "streamtool:", err)
+	os.Exit(1)
+}
+
+// flags is a tiny getopt for "-name value" pairs.
+type flags map[string]string
+
+func parseFlags(args []string) flags {
+	f := flags{}
+	for i := 0; i < len(args); i++ {
+		if !strings.HasPrefix(args[i], "-") || i+1 >= len(args) {
+			usage()
+		}
+		f[strings.TrimPrefix(args[i], "-")] = args[i+1]
+		i++
+	}
+	return f
+}
+
+func (f flags) float(name string, def float64) float64 {
+	if s, ok := f[name]; ok {
+		v, err := strconv.ParseFloat(s, 64)
+		if err != nil {
+			fail(err)
+		}
+		return v
+	}
+	return def
+}
+
+func (f flags) int(name string, def int64) int64 {
+	return int64(f.float(name, float64(def)))
+}
+
+// tokens streams whitespace-separated fields from stdin in batches.
+func tokens(batch int, emit func([]string)) {
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<24)
+	sc.Split(bufio.ScanWords)
+	buf := make([]string, 0, batch)
+	for sc.Scan() {
+		buf = append(buf, sc.Text())
+		if len(buf) == batch {
+			emit(buf)
+			buf = buf[:0]
+		}
+	}
+	if err := sc.Err(); err != nil {
+		fail(err)
+	}
+	if len(buf) > 0 {
+		emit(buf)
+	}
+}
+
+func runHH(args []string) {
+	f := parseFlags(args)
+	phi := f.float("phi", 0.05)
+	eps := f.float("eps", phi/4)
+	window := f.int("window", 0)
+	batch := int(f.int("batch", 8192))
+	topK := int(f.int("top", 10))
+
+	names := make(map[uint64]string)
+	toIDs := func(ts []string) []uint64 {
+		ids := make([]uint64, len(ts))
+		for i, s := range ts {
+			ids[i] = streamagg.HashString(s)
+			names[ids[i]] = s
+		}
+		return ids
+	}
+
+	var report []streamagg.ItemCount
+	var total int64
+	if window > 0 {
+		e, err := streamagg.NewSlidingFreqEstimator(window, eps, streamagg.VariantWorkEfficient)
+		if err != nil {
+			fail(err)
+		}
+		tokens(batch, func(ts []string) { e.ProcessBatch(toIDs(ts)); total += int64(len(ts)) })
+		report = e.HeavyHitters(phi)
+		fmt.Printf("heavy hitters (phi=%g) over the last %d of %d tokens:\n", phi, window, total)
+	} else {
+		e, err := streamagg.NewFreqEstimator(eps)
+		if err != nil {
+			fail(err)
+		}
+		tokens(batch, func(ts []string) { e.ProcessBatch(toIDs(ts)) })
+		total = e.StreamLen()
+		report = e.HeavyHitters(phi)
+		if len(report) == 0 {
+			report = e.TopK(topK)
+			fmt.Printf("no tokens above phi=%g; top-%d of %d tokens:\n", phi, topK, total)
+		} else {
+			fmt.Printf("heavy hitters (phi=%g) over %d tokens:\n", phi, total)
+		}
+	}
+	for i, ic := range report {
+		if i == topK {
+			fmt.Printf("  ... and %d more\n", len(report)-topK)
+			break
+		}
+		fmt.Printf("  %-24s ~%d\n", names[ic.Item], ic.Count)
+	}
+}
+
+func runCount(args []string) {
+	f := parseFlags(args)
+	window := f.int("window", 1_000_000)
+	eps := f.float("eps", 0.01)
+	batch := int(f.int("batch", 8192))
+	c, err := streamagg.NewBasicCounter(window, eps)
+	if err != nil {
+		fail(err)
+	}
+	var total int64
+	tokens(batch, func(ts []string) {
+		bits := make([]bool, len(ts))
+		for i, s := range ts {
+			bits[i] = s != "0" && s != ""
+		}
+		c.ProcessBits(bits)
+		total += int64(len(ts))
+	})
+	fmt.Printf("nonzero tokens in last %d of %d: ~%d (rel err <= %g)\n",
+		window, total, c.Estimate(), eps)
+}
+
+func runSum(args []string) {
+	f := parseFlags(args)
+	window := f.int("window", 1_000_000)
+	maxV := uint64(f.int("max", 4095))
+	eps := f.float("eps", 0.01)
+	batch := int(f.int("batch", 8192))
+	s, err := streamagg.NewWindowSum(window, maxV, eps)
+	if err != nil {
+		fail(err)
+	}
+	var total int64
+	tokens(batch, func(ts []string) {
+		vals := make([]uint64, 0, len(ts))
+		for _, t := range ts {
+			v, err := strconv.ParseUint(t, 10, 64)
+			if err != nil {
+				fail(fmt.Errorf("non-integer token %q", t))
+			}
+			vals = append(vals, v)
+		}
+		if err := s.ProcessBatch(vals); err != nil {
+			fail(err)
+		}
+		total += int64(len(vals))
+	})
+	fmt.Printf("sum of last %d of %d values: ~%d (rel err <= %g)\n",
+		window, total, s.Estimate(), eps)
+}
+
+func runQuantiles(args []string) {
+	f := parseFlags(args)
+	bits := int(f.int("bits", 20))
+	batch := int(f.int("batch", 8192))
+	qSpec := "0.5,0.9,0.99"
+	if s, ok := f["q"]; ok {
+		qSpec = s
+	}
+	r, err := streamagg.NewCountMinRange(bits, 0.0005, 0.01, 1)
+	if err != nil {
+		fail(err)
+	}
+	tokens(batch, func(ts []string) {
+		vals := make([]uint64, 0, len(ts))
+		for _, t := range ts {
+			v, err := strconv.ParseUint(t, 10, 64)
+			if err != nil {
+				fail(fmt.Errorf("non-integer token %q", t))
+			}
+			if v>>uint(bits) != 0 {
+				fail(fmt.Errorf("value %d exceeds universe 2^%d", v, bits))
+			}
+			vals = append(vals, v)
+		}
+		r.ProcessBatch(vals)
+	})
+	fmt.Printf("%d values ingested:\n", r.TotalCount())
+	for _, qs := range strings.Split(qSpec, ",") {
+		q, err := strconv.ParseFloat(qs, 64)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Printf("  q=%-5s ~= %d\n", qs, r.Quantile(q))
+	}
+}

@@ -1,0 +1,121 @@
+package streamagg
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/cms"
+)
+
+// CountMin is the parallel count-min sketch (Theorem 6.1): point queries
+// satisfy f_e <= Query(e) <= f_e + εm with probability at least 1-δ, in
+// O(ε⁻¹ log(1/δ)) space. Minibatch ingestion costs
+// O(log(1/δ)·max(µ, 1/ε)) work with polylog depth.
+type CountMin struct {
+	mu   sync.RWMutex
+	impl *cms.Sketch
+}
+
+// NewCountMin creates a sketch with error epsilon in (0, 1] and failure
+// probability delta in (0, 1). The seed selects the hash functions; two
+// sketches with equal parameters and seed are mergeable cell-wise.
+func NewCountMin(epsilon, delta float64, seed int64) (*CountMin, error) {
+	if epsilon <= 0 || epsilon > 1 {
+		return nil, fmt.Errorf("%w: epsilon %v", ErrBadParam, epsilon)
+	}
+	if delta <= 0 || delta >= 1 {
+		return nil, fmt.Errorf("%w: delta %v", ErrBadParam, delta)
+	}
+	return &CountMin{impl: cms.New(epsilon, delta, seed)}, nil
+}
+
+// ProcessBatch ingests a minibatch of items with the parallel algorithm.
+func (c *CountMin) ProcessBatch(items []uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.impl.ProcessBatch(items)
+}
+
+// Update adds count occurrences of item (sequential path; count may be
+// any non-negative weight).
+func (c *CountMin) Update(item uint64, count int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.impl.Update(item, count)
+}
+
+// Query returns the point estimate for item.
+func (c *CountMin) Query(item uint64) int64 {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.impl.Query(item)
+}
+
+// TotalCount returns m, the total ingested weight.
+func (c *CountMin) TotalCount() int64 {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.impl.TotalCount()
+}
+
+// Dims returns the sketch dimensions (d rows × w columns).
+func (c *CountMin) Dims() (d, w int) { return c.impl.Depth(), c.impl.Width() }
+
+// SpaceWords reports the memory footprint in 64-bit words.
+func (c *CountMin) SpaceWords() int { return c.impl.SpaceWords() }
+
+// CountMinRange is a dyadic stack of count-min sketches supporting range
+// counts and approximate quantiles over a bounded integer universe — the
+// standard CM-sketch applications the paper cites.
+type CountMinRange struct {
+	mu   sync.RWMutex
+	impl *cms.RangeSketch
+}
+
+// NewCountMinRange creates a range sketch over the universe [0, 2^bits)
+// (1 <= bits <= 63) with per-level error epsilon and failure probability
+// delta.
+func NewCountMinRange(bits int, epsilon, delta float64, seed int64) (*CountMinRange, error) {
+	if bits < 1 || bits > 63 {
+		return nil, fmt.Errorf("%w: bits %d", ErrBadParam, bits)
+	}
+	if epsilon <= 0 || epsilon > 1 {
+		return nil, fmt.Errorf("%w: epsilon %v", ErrBadParam, epsilon)
+	}
+	if delta <= 0 || delta >= 1 {
+		return nil, fmt.Errorf("%w: delta %v", ErrBadParam, delta)
+	}
+	return &CountMinRange{impl: cms.NewRange(bits, epsilon, delta, seed)}, nil
+}
+
+// ProcessBatch ingests a minibatch of items (each < 2^bits).
+func (c *CountMinRange) ProcessBatch(items []uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.impl.ProcessBatch(items)
+}
+
+// RangeCount estimates the number of items in [lo, hi] (inclusive); it
+// never undercounts.
+func (c *CountMinRange) RangeCount(lo, hi uint64) int64 {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.impl.RangeCount(lo, hi)
+}
+
+// Quantile returns an approximate q-quantile of the ingested values.
+func (c *CountMinRange) Quantile(q float64) uint64 {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.impl.Quantile(q)
+}
+
+// TotalCount returns the total ingested weight.
+func (c *CountMinRange) TotalCount() int64 {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.impl.TotalCount()
+}
+
+// SpaceWords reports the memory footprint in 64-bit words.
+func (c *CountMinRange) SpaceWords() int { return c.impl.SpaceWords() }

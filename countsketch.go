@@ -1,0 +1,66 @@
+package streamagg
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/countsketch"
+)
+
+// CountSketch is the Count-Sketch of [CCFC02] (cited by the paper as the
+// other standard frequency sketch), ingested with the same parallel
+// minibatch scheme as CountMin. Unlike CountMin it is unbiased and
+// supports deletions (turnstile updates); point queries satisfy
+// |Query(e) - f_e| <= ε·‖f‖₂ with probability at least 1-δ.
+type CountSketch struct {
+	mu   sync.RWMutex
+	impl *countsketch.Sketch
+}
+
+// NewCountSketch creates a sketch with error epsilon in (0, 1] (relative
+// to the L2 norm of the frequency vector) and failure probability delta
+// in (0, 1).
+func NewCountSketch(epsilon, delta float64, seed int64) (*CountSketch, error) {
+	if epsilon <= 0 || epsilon > 1 {
+		return nil, fmt.Errorf("%w: epsilon %v", ErrBadParam, epsilon)
+	}
+	if delta <= 0 || delta >= 1 {
+		return nil, fmt.Errorf("%w: delta %v", ErrBadParam, delta)
+	}
+	return &CountSketch{impl: countsketch.New(epsilon, delta, seed)}, nil
+}
+
+// ProcessBatch ingests a minibatch of items in parallel.
+func (c *CountSketch) ProcessBatch(items []uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.impl.ProcessBatch(items)
+}
+
+// Update adds count occurrences of item; count may be negative
+// (turnstile deletions).
+func (c *CountSketch) Update(item uint64, count int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.impl.Update(item, count)
+}
+
+// Query returns the unbiased median-of-rows estimate for item.
+func (c *CountSketch) Query(item uint64) int64 {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.impl.Query(item)
+}
+
+// TotalCount returns the net ingested weight.
+func (c *CountSketch) TotalCount() int64 {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.impl.TotalCount()
+}
+
+// Dims returns the sketch dimensions (d rows × w columns).
+func (c *CountSketch) Dims() (d, w int) { return c.impl.Depth(), c.impl.Width() }
+
+// SpaceWords reports the memory footprint in 64-bit words.
+func (c *CountSketch) SpaceWords() int { return c.impl.SpaceWords() }

@@ -1,0 +1,73 @@
+package streamagg
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"repro/internal/workload"
+)
+
+func TestCountSketchEndToEnd(t *testing.T) {
+	cs, err := NewCountSketch(0.02, 0.01, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stream := workload.Zipf(15, 100000, 1.3, 1<<14)
+	exact := map[uint64]int64{}
+	for _, batch := range workload.Batches(stream, 4096) {
+		cs.ProcessBatch(batch)
+		for _, it := range batch {
+			exact[it]++
+		}
+	}
+	if cs.TotalCount() != int64(len(stream)) {
+		t.Fatalf("TotalCount %d", cs.TotalCount())
+	}
+	var l2sq float64
+	for _, f := range exact {
+		l2sq += float64(f) * float64(f)
+	}
+	bound := 0.02 * math.Sqrt(l2sq)
+	bad := 0
+	for it, fe := range exact {
+		diff := float64(cs.Query(it) - fe)
+		if diff < 0 {
+			diff = -diff
+		}
+		if diff > bound {
+			bad++
+		}
+	}
+	if bad > len(exact)/20 {
+		t.Fatalf("%d/%d beyond the L2 bound", bad, len(exact))
+	}
+	d, w := cs.Dims()
+	if d < 1 || w < 1 || cs.SpaceWords() < d*w {
+		t.Fatal("dims/space wrong")
+	}
+}
+
+func TestCountSketchTurnstile(t *testing.T) {
+	cs, _ := NewCountSketch(0.05, 0.01, 9)
+	cs.Update(7, 100)
+	cs.Update(7, -40)
+	if q := cs.Query(7); q < 40 || q > 80 {
+		t.Fatalf("after +100-40: Query = %d want ~60", q)
+	}
+	if cs.TotalCount() != 60 {
+		t.Fatalf("TotalCount %d", cs.TotalCount())
+	}
+}
+
+func TestCountSketchParamErrors(t *testing.T) {
+	if _, err := NewCountSketch(0, 0.1, 1); !errors.Is(err, ErrBadParam) {
+		t.Fatal("eps=0 accepted")
+	}
+	if _, err := NewCountSketch(0.1, 0, 1); !errors.Is(err, ErrBadParam) {
+		t.Fatal("delta=0 accepted")
+	}
+	if _, err := NewCountSketch(1.5, 0.1, 1); !errors.Is(err, ErrBadParam) {
+		t.Fatal("eps>1 accepted")
+	}
+}

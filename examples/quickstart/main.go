@@ -1,0 +1,93 @@
+// Quickstart: a 60-second tour of the streamagg public API — one of each
+// aggregate, fed minibatches of a synthetic stream, queried at batch
+// boundaries.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	streamagg "repro"
+)
+
+func main() {
+	const (
+		window    = 10_000 // sliding-window size (items / bits)
+		batchSize = 1_000
+		batches   = 50
+		epsilon   = 0.01
+	)
+	rng := rand.New(rand.NewSource(1))
+	zipf := rand.NewZipf(rng, 1.2, 1, 1<<16)
+
+	// Infinite-window frequency estimation (parallel Misra-Gries).
+	freq, err := streamagg.NewFreqEstimator(epsilon)
+	if err != nil {
+		log.Fatal(err)
+	}
+	// Sliding-window frequency estimation (the work-efficient algorithm).
+	sw, err := streamagg.NewSlidingFreqEstimator(window, epsilon, streamagg.VariantWorkEfficient)
+	if err != nil {
+		log.Fatal(err)
+	}
+	// Count-min sketch for point queries.
+	cm, err := streamagg.NewCountMin(0.001, 0.01, 7)
+	if err != nil {
+		log.Fatal(err)
+	}
+	// Sliding-window basic counting over a derived bit stream ("is this
+	// item the hottest item 0?").
+	bc, err := streamagg.NewBasicCounter(window, epsilon)
+	if err != nil {
+		log.Fatal(err)
+	}
+	// Sliding-window sum of a bounded value stream (synthetic "bytes per
+	// packet").
+	ws, err := streamagg.NewWindowSum(window, 1500, epsilon)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	for b := 0; b < batches; b++ {
+		items := make([]uint64, batchSize)
+		bits := make([]bool, batchSize)
+		sizes := make([]uint64, batchSize)
+		for i := range items {
+			items[i] = zipf.Uint64()
+			bits[i] = items[i] == 0
+			sizes[i] = 40 + uint64(rng.Intn(1460))
+		}
+		freq.ProcessBatch(items)
+		sw.ProcessBatch(items)
+		cm.ProcessBatch(items)
+		bc.ProcessBits(bits)
+		if err := ws.ProcessBatch(sizes); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	fmt.Printf("stream length: %d items across %d minibatches\n\n",
+		freq.StreamLen(), batches)
+
+	fmt.Println("top-5 items over the whole stream (Misra-Gries):")
+	for _, ic := range freq.TopK(5) {
+		fmt.Printf("  item %-6d est. count %d\n", ic.Item, ic.Count)
+	}
+
+	fmt.Printf("\nheavy hitters (phi=0.05) in the last %d items:\n", window)
+	for _, ic := range sw.HeavyHitters(0.05) {
+		fmt.Printf("  item %-6d est. window count %d\n", ic.Item, ic.Count)
+	}
+
+	fmt.Printf("\ncount-min point query for item 0: %d (true count tracked by sketch total m=%d)\n",
+		cm.Query(0), cm.TotalCount())
+
+	fmt.Printf("occurrences of item 0 in the last %d items (basic counting): %d\n",
+		window, bc.Estimate())
+	fmt.Printf("sum of packet sizes over the last %d packets: %d bytes (~%.0f avg)\n",
+		window, ws.Estimate(), float64(ws.Estimate())/float64(window))
+
+	fmt.Printf("\nspace: freq=%d, sliding=%d, count-min=%d, basic=%d, sum=%d words\n",
+		freq.SpaceWords(), sw.SpaceWords(), cm.SpaceWords(), bc.SpaceWords(), ws.SpaceWords())
+}

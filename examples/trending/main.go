@@ -1,0 +1,86 @@
+// trending: infinite-window trending-topics scenario (the paper's
+// social-media monitoring motivation) — maintain the top-k hashtags over
+// an unbounded stream with the parallel Misra-Gries summary, and
+// cross-check point queries against a count-min sketch. String keys are
+// mapped to items with streamagg.HashString.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	streamagg "repro"
+)
+
+var vocab = []string{
+	"#worldcup", "#election", "#ai", "#climate", "#music",
+	"#breaking", "#sports", "#meme", "#science", "#fashion",
+}
+
+func main() {
+	const (
+		batches   = 200
+		batchSize = 5000
+		epsilon   = 0.001
+	)
+	trend, err := streamagg.NewFreqEstimator(epsilon)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sketch, err := streamagg.NewCountMin(0.0005, 0.001, 42)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	rng := rand.New(rand.NewSource(7))
+	longTail := rand.NewZipf(rng, 1.3, 1, 1<<22)
+	ids := make(map[string]uint64, len(vocab))
+	names := make(map[uint64]string)
+	for _, w := range vocab {
+		id := streamagg.HashString(w)
+		ids[w] = id
+		names[id] = w
+	}
+
+	// Tag popularity drifts over time: a rotating "hot" tag takes 20% of
+	// the stream, the rest is a heavy Zipf long tail of one-off tags.
+	for b := 0; b < batches; b++ {
+		hot := vocab[(b/20)%len(vocab)]
+		batch := make([]uint64, batchSize)
+		for i := range batch {
+			switch {
+			case rng.Float64() < 0.20:
+				batch[i] = ids[hot]
+			case rng.Float64() < 0.25:
+				batch[i] = ids[vocab[rng.Intn(len(vocab))]]
+			default:
+				batch[i] = 1<<48 + longTail.Uint64() // long-tail one-offs
+			}
+		}
+		trend.ProcessBatch(batch)
+		sketch.ProcessBatch(batch)
+	}
+
+	fmt.Printf("processed %d posts\n\ntrending (top-8 of %d tracked):\n",
+		trend.StreamLen(), len(vocab))
+	for _, ic := range trend.TopK(8) {
+		name := names[ic.Item]
+		if name == "" {
+			name = fmt.Sprintf("tail-%x", ic.Item)
+		}
+		cmEst := sketch.Query(ic.Item)
+		fmt.Printf("  %-12s mg-estimate %8d   count-min %8d\n", name, ic.Count, cmEst)
+	}
+
+	fmt.Printf("\nheavy hitters above 5%% of all posts:\n")
+	for _, ic := range trend.HeavyHitters(0.05) {
+		name := names[ic.Item]
+		if name == "" {
+			name = fmt.Sprintf("tail-%x", ic.Item)
+		}
+		fmt.Printf("  %-12s ~%d posts\n", name, ic.Count)
+	}
+	fmt.Printf("\nsummary space: %d words for a stream of %d posts\n",
+		trend.SpaceWords(), trend.StreamLen())
+}

@@ -1,0 +1,102 @@
+package streamagg
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/mg"
+)
+
+// ItemCount pairs an item with a frequency estimate.
+type ItemCount struct {
+	Item  uint64
+	Count int64
+}
+
+// FreqEstimator tracks approximate item frequencies over the entire
+// stream (infinite window) with the parallel Misra-Gries summary
+// (Theorem 5.2): O(1/ε) space, O(ε⁻¹ + µ) work per minibatch of size µ,
+// polylog depth. Estimates satisfy f_e - εm <= Estimate(e) <= f_e where m
+// is the stream length so far.
+type FreqEstimator struct {
+	mu   sync.RWMutex
+	impl *mg.Summary
+}
+
+// NewFreqEstimator creates an estimator with error parameter epsilon in
+// (0, 1].
+func NewFreqEstimator(epsilon float64) (*FreqEstimator, error) {
+	if epsilon <= 0 || epsilon > 1 {
+		return nil, fmt.Errorf("%w: epsilon %v", ErrBadParam, epsilon)
+	}
+	return &FreqEstimator{impl: mg.New(epsilon)}, nil
+}
+
+// ProcessBatch ingests a minibatch of items.
+func (f *FreqEstimator) ProcessBatch(items []uint64) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.impl.ProcessBatch(items)
+}
+
+// Estimate returns the frequency estimate for item:
+// f_e - εm <= Estimate(item) <= f_e.
+func (f *FreqEstimator) Estimate(item uint64) int64 {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	return f.impl.Estimate(item)
+}
+
+// StreamLen returns the number of items observed so far.
+func (f *FreqEstimator) StreamLen() int64 {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	return f.impl.StreamLen()
+}
+
+// HeavyHitters returns all items whose estimated frequency reaches
+// (phi-ε)·m: every item with true frequency >= phi·m is included, and no
+// item with true frequency < (phi-2ε)·m can appear.
+func (f *FreqEstimator) HeavyHitters(phi float64) []ItemCount {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	var out []ItemCount
+	for _, item := range f.impl.HeavyHitters(phi) {
+		out = append(out, ItemCount{Item: item, Count: f.impl.Estimate(item)})
+	}
+	sortByCountDesc(out)
+	return out
+}
+
+// TopK returns the k tracked items with the largest estimates.
+func (f *FreqEstimator) TopK(k int) []ItemCount {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	entries := f.impl.Entries()
+	out := make([]ItemCount, 0, len(entries))
+	for _, e := range entries {
+		out = append(out, ItemCount{Item: e.Item, Count: e.Freq})
+	}
+	sortByCountDesc(out)
+	if k < len(out) {
+		out = out[:k]
+	}
+	return out
+}
+
+// SpaceWords reports the memory footprint in 64-bit words.
+func (f *FreqEstimator) SpaceWords() int {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	return f.impl.SpaceWords()
+}
+
+func sortByCountDesc(xs []ItemCount) {
+	sort.Slice(xs, func(i, j int) bool {
+		if xs[i].Count != xs[j].Count {
+			return xs[i].Count > xs[j].Count
+		}
+		return xs[i].Item < xs[j].Item
+	})
+}

@@ -1,0 +1,292 @@
+package baseline
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func exactFreqs(items []uint64) (map[uint64]int64, int64) {
+	f := make(map[uint64]int64)
+	for _, it := range items {
+		f[it]++
+	}
+	return f, int64(len(items))
+}
+
+func zipfStream(seed int64, n int, s float64, imax uint64) []uint64 {
+	rng := rand.New(rand.NewSource(seed))
+	z := rand.NewZipf(rng, s, 1, imax)
+	out := make([]uint64, n)
+	for i := range out {
+		out[i] = z.Uint64()
+	}
+	return out
+}
+
+func TestMGSeqGuarantee(t *testing.T) {
+	items := zipfStream(1, 50000, 1.2, 1<<14)
+	g := NewMGSeq(100)
+	g.ProcessBatch(items)
+	f, m := exactFreqs(items)
+	for it, fe := range f {
+		est := g.Estimate(it)
+		if est > fe {
+			t.Fatalf("item %d: est %d > true %d", it, est, fe)
+		}
+		if fe-est > m/100 {
+			t.Fatalf("item %d: est %d, true %d, bound %d", it, est, fe, m/100)
+		}
+	}
+	if g.Size() > g.Capacity() {
+		t.Fatalf("size %d > capacity %d", g.Size(), g.Capacity())
+	}
+	if g.StreamLen() != m {
+		t.Fatalf("StreamLen %d want %d", g.StreamLen(), m)
+	}
+}
+
+func TestMGSeqMergeGuarantee(t *testing.T) {
+	// Split a stream into two halves, summarize independently, merge, and
+	// check the mergeable-summaries guarantee on the union.
+	items := zipfStream(2, 60000, 1.3, 1<<12)
+	a := NewMGSeq(64)
+	b := NewMGSeq(64)
+	a.ProcessBatch(items[:30000])
+	b.ProcessBatch(items[30000:])
+	a.Merge(b)
+	f, m := exactFreqs(items)
+	for it, fe := range f {
+		est := a.Estimate(it)
+		if est > fe {
+			t.Fatalf("merged item %d: est %d > true %d", it, est, fe)
+		}
+		if fe-est > m/64 {
+			t.Fatalf("merged item %d: est %d, true %d, bound %d", it, est, fe, m/64)
+		}
+	}
+	if a.Size() > 64 {
+		t.Fatalf("merged size %d > 64", a.Size())
+	}
+	if a.StreamLen() != m {
+		t.Fatalf("merged StreamLen %d want %d", a.StreamLen(), m)
+	}
+}
+
+func TestIndependentMatchesGuarantee(t *testing.T) {
+	items := zipfStream(3, 40000, 1.2, 1<<12)
+	for _, p := range []int{1, 2, 4, 8} {
+		g := NewIndependent(p, 50)
+		for lo := 0; lo < len(items); lo += 5000 {
+			g.ProcessBatch(items[lo : lo+5000])
+		}
+		merged := g.Query()
+		f, m := exactFreqs(items)
+		for it, fe := range f {
+			est := merged.Estimate(it)
+			if est > fe {
+				t.Fatalf("p=%d item %d: est %d > true %d", p, it, est, fe)
+			}
+			if fe-est > m/50 {
+				t.Fatalf("p=%d item %d: est %d, true %d", p, it, est, fe)
+			}
+		}
+		tree := g.QueryTree()
+		for it := range f {
+			if tree.Estimate(it) > f[it] {
+				t.Fatalf("tree merge overestimates item %d", it)
+			}
+		}
+		if got, want := g.SpaceWords(), p; got < want {
+			t.Fatalf("space %d implausible for p=%d", got, p)
+		}
+	}
+}
+
+func TestIndependentSpaceScalesWithP(t *testing.T) {
+	items := zipfStream(4, 20000, 1.1, 1<<14)
+	g1 := NewIndependent(1, 100)
+	g8 := NewIndependent(8, 100)
+	g1.ProcessBatch(items)
+	g8.ProcessBatch(items)
+	if g8.SpaceWords() < 4*g1.SpaceWords() {
+		t.Fatalf("p=8 space %d not ~8x p=1 space %d", g8.SpaceWords(), g1.SpaceWords())
+	}
+	if g8.Processors() != 8 {
+		t.Fatal("Processors accessor wrong")
+	}
+}
+
+func TestSpaceSavingGuarantee(t *testing.T) {
+	items := zipfStream(5, 50000, 1.2, 1<<14)
+	g := NewSpaceSaving(100)
+	g.ProcessBatch(items)
+	f, m := exactFreqs(items)
+	for it, fe := range f {
+		est := g.Estimate(it)
+		if est != 0 && est < fe {
+			t.Fatalf("item %d: SS underestimates tracked item: %d < %d", it, est, fe)
+		}
+		if est > fe+m/100 {
+			t.Fatalf("item %d: est %d > true %d + m/S", it, est, fe)
+		}
+		if gc := g.GuaranteedCount(it); gc > fe {
+			t.Fatalf("item %d: guaranteed %d > true %d", it, gc, fe)
+		}
+	}
+	if g.Size() > 100 {
+		t.Fatalf("size %d > 100", g.Size())
+	}
+	if g.StreamLen() != m {
+		t.Fatal("StreamLen wrong")
+	}
+}
+
+func TestSpaceSavingHeavyHitters(t *testing.T) {
+	// 40% of the stream is item 1; it must always be reported at φ=0.2.
+	rng := rand.New(rand.NewSource(6))
+	items := make([]uint64, 20000)
+	for i := range items {
+		if rng.Float64() < 0.4 {
+			items[i] = 1
+		} else {
+			items[i] = uint64(rng.Intn(100000)) + 10
+		}
+	}
+	g := NewSpaceSaving(50)
+	g.ProcessBatch(items)
+	found := false
+	for _, h := range g.HeavyHitters(0.2) {
+		if h == 1 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("Space-Saving missed the 40% heavy hitter")
+	}
+}
+
+func TestLossyCountingGuarantee(t *testing.T) {
+	items := zipfStream(7, 50000, 1.2, 1<<14)
+	g := NewLossyCounting(100) // ε = 0.01
+	g.ProcessBatch(items)
+	f, m := exactFreqs(items)
+	for it, fe := range f {
+		est := g.Estimate(it)
+		if est > fe {
+			t.Fatalf("item %d: LC est %d > true %d", it, est, fe)
+		}
+		if fe-est > m/100 {
+			t.Fatalf("item %d: LC est %d, true %d, bound %d", it, est, fe, m/100)
+		}
+	}
+	if g.StreamLen() != m {
+		t.Fatal("StreamLen wrong")
+	}
+	if g.Size() == 0 {
+		t.Fatal("no counters retained")
+	}
+}
+
+func TestDGIMGuarantee(t *testing.T) {
+	for _, eps := range []float64{0.5, 0.1} {
+		for _, n := range []int64{64, 1000} {
+			g := NewDGIM(n, eps)
+			rng := rand.New(rand.NewSource(n + int64(eps*100)))
+			var window []bool
+			for step := 0; step < 5000; step++ {
+				bit := rng.Float64() < 0.3
+				g.Update(bit)
+				window = append(window, bit)
+				if int64(len(window)) > n {
+					window = window[1:]
+				}
+				var m int64
+				for _, b := range window {
+					if b {
+						m++
+					}
+				}
+				est := g.Estimate()
+				diff := est - m
+				if diff < 0 {
+					diff = -diff
+				}
+				if float64(diff) > eps*float64(m)+1 {
+					t.Fatalf("ε=%g n=%d step=%d: est %d, true %d", eps, n, step, est, m)
+				}
+			}
+			// Space is O(k log n) buckets.
+			if g.Buckets() > int(2.0/eps)*(2+bitsLen(n)) {
+				t.Fatalf("ε=%g n=%d: %d buckets too many", eps, n, g.Buckets())
+			}
+		}
+	}
+}
+
+func bitsLen(n int64) int {
+	k := 0
+	for n > 0 {
+		n >>= 1
+		k++
+	}
+	return k
+}
+
+func TestDGIMAllOnesAndZeros(t *testing.T) {
+	g := NewDGIM(100, 0.1)
+	for i := 0; i < 500; i++ {
+		g.Update(true)
+	}
+	est := g.Estimate()
+	if est < 90 || est > 110 {
+		t.Fatalf("all-ones window: est %d want ~100", est)
+	}
+	for i := 0; i < 200; i++ {
+		g.Update(false)
+	}
+	if est := g.Estimate(); est != 0 {
+		t.Fatalf("all-zeros window: est %d", est)
+	}
+}
+
+func TestConstructorPanics(t *testing.T) {
+	for _, f := range []func(){
+		func() { NewMGSeq(0) },
+		func() { NewIndependent(0, 5) },
+		func() { NewSpaceSaving(0) },
+		func() { NewLossyCounting(0) },
+		func() { NewDGIM(0, 0.1) },
+		func() { NewDGIM(5, 0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestMGSeqHeavyHitters(t *testing.T) {
+	items := make([]uint64, 1000)
+	for i := range items {
+		if i%3 == 0 {
+			items[i] = 5
+		} else {
+			items[i] = uint64(i) + 100
+		}
+	}
+	g := NewMGSeq(20)
+	g.ProcessBatch(items)
+	found := false
+	for _, h := range g.HeavyHitters(0.25) {
+		if h == 5 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("MG missed 33% heavy hitter")
+	}
+}

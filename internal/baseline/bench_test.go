@@ -1,0 +1,73 @@
+package baseline
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+func benchStream(n int) []uint64 {
+	rng := rand.New(rand.NewSource(11))
+	zipf := rand.NewZipf(rng, 1.1, 1, 1<<18)
+	out := make([]uint64, n)
+	for i := range out {
+		out[i] = zipf.Uint64()
+	}
+	return out
+}
+
+func BenchmarkSequentialUpdate(b *testing.B) {
+	stream := benchStream(1 << 16)
+	b.Run("misra-gries", func(b *testing.B) {
+		g := NewMGSeq(1000)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			g.Update(stream[i%len(stream)])
+		}
+	})
+	b.Run("space-saving", func(b *testing.B) {
+		g := NewSpaceSaving(1000)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			g.Update(stream[i%len(stream)])
+		}
+	})
+	b.Run("lossy-counting", func(b *testing.B) {
+		g := NewLossyCounting(1000)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			g.Update(stream[i%len(stream)])
+		}
+	})
+}
+
+func BenchmarkDGIMUpdate(b *testing.B) {
+	rng := rand.New(rand.NewSource(3))
+	bits := make([]bool, 1<<16)
+	for i := range bits {
+		bits[i] = rng.Intn(3) == 0
+	}
+	for _, eps := range []float64{0.1, 0.01} {
+		b.Run(fmt.Sprintf("eps%g", eps), func(b *testing.B) {
+			g := NewDGIM(1<<20, eps)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				g.Update(bits[i%len(bits)])
+			}
+		})
+	}
+}
+
+func BenchmarkIndependentMerge(b *testing.B) {
+	stream := benchStream(1 << 18)
+	for _, p := range []int{2, 8} {
+		b.Run(fmt.Sprintf("p%d", p), func(b *testing.B) {
+			g := NewIndependent(p, 1000)
+			g.ProcessBatch(stream)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				_ = g.Query()
+			}
+		})
+	}
+}

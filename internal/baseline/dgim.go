@@ -1,0 +1,97 @@
+package baseline
+
+// DGIM implements the exponential-histogram algorithm of Datar, Gionis,
+// Indyk and Motwani [DGIM02] for sequential sliding-window basic
+// counting: buckets of exponentially growing sizes, at most k+1 per size,
+// merged pairwise when the bound is exceeded. The estimate errs by at
+// most half the oldest bucket, giving relative error <= 1/(2(k... )) ~
+// 1/k; we use k = ⌈1/ε⌉ so the error is at most ε.
+type DGIM struct {
+	n int64 // window size
+	k int   // max buckets per size before merging (k+1 triggers merge)
+	t int64 // current time (positions consumed)
+	// buckets, newest first: each has the timestamp of its most recent 1
+	// and a size (count of 1s), sizes non-decreasing from newest to
+	// oldest.
+	ts   []int64
+	size []int64
+}
+
+// NewDGIM creates a DGIM counter for window n with parameter k = ⌈1/ε⌉.
+func NewDGIM(n int64, epsilon float64) *DGIM {
+	if n < 1 {
+		panic("baseline: DGIM window must be >= 1")
+	}
+	if epsilon <= 0 || epsilon > 1 {
+		panic("baseline: DGIM epsilon must be in (0, 1]")
+	}
+	k := int(1 / epsilon)
+	if float64(k) < 1/epsilon {
+		k++
+	}
+	if k < 1 {
+		k = 1
+	}
+	return &DGIM{n: n, k: k}
+}
+
+// Update consumes one bit.
+func (g *DGIM) Update(bit bool) {
+	g.t++
+	// Expire the oldest bucket if it slid out of the window.
+	if len(g.ts) > 0 && g.ts[len(g.ts)-1] <= g.t-g.n {
+		g.ts = g.ts[:len(g.ts)-1]
+		g.size = g.size[:len(g.size)-1]
+	}
+	if !bit {
+		return
+	}
+	// Prepend a size-1 bucket.
+	g.ts = append([]int64{g.t}, g.ts...)
+	g.size = append([]int64{1}, g.size...)
+	// Cascade merges: if k+1 buckets of one size, merge the two oldest of
+	// that size into one of double size.
+	for i := 0; i < len(g.size); {
+		j := i
+		for j < len(g.size) && g.size[j] == g.size[i] {
+			j++
+		}
+		if j-i <= g.k {
+			i = j
+			continue
+		}
+		// Merge the two oldest of this size: positions j-2 and j-1. The
+		// merged bucket keeps the newer timestamp (already at j-2) and may
+		// cascade into the next size group, so rescan from j-2.
+		g.size[j-2] *= 2
+		g.ts = append(g.ts[:j-1], g.ts[j:]...)
+		g.size = append(g.size[:j-1], g.size[j:]...)
+		i = j - 2
+	}
+}
+
+// ProcessBits consumes a batch of bits sequentially.
+func (g *DGIM) ProcessBits(bits []bool) {
+	for _, b := range bits {
+		g.Update(b)
+	}
+}
+
+// Estimate returns the approximate count of 1s in the window: the sum of
+// all bucket sizes minus half of the oldest.
+func (g *DGIM) Estimate() int64 {
+	if len(g.size) == 0 {
+		return 0
+	}
+	var total int64
+	for _, s := range g.size {
+		total += s
+	}
+	return total - g.size[len(g.size)-1]/2
+}
+
+// Buckets returns the current number of buckets (O(k log n)).
+func (g *DGIM) Buckets() int { return len(g.size) }
+
+// SpaceWords estimates the footprint in 64-bit words.
+func (g *DGIM) SpaceWords() int { return 2*len(g.size) + 4 }

@@ -1,0 +1,102 @@
+package baseline
+
+import (
+	"sync"
+)
+
+// Independent is the independent per-processor data-structure approach of
+// Figure 1 / Section 5.4: the stream is partitioned across p local
+// Misra-Gries summaries that are updated in parallel; answering a query
+// requires merging all p summaries — a sequential bottleneck of
+// Ω(p·S) (or Ω(S·log p) with a merge tree) that the paper's shared
+// structure avoids. Total memory is p×S counters, a factor p larger than
+// the shared approach.
+type Independent struct {
+	p      int
+	s      int
+	locals []*MGSeq
+}
+
+// NewIndependent creates p local summaries of capacity s each.
+func NewIndependent(p, s int) *Independent {
+	if p < 1 {
+		panic("baseline: p must be >= 1")
+	}
+	locals := make([]*MGSeq, p)
+	for i := range locals {
+		locals[i] = NewMGSeq(s)
+	}
+	return &Independent{p: p, s: s, locals: locals}
+}
+
+// Processors returns p.
+func (g *Independent) Processors() int { return g.p }
+
+// ProcessBatch partitions the minibatch into p contiguous sub-streams and
+// updates each local summary in parallel (the update phase genuinely
+// parallelizes; it is the query-time merge that does not).
+func (g *Independent) ProcessBatch(items []uint64) {
+	n := len(items)
+	if n == 0 {
+		return
+	}
+	var wg sync.WaitGroup
+	wg.Add(g.p)
+	for i := 0; i < g.p; i++ {
+		lo, hi := i*n/g.p, (i+1)*n/g.p
+		go func(l *MGSeq, part []uint64) {
+			defer wg.Done()
+			l.ProcessBatch(part)
+		}(g.locals[i], items[lo:hi])
+	}
+	wg.Wait()
+}
+
+// Query merges all local summaries sequentially at a single processor and
+// returns the merged summary; its cost — O(p·S) — is what Section 5.4
+// identifies as the approach's bottleneck. The locals are not destroyed.
+func (g *Independent) Query() *MGSeq {
+	merged := g.locals[0].Clone()
+	for _, l := range g.locals[1:] {
+		merged.Merge(l)
+	}
+	return merged
+}
+
+// QueryTree merges with a log p-deep parallel merge tree; per Section 5.4
+// the depth is still Ω(S·log p) because each merge is Ω(S) sequential
+// work.
+func (g *Independent) QueryTree() *MGSeq {
+	layer := make([]*MGSeq, len(g.locals))
+	for i, l := range g.locals {
+		layer[i] = l.Clone()
+	}
+	for len(layer) > 1 {
+		half := (len(layer) + 1) / 2
+		next := make([]*MGSeq, half)
+		var wg sync.WaitGroup
+		for i := 0; i < len(layer)/2; i++ {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				layer[2*i].Merge(layer[2*i+1])
+				next[i] = layer[2*i]
+			}(i)
+		}
+		wg.Wait()
+		if len(layer)%2 == 1 {
+			next[half-1] = layer[len(layer)-1]
+		}
+		layer = next
+	}
+	return layer[0]
+}
+
+// SpaceWords sums the footprint of all locals: Θ(p·S) words.
+func (g *Independent) SpaceWords() int {
+	total := 2
+	for _, l := range g.locals {
+		total += l.SpaceWords()
+	}
+	return total
+}

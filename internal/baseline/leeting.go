@@ -1,0 +1,148 @@
+package baseline
+
+import (
+	"repro/internal/css"
+	"repro/internal/snapshot"
+)
+
+// LTSliding is a sequential sliding-window frequent-items summary in the
+// style of Lee and Ting [LT06b] — the algorithm Section 5.3 of the paper
+// parallelizes. It keeps at most S per-item γ-snapshot counters; a
+// tracked arrival appends a 1 to its item's counter, an untracked
+// arrival when full decrements every counter by one (the Misra-Gries
+// step), and counters are advanced lazily (zero-gap segments) so tracked
+// arrivals cost O(1) amortized. Estimates satisfy
+// f_e - εn <= Estimate(e) <= f_e for window frequency f_e.
+//
+// This is the sequential work/space comparator for the E5 ablation; the
+// original paper achieves O(1) worst-case updates with additional
+// machinery that does not change the space or accuracy shape.
+type LTSliding struct {
+	n     int64
+	s     int
+	gamma int64
+	adj   int64
+	t     int64
+	m     map[uint64]*ltEntry
+}
+
+type ltEntry struct {
+	snap  *snapshot.Snapshot
+	lastT int64
+}
+
+// NewLTSliding creates a summary for window n >= 1 and epsilon in (0, 1].
+func NewLTSliding(n int64, epsilon float64) *LTSliding {
+	if n < 1 {
+		panic("baseline: LTSliding window must be >= 1")
+	}
+	if epsilon <= 0 || epsilon > 1 {
+		panic("baseline: LTSliding epsilon must be in (0, 1]")
+	}
+	s := int(8/epsilon) + 1
+	gamma := int64(epsilon * float64(n) / 8)
+	if gamma < 1 {
+		gamma = 1
+		// γ=1 counters are exact; disable pruning like the parallel
+		// implementation does in this regime (n < 16/ε, so 2n+1 counters
+		// still cost O(1/ε) space).
+		if alt := int(2*n) + 1; alt > s {
+			s = alt
+		}
+	}
+	lt := &LTSliding{n: n, s: s, gamma: gamma, m: make(map[uint64]*ltEntry)}
+	if gamma > 1 {
+		lt.adj = 2 * gamma
+	}
+	return lt
+}
+
+// catchUp advances e's snapshot to the current time with a zero segment.
+func (g *LTSliding) catchUp(e *ltEntry) {
+	if gap := g.t - e.lastT; gap > 0 {
+		e.snap.Append(css.Segment{Len: gap})
+		e.lastT = g.t
+	}
+}
+
+// Update processes one arrival.
+func (g *LTSliding) Update(item uint64) {
+	g.t++
+	if e, ok := g.m[item]; ok {
+		gap := g.t - e.lastT
+		e.snap.Append(css.Segment{Len: gap, Ones: []int64{gap}})
+		e.lastT = g.t
+		return
+	}
+	if len(g.m) < g.s {
+		e := &ltEntry{snap: snapshot.New(g.gamma)}
+		e.snap.Append(css.Segment{Len: g.t, Ones: []int64{g.t}})
+		e.lastT = g.t
+		g.m[item] = e
+		return
+	}
+	// Full and untracked: the Misra-Gries step — decrement everything by
+	// one (after evicting content too old for the window, so the
+	// decrement bites live mass), dropping counters that reach zero.
+	for it, e := range g.m {
+		g.catchUp(e)
+		e.snap.EvictBefore(g.t - g.n + 1)
+		e.snap.Decrement(1)
+		if e.snap.Value() == 0 {
+			delete(g.m, it)
+		}
+	}
+}
+
+// ProcessBatch feeds items one by one (sequential comparator interface).
+func (g *LTSliding) ProcessBatch(items []uint64) {
+	for _, it := range items {
+		g.Update(it)
+	}
+}
+
+// Estimate returns the window-frequency estimate for item.
+func (g *LTSliding) Estimate(item uint64) int64 {
+	e, ok := g.m[item]
+	if !ok {
+		return 0
+	}
+	g.catchUp(e)
+	e.snap.EvictBefore(g.t - g.n + 1)
+	v := e.snap.Value() - g.adj
+	if v < 0 {
+		return 0
+	}
+	return v
+}
+
+// StreamLen returns the number of arrivals processed.
+func (g *LTSliding) StreamLen() int64 { return g.t }
+
+// Size returns the number of live counters.
+func (g *LTSliding) Size() int { return len(g.m) }
+
+// HeavyHitters returns items estimated at or above (phi-ε)·min(t, n).
+func (g *LTSliding) HeavyHitters(phi float64, epsilon float64) []uint64 {
+	w := g.t
+	if w > g.n {
+		w = g.n
+	}
+	thr := (phi - epsilon) * float64(w)
+	var out []uint64
+	for it := range g.m {
+		if float64(g.Estimate(it)) >= thr {
+			out = append(out, it)
+		}
+	}
+	return out
+}
+
+// SpaceWords estimates the footprint in 64-bit words.
+func (g *LTSliding) SpaceWords() int {
+	total := 4
+	for _, e := range g.m {
+		total += e.snap.SpaceWords() + 3
+	}
+	return total
+}

@@ -1,0 +1,167 @@
+package baseline
+
+import (
+	"math/rand"
+	"testing"
+)
+
+type slidingRef struct {
+	n     int64
+	items []uint64
+}
+
+func (r *slidingRef) add(it uint64) { r.items = append(r.items, it) }
+
+func (r *slidingRef) freqs() map[uint64]int64 {
+	start := int64(len(r.items)) - r.n
+	if start < 0 {
+		start = 0
+	}
+	f := make(map[uint64]int64)
+	for _, it := range r.items[start:] {
+		f[it]++
+	}
+	return f
+}
+
+func checkLT(t *testing.T, g *LTSliding, ref *slidingRef, eps float64) {
+	t.Helper()
+	bound := eps * float64(g.n)
+	for it, fe := range ref.freqs() {
+		est := g.Estimate(it)
+		if est > fe {
+			t.Fatalf("item %d: est %d > true %d", it, est, fe)
+		}
+		if float64(fe-est) > bound+1e-9 {
+			t.Fatalf("item %d: est %d true %d bound %g", it, est, fe, bound)
+		}
+	}
+}
+
+func TestLTSlidingGuaranteeZipf(t *testing.T) {
+	n := int64(4096)
+	eps := 0.02
+	g := NewLTSliding(n, eps)
+	ref := &slidingRef{n: n}
+	rng := rand.New(rand.NewSource(1))
+	zipf := rand.NewZipf(rng, 1.2, 1, 1<<14)
+	for i := 0; i < 40000; i++ {
+		it := zipf.Uint64()
+		g.Update(it)
+		ref.add(it)
+		if i%4096 == 0 {
+			checkLT(t, g, ref, eps)
+		}
+	}
+	checkLT(t, g, ref, eps)
+	if g.StreamLen() != 40000 {
+		t.Fatalf("StreamLen %d", g.StreamLen())
+	}
+}
+
+func TestLTSlidingGuaranteeUniform(t *testing.T) {
+	n := int64(2000)
+	eps := 0.05
+	g := NewLTSliding(n, eps)
+	ref := &slidingRef{n: n}
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 20000; i++ {
+		it := uint64(rng.Intn(100))
+		g.Update(it)
+		ref.add(it)
+	}
+	checkLT(t, g, ref, eps)
+}
+
+func TestLTSlidingSlideOut(t *testing.T) {
+	n := int64(100)
+	g := NewLTSliding(n, 0.5)
+	for i := 0; i < 100; i++ {
+		g.Update(7)
+	}
+	if est := g.Estimate(7); est < 50 {
+		t.Fatalf("hot item est %d", est)
+	}
+	for i := 0; i < 200; i++ {
+		g.Update(uint64(1000 + i))
+	}
+	if est := g.Estimate(7); est != 0 {
+		t.Fatalf("slid-out item est %d", est)
+	}
+}
+
+func TestLTSlidingSpaceBound(t *testing.T) {
+	n := int64(1 << 14)
+	eps := 0.02
+	g := NewLTSliding(n, eps)
+	// All-distinct stream: the adversarial case for space.
+	for i := 0; i < 50000; i++ {
+		g.Update(uint64(i))
+	}
+	if g.Size() > int(8/eps)+2 {
+		t.Fatalf("size %d exceeds S", g.Size())
+	}
+	// Each counter is O(f_e/γ); with γ = εn/8 total is O(1/ε + S).
+	budget := int(10/eps) + 8*g.Size() + 64
+	if sw := g.SpaceWords(); sw > budget {
+		t.Fatalf("space %d exceeds budget %d", sw, budget)
+	}
+}
+
+func TestLTSlidingExactRegime(t *testing.T) {
+	// εn < 16 => γ=1 and no pruning: estimates exact.
+	n := int64(64)
+	g := NewLTSliding(n, 0.1)
+	ref := &slidingRef{n: n}
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 5000; i++ {
+		it := uint64(rng.Intn(10))
+		g.Update(it)
+		ref.add(it)
+	}
+	for it, fe := range ref.freqs() {
+		if est := g.Estimate(it); est != fe {
+			t.Fatalf("exact regime: item %d est %d true %d", it, est, fe)
+		}
+	}
+}
+
+func TestLTSlidingHeavyHitters(t *testing.T) {
+	n := int64(5000)
+	eps := 0.05
+	g := NewLTSliding(n, eps)
+	rng := rand.New(rand.NewSource(4))
+	for i := 0; i < 20000; i++ {
+		if rng.Float64() < 0.3 {
+			g.Update(1)
+		} else {
+			g.Update(uint64(rng.Intn(1 << 20)))
+		}
+	}
+	found := false
+	for _, h := range g.HeavyHitters(0.2, eps) {
+		if h == 1 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("missed the 30% heavy hitter")
+	}
+}
+
+func TestLTSlidingPanics(t *testing.T) {
+	for _, f := range []func(){
+		func() { NewLTSliding(0, 0.1) },
+		func() { NewLTSliding(10, 0) },
+		func() { NewLTSliding(10, 2) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}

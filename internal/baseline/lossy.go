@@ -1,0 +1,76 @@
+package baseline
+
+// LossyCounting implements Lossy Counting [MM02] with bucket width
+// w = ⌈1/ε⌉: counts are pruned at bucket boundaries, guaranteeing
+// f_e - εm <= Estimate(e) <= f_e with O((1/ε)·log(εm)) counters.
+type LossyCounting struct {
+	w      int64 // bucket width
+	bucket int64 // current bucket id (1-based)
+	m      int64
+	counts map[uint64]int64
+	deltas map[uint64]int64
+}
+
+// NewLossyCounting creates a summary with error 1/w (w >= 1).
+func NewLossyCounting(w int64) *LossyCounting {
+	if w < 1 {
+		panic("baseline: LossyCounting width must be >= 1")
+	}
+	return &LossyCounting{
+		w: w, bucket: 1,
+		counts: make(map[uint64]int64),
+		deltas: make(map[uint64]int64),
+	}
+}
+
+// Update processes one stream element.
+func (g *LossyCounting) Update(e uint64) {
+	g.m++
+	if _, ok := g.counts[e]; ok {
+		g.counts[e]++
+	} else {
+		g.counts[e] = 1
+		g.deltas[e] = g.bucket - 1
+	}
+	if g.m%g.w == 0 {
+		for it, c := range g.counts {
+			if c+g.deltas[it] <= g.bucket {
+				delete(g.counts, it)
+				delete(g.deltas, it)
+			}
+		}
+		g.bucket++
+	}
+}
+
+// ProcessBatch feeds items one by one.
+func (g *LossyCounting) ProcessBatch(items []uint64) {
+	for _, e := range items {
+		g.Update(e)
+	}
+}
+
+// Estimate returns the tracked count for e (0 if untracked), satisfying
+// f_e - εm <= Estimate(e) <= f_e.
+func (g *LossyCounting) Estimate(e uint64) int64 { return g.counts[e] }
+
+// StreamLen returns the number of items processed.
+func (g *LossyCounting) StreamLen() int64 { return g.m }
+
+// Size returns the number of live counters.
+func (g *LossyCounting) Size() int { return len(g.counts) }
+
+// HeavyHitters returns items with count >= (phi - 1/w)·m.
+func (g *LossyCounting) HeavyHitters(phi float64) []uint64 {
+	thr := (phi - 1/float64(g.w)) * float64(g.m)
+	var out []uint64
+	for it, c := range g.counts {
+		if float64(c) >= thr {
+			out = append(out, it)
+		}
+	}
+	return out
+}
+
+// SpaceWords estimates the footprint in 64-bit words.
+func (g *LossyCounting) SpaceWords() int { return 6*len(g.counts) + 4 }

@@ -1,0 +1,124 @@
+// Package baseline implements the sequential algorithms the paper
+// compares against (Section 1.2's related work and Section 5.4):
+//
+//   - the sequential Misra-Gries algorithm [MG82] (Algorithm 1) and the
+//     mergeable-summary merge of [ACH+13];
+//   - the independent per-processor data-structure approach of Figure 1
+//     (p local summaries + a merge step), the paper's main foil;
+//   - Space-Saving [MAE06] and Lossy Counting [MM02], the other standard
+//     sequential frequent-item algorithms;
+//   - the DGIM exponential histogram [DGIM02] for sequential
+//     sliding-window basic counting;
+//   - a sequential count-min sketch is available via cms.Sketch.Update.
+package baseline
+
+import "sort"
+
+// MGSeq is the classic sequential Misra-Gries summary (Algorithm 1 in the
+// paper): at most S counters; an arrival of an untracked item when full
+// decrements every counter.
+type MGSeq struct {
+	s      int
+	counts map[uint64]int64
+	m      int64
+}
+
+// NewMGSeq creates a summary with capacity s >= 1 (ε = 1/s).
+func NewMGSeq(s int) *MGSeq {
+	if s < 1 {
+		panic("baseline: MG capacity must be >= 1")
+	}
+	return &MGSeq{s: s, counts: make(map[uint64]int64, s+1)}
+}
+
+// Update processes one stream element (Algorithm 1).
+func (g *MGSeq) Update(e uint64) {
+	g.m++
+	if _, ok := g.counts[e]; ok {
+		g.counts[e]++
+		return
+	}
+	if len(g.counts) < g.s {
+		g.counts[e] = 1
+		return
+	}
+	for it, c := range g.counts {
+		if c == 1 {
+			delete(g.counts, it)
+		} else {
+			g.counts[it] = c - 1
+		}
+	}
+}
+
+// ProcessBatch feeds items one by one (the sequential work comparator).
+func (g *MGSeq) ProcessBatch(items []uint64) {
+	for _, e := range items {
+		g.Update(e)
+	}
+}
+
+// Estimate returns the counter for e (0 if untracked); it satisfies
+// f_e - m/S <= Estimate(e) <= f_e (Lemma 5.1).
+func (g *MGSeq) Estimate(e uint64) int64 { return g.counts[e] }
+
+// StreamLen returns the number of items processed.
+func (g *MGSeq) StreamLen() int64 { return g.m }
+
+// Size returns the number of live counters.
+func (g *MGSeq) Size() int { return len(g.counts) }
+
+// Capacity returns S.
+func (g *MGSeq) Capacity() int { return g.s }
+
+// Merge folds another summary into this one using the mergeable-summaries
+// algorithm of [ACH+13]: add matching counters, then subtract the
+// (S+1)-st largest count and drop non-positive counters. The combined
+// guarantee f_e - (m1+m2)/S <= Estimate(e) <= f_e is preserved. This is
+// the sequential merge step of the independent data-structure approach.
+func (g *MGSeq) Merge(o *MGSeq) {
+	for it, c := range o.counts {
+		g.counts[it] += c
+	}
+	g.m += o.m
+	if len(g.counts) <= g.s {
+		return
+	}
+	vals := make([]int64, 0, len(g.counts))
+	for _, c := range g.counts {
+		vals = append(vals, c)
+	}
+	sort.Slice(vals, func(i, j int) bool { return vals[i] > vals[j] })
+	phi := vals[g.s] // (S+1)-st largest
+	for it, c := range g.counts {
+		if c-phi <= 0 {
+			delete(g.counts, it)
+		} else {
+			g.counts[it] = c - phi
+		}
+	}
+}
+
+// Clone returns a deep copy (used to merge without destroying locals).
+func (g *MGSeq) Clone() *MGSeq {
+	c := &MGSeq{s: g.s, counts: make(map[uint64]int64, len(g.counts)), m: g.m}
+	for it, v := range g.counts {
+		c.counts[it] = v
+	}
+	return c
+}
+
+// HeavyHitters returns items with estimate >= (phi - 1/S)·m.
+func (g *MGSeq) HeavyHitters(phi float64) []uint64 {
+	thr := (phi - 1/float64(g.s)) * float64(g.m)
+	var out []uint64
+	for it, c := range g.counts {
+		if float64(c) >= thr {
+			out = append(out, it)
+		}
+	}
+	return out
+}
+
+// SpaceWords estimates the footprint in 64-bit words.
+func (g *MGSeq) SpaceWords() int { return 4*len(g.counts) + 3 }

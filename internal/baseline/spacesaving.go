@@ -1,0 +1,120 @@
+package baseline
+
+import "container/heap"
+
+// SpaceSaving implements the Space-Saving algorithm [MAE06]: exactly S
+// counters; an untracked arrival evicts the minimum counter, inheriting
+// its count as over-estimation error. Estimates satisfy
+// f_e <= Estimate(e) <= f_e + m/S (note: over-estimates, where MG
+// under-estimates).
+type SpaceSaving struct {
+	s   int
+	h   ssHeap
+	pos map[uint64]int // item -> heap index
+	m   int64
+}
+
+type ssEntry struct {
+	item  uint64
+	count int64
+	err   int64
+}
+
+type ssHeap struct {
+	entries []ssEntry
+	pos     map[uint64]int
+}
+
+func (h ssHeap) Len() int           { return len(h.entries) }
+func (h ssHeap) Less(i, j int) bool { return h.entries[i].count < h.entries[j].count }
+func (h ssHeap) Swap(i, j int) {
+	h.entries[i], h.entries[j] = h.entries[j], h.entries[i]
+	h.pos[h.entries[i].item] = i
+	h.pos[h.entries[j].item] = j
+}
+func (h *ssHeap) Push(x any) {
+	e := x.(ssEntry)
+	h.pos[e.item] = len(h.entries)
+	h.entries = append(h.entries, e)
+}
+func (h *ssHeap) Pop() any {
+	old := h.entries
+	n := len(old)
+	e := old[n-1]
+	h.entries = old[:n-1]
+	delete(h.pos, e.item)
+	return e
+}
+
+// NewSpaceSaving creates a summary with capacity s >= 1.
+func NewSpaceSaving(s int) *SpaceSaving {
+	if s < 1 {
+		panic("baseline: SpaceSaving capacity must be >= 1")
+	}
+	pos := make(map[uint64]int, s+1)
+	return &SpaceSaving{s: s, h: ssHeap{pos: pos}, pos: pos}
+}
+
+// Update processes one stream element.
+func (g *SpaceSaving) Update(e uint64) {
+	g.m++
+	if i, ok := g.pos[e]; ok {
+		g.h.entries[i].count++
+		heap.Fix(&g.h, i)
+		return
+	}
+	if len(g.h.entries) < g.s {
+		heap.Push(&g.h, ssEntry{item: e, count: 1})
+		return
+	}
+	// Evict the minimum: the newcomer inherits its count as error.
+	min := g.h.entries[0]
+	delete(g.pos, min.item)
+	g.h.entries[0] = ssEntry{item: e, count: min.count + 1, err: min.count}
+	g.pos[e] = 0
+	heap.Fix(&g.h, 0)
+}
+
+// ProcessBatch feeds items one by one.
+func (g *SpaceSaving) ProcessBatch(items []uint64) {
+	for _, e := range items {
+		g.Update(e)
+	}
+}
+
+// Estimate returns the (over-)estimate for e: 0 if untracked.
+func (g *SpaceSaving) Estimate(e uint64) int64 {
+	if i, ok := g.pos[e]; ok {
+		return g.h.entries[i].count
+	}
+	return 0
+}
+
+// GuaranteedCount returns the certified lower bound count - err.
+func (g *SpaceSaving) GuaranteedCount(e uint64) int64 {
+	if i, ok := g.pos[e]; ok {
+		return g.h.entries[i].count - g.h.entries[i].err
+	}
+	return 0
+}
+
+// StreamLen returns the number of items processed.
+func (g *SpaceSaving) StreamLen() int64 { return g.m }
+
+// Size returns the number of live counters.
+func (g *SpaceSaving) Size() int { return len(g.h.entries) }
+
+// HeavyHitters returns items whose estimate reaches phi*m.
+func (g *SpaceSaving) HeavyHitters(phi float64) []uint64 {
+	thr := phi * float64(g.m)
+	var out []uint64
+	for _, e := range g.h.entries {
+		if float64(e.count) >= thr {
+			out = append(out, e.item)
+		}
+	}
+	return out
+}
+
+// SpaceWords estimates the footprint in 64-bit words.
+func (g *SpaceSaving) SpaceWords() int { return 5*len(g.h.entries) + 3 }

@@ -1,0 +1,97 @@
+// Package bcount implements parallel sliding-window basic counting
+// (Theorem 4.1): an ε-relative-error estimate of the number of 1s in the
+// last n positions of a bit stream, in O(ε⁻¹ log n) space, with minibatch
+// ingestion costing O(S + µ) work and polylog depth.
+//
+// The structure is a geometric ladder of space-bounded block counters
+// Γ_0, ..., Γ_k with λ_i = εn/2^i and a common capacity σ = ⌈8/ε⌉
+// (a constant-factor-larger σ than the paper's 2/ε, which pays for the
+// integer rounding of γ = max(1, ⌊λ/2⌋) and for the window sliding
+// between a counter's truncation and the query; see internal/sbbc). A
+// query walks to the finest counter that has not overflowed: overflow of
+// the next-finer counter certifies m large enough that this counter's
+// additive error λ_i is at most εm; the finest counter (γ=1) is exact,
+// covering small m.
+package bcount
+
+import (
+	"repro/internal/css"
+	"repro/internal/parallel"
+	"repro/internal/sbbc"
+)
+
+// Counter estimates the number of 1s in a sliding window of a bit stream.
+type Counter struct {
+	n       int64
+	epsilon float64
+	ladder  []*sbbc.Counter // coarse (i=0) to fine (i=k)
+}
+
+// New creates a basic counter for window size n and relative error
+// epsilon in (0, 1].
+func New(n int64, epsilon float64) *Counter {
+	if n < 1 {
+		panic("bcount: window size must be >= 1")
+	}
+	if epsilon <= 0 || epsilon > 1 {
+		panic("bcount: epsilon must be in (0, 1]")
+	}
+	sigma := int64(8/epsilon) + 1
+	var ladder []*sbbc.Counter
+	for lambda := epsilon * float64(n); ; lambda /= 2 {
+		ladder = append(ladder, sbbc.NewFromLambda(n, sigma, lambda))
+		if lambda < 1 {
+			break
+		}
+	}
+	return &Counter{n: n, epsilon: epsilon, ladder: ladder}
+}
+
+// N returns the window size.
+func (c *Counter) N() int64 { return c.n }
+
+// Epsilon returns the configured relative error bound.
+func (c *Counter) Epsilon() float64 { return c.epsilon }
+
+// Levels returns the number of SBBCs in the ladder (k+1 = O(log n)).
+func (c *Counter) Levels() int { return len(c.ladder) }
+
+// Advance incorporates a minibatch given as a CSS into every ladder level
+// in parallel (Theorem 4.1's update): total work O(ε⁻¹ log n + µ),
+// polylog depth.
+func (c *Counter) Advance(seg css.Segment) {
+	parallel.ForGrain(len(c.ladder), 1, func(i int) {
+		c.ladder[i].Advance(seg)
+	})
+}
+
+// Estimate returns the current estimate of the number of 1s in the
+// window: m <= Estimate() <= (1+ε)·m.
+func (c *Counter) Estimate() int64 {
+	i := c.finestLive()
+	return c.ladder[i].Value()
+}
+
+// finestLive returns the index of the finest (largest-i) ladder level
+// that has not overflowed. Level 0 never overflows (its capacity exceeds
+// any possible window count).
+func (c *Counter) finestLive() int {
+	for i := len(c.ladder) - 1; i > 0; i-- {
+		if !c.ladder[i].Overflowed() {
+			return i
+		}
+	}
+	return 0
+}
+
+// FinestLive exposes the selected ladder level for tests and diagnostics.
+func (c *Counter) FinestLive() int { return c.finestLive() }
+
+// SpaceWords estimates the memory footprint in 64-bit words.
+func (c *Counter) SpaceWords() int {
+	s := 3
+	for _, l := range c.ladder {
+		s += l.SpaceWords()
+	}
+	return s
+}

@@ -1,0 +1,185 @@
+package bcount
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/css"
+)
+
+type ref struct{ bits []bool }
+
+func (r *ref) append(seg []bool) { r.bits = append(r.bits, seg...) }
+func (r *ref) onesInLast(n int64) int64 {
+	start := int64(len(r.bits)) - n
+	if start < 0 {
+		start = 0
+	}
+	var m int64
+	for _, b := range r.bits[start:] {
+		if b {
+			m++
+		}
+	}
+	return m
+}
+
+func randSeg(rng *rand.Rand, maxLen int, density float64) []bool {
+	n := rng.Intn(maxLen + 1)
+	seg := make([]bool, n)
+	for i := range seg {
+		seg[i] = rng.Float64() < density
+	}
+	return seg
+}
+
+// TestTheorem41RelativeError sweeps window sizes, epsilons, and densities
+// and asserts the two-sided guarantee m <= est <= (1+ε)m.
+func TestTheorem41RelativeError(t *testing.T) {
+	for _, n := range []int64{16, 100, 1000, 8192} {
+		for _, eps := range []float64{0.5, 0.1, 0.01} {
+			rng := rand.New(rand.NewSource(n*17 + int64(eps*1000)))
+			c := New(n, eps)
+			r := &ref{}
+			for step := 0; step < 80; step++ {
+				density := []float64{0.9, 0, 0.5, 0.02}[step%4]
+				seg := randSeg(rng, int(n)/2+1, density)
+				c.Advance(css.FromBools(seg))
+				r.append(seg)
+				m := r.onesInLast(n)
+				est := c.Estimate()
+				if est < m {
+					t.Fatalf("n=%d ε=%g step=%d: est %d < m %d", n, eps, step, est, m)
+				}
+				if float64(est) > (1+eps)*float64(m)+1e-9 {
+					t.Fatalf("n=%d ε=%g step=%d: est %d > (1+ε)m = %g (m=%d)",
+						n, eps, step, est, (1+eps)*float64(m), m)
+				}
+			}
+		}
+	}
+}
+
+func TestSmallCountsExact(t *testing.T) {
+	// With few 1s in the window, the finest (γ=1) level answers exactly.
+	c := New(1000, 0.1)
+	r := &ref{}
+	rng := rand.New(rand.NewSource(5))
+	for step := 0; step < 40; step++ {
+		seg := randSeg(rng, 100, 0.005)
+		c.Advance(css.FromBools(seg))
+		r.append(seg)
+		m := r.onesInLast(1000)
+		if est := c.Estimate(); est != m {
+			// The estimate may exceed m only when coarse levels answer —
+			// which requires m beyond the finest level's overflow bound.
+			if m < 16 {
+				t.Fatalf("step %d: sparse est %d != m %d", step, est, m)
+			}
+		}
+	}
+}
+
+func TestAllOnes(t *testing.T) {
+	n := int64(500)
+	c := New(n, 0.05)
+	ones := make([]bool, 2000)
+	for i := range ones {
+		ones[i] = true
+	}
+	c.Advance(css.FromBools(ones))
+	m := n // window saturated with 1s
+	est := c.Estimate()
+	if est < m || float64(est) > 1.05*float64(m) {
+		t.Fatalf("est %d outside [%d, %g]", est, m, 1.05*float64(m))
+	}
+}
+
+func TestAllZeros(t *testing.T) {
+	c := New(256, 0.1)
+	c.Advance(css.FromBools(make([]bool, 1000)))
+	if est := c.Estimate(); est != 0 {
+		t.Fatalf("all-zero stream: est = %d", est)
+	}
+}
+
+func TestManySmallBatches(t *testing.T) {
+	n := int64(200)
+	eps := 0.1
+	c := New(n, eps)
+	r := &ref{}
+	rng := rand.New(rand.NewSource(99))
+	for step := 0; step < 3000; step++ {
+		seg := randSeg(rng, 3, 0.5)
+		c.Advance(css.FromBools(seg))
+		r.append(seg)
+	}
+	m := r.onesInLast(n)
+	est := c.Estimate()
+	if est < m || float64(est) > (1+eps)*float64(m) {
+		t.Fatalf("est %d outside [%d, %g]", est, m, (1+eps)*float64(m))
+	}
+}
+
+func TestLevels(t *testing.T) {
+	c := New(1<<20, 0.01)
+	// k = min{i : εn/2^i < 1}: εn = 2^20/100 ~ 10486, so ~15 levels.
+	if c.Levels() < 10 || c.Levels() > 20 {
+		t.Fatalf("Levels = %d, want ~15", c.Levels())
+	}
+	if c.N() != 1<<20 || c.Epsilon() != 0.01 {
+		t.Fatalf("accessors wrong")
+	}
+}
+
+// TestSpaceBound verifies the O(ε⁻¹ log n) space bound with an explicit
+// constant: total words <= C * (1/ε) * levels for C covering σ=8/ε+1 and
+// per-counter overhead, even after a dense stream.
+func TestSpaceBound(t *testing.T) {
+	n := int64(1 << 16)
+	eps := 0.05
+	c := New(n, eps)
+	rng := rand.New(rand.NewSource(1))
+	for step := 0; step < 30; step++ {
+		c.Advance(css.FromBools(randSeg(rng, 1<<12, 0.9)))
+	}
+	perLevel := int(2*(8/eps+1)) + 16 // 2σ sampled entries + overhead
+	budget := c.Levels()*perLevel + 8
+	if got := c.SpaceWords(); got > budget {
+		t.Fatalf("SpaceWords = %d exceeds budget %d", got, budget)
+	}
+}
+
+func TestPanics(t *testing.T) {
+	for _, f := range []func(){
+		func() { New(0, 0.1) },
+		func() { New(10, 0) },
+		func() { New(10, 1.5) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestEpsilonOne(t *testing.T) {
+	// ε=1 is the loosest valid setting: est <= 2m must still hold.
+	c := New(100, 1)
+	r := &ref{}
+	rng := rand.New(rand.NewSource(4))
+	for step := 0; step < 50; step++ {
+		seg := randSeg(rng, 50, 0.7)
+		c.Advance(css.FromBools(seg))
+		r.append(seg)
+		m := r.onesInLast(100)
+		est := c.Estimate()
+		if est < m || est > 2*m {
+			t.Fatalf("step %d: est %d outside [%d, %d]", step, est, m, 2*m)
+		}
+	}
+}

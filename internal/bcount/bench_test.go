@@ -1,0 +1,46 @@
+package bcount
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/css"
+)
+
+func BenchmarkAdvance(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	bits := make([]bool, 1<<14)
+	for i := range bits {
+		bits[i] = rng.Intn(3) == 0
+	}
+	seg := css.FromBools(bits)
+	for _, n := range []int64{1 << 16, 1 << 22} {
+		for _, eps := range []float64{0.1, 0.001} {
+			b.Run(fmt.Sprintf("n%d-eps%g", n, eps), func(b *testing.B) {
+				c := New(n, eps)
+				b.SetBytes(1 << 14)
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					c.Advance(seg)
+				}
+			})
+		}
+	}
+}
+
+func BenchmarkEstimate(b *testing.B) {
+	c := New(1<<20, 0.01)
+	rng := rand.New(rand.NewSource(2))
+	for k := 0; k < 32; k++ {
+		bits := make([]bool, 1<<14)
+		for i := range bits {
+			bits[i] = rng.Intn(2) == 0
+		}
+		c.Advance(css.FromBools(bits))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = c.Estimate()
+	}
+}

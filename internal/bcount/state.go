@@ -1,0 +1,42 @@
+package bcount
+
+import (
+	"fmt"
+
+	"repro/internal/sbbc"
+)
+
+// State is the serializable form of a Counter.
+type State struct {
+	N       int64
+	Epsilon float64
+	Ladder  []sbbc.State
+}
+
+// State captures the counter for serialization.
+func (c *Counter) State() State {
+	st := State{N: c.n, Epsilon: c.epsilon}
+	for _, l := range c.ladder {
+		st.Ladder = append(st.Ladder, l.State())
+	}
+	return st
+}
+
+// FromState reconstructs a counter, validating invariants.
+func FromState(st State) (*Counter, error) {
+	if st.N < 1 || st.Epsilon <= 0 || st.Epsilon > 1 {
+		return nil, fmt.Errorf("bcount: bad state params n=%d eps=%v", st.N, st.Epsilon)
+	}
+	if len(st.Ladder) == 0 {
+		return nil, fmt.Errorf("bcount: state has empty ladder")
+	}
+	c := &Counter{n: st.N, epsilon: st.Epsilon}
+	for _, ls := range st.Ladder {
+		l, err := sbbc.FromState(ls)
+		if err != nil {
+			return nil, err
+		}
+		c.ladder = append(c.ladder, l)
+	}
+	return c, nil
+}

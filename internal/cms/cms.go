@@ -1,0 +1,185 @@
+// Package cms implements the count-min sketch [CM05] with the paper's
+// parallel minibatch ingestion (Section 6, Theorem 6.1). The sketch is a
+// d×w counter array (d = ⌈ln(1/δ)⌉ rows, w = ⌈e/ε⌉ columns) with one
+// pairwise-independent hash per row. A point query returns the minimum of
+// the item's d cells and satisfies f_e <= Query(e) <= f_e + εm with
+// probability at least 1-δ.
+//
+// Minibatch ingestion first builds a histogram (Theorem 2.3), then — per
+// row, in parallel — groups the (column, freq) pairs by column with the
+// parallel integer sort so every cell is written by exactly one summed
+// update: the CRCW-combining simulation the paper describes. Cost:
+// O(d·max(µ, w)) work and polylog depth.
+package cms
+
+import (
+	"math"
+
+	"repro/internal/hashfn"
+	"repro/internal/hist"
+	"repro/internal/parallel"
+)
+
+// Sketch is a count-min sketch.
+type Sketch struct {
+	d, w     int
+	rows     [][]int64
+	hashes   []hashfn.Pairwise
+	m        int64
+	hashSeed int64 // constructor seed: determines the hash functions
+	seed     int64 // rolling seed for per-batch histogram hashing
+}
+
+// New creates a sketch with error εm (ε in (0,1]) at failure probability
+// δ (in (0,1)): w = ⌈e/ε⌉ columns, d = ⌈ln(1/δ)⌉ rows.
+func New(epsilon, delta float64, seed int64) *Sketch {
+	if epsilon <= 0 || epsilon > 1 {
+		panic("cms: epsilon must be in (0, 1]")
+	}
+	if delta <= 0 || delta >= 1 {
+		panic("cms: delta must be in (0, 1)")
+	}
+	w := int(math.Ceil(math.E / epsilon))
+	d := int(math.Ceil(math.Log(1 / delta)))
+	if d < 1 {
+		d = 1
+	}
+	return NewWithDims(d, w, seed)
+}
+
+// NewWithDims creates a d×w sketch directly.
+func NewWithDims(d, w int, seed int64) *Sketch {
+	if d < 1 || w < 1 {
+		panic("cms: dimensions must be >= 1")
+	}
+	s := &Sketch{d: d, w: w, hashSeed: seed, seed: seed}
+	s.rows = make([][]int64, d)
+	s.hashes = make([]hashfn.Pairwise, d)
+	flat := make([]int64, d*w)
+	for i := 0; i < d; i++ {
+		s.rows[i] = flat[i*w : (i+1)*w]
+		s.hashes[i] = hashfn.NewPairwise(uint64(w), seed+int64(i)*0x9e37+1)
+	}
+	return s
+}
+
+// Depth returns d, the number of rows.
+func (s *Sketch) Depth() int { return s.d }
+
+// Width returns w, the number of columns.
+func (s *Sketch) Width() int { return s.w }
+
+// TotalCount returns m, the total weight ingested.
+func (s *Sketch) TotalCount() int64 { return s.m }
+
+// Update adds count occurrences of item (the sequential reference path).
+func (s *Sketch) Update(item uint64, count int64) {
+	for i := 0; i < s.d; i++ {
+		s.rows[i][s.hashes[i].Hash(item)] += count
+	}
+	s.m += count
+}
+
+// ProcessBatch ingests a minibatch of items with the parallel algorithm
+// of Theorem 6.1.
+func (s *Sketch) ProcessBatch(items []uint64) {
+	if len(items) == 0 {
+		return
+	}
+	s.seed++
+	h := hist.Build(items, s.seed^0x636d73)
+	s.AddHistogram(h)
+}
+
+// AddHistogram folds a precomputed histogram into the sketch: per row, in
+// parallel, (column, freq) pairs are grouped by column via the stable
+// integer sort and each column's total is added by a single writer.
+func (s *Sketch) AddHistogram(h []hist.Entry) {
+	p := len(h)
+	if p == 0 {
+		return
+	}
+	parallel.ForGrain(s.d, 1, func(i int) {
+		row := s.rows[i]
+		hash := s.hashes[i]
+		if p < 2048 {
+			// Small batches: one writer per row already owns all cells.
+			for _, en := range h {
+				row[hash.Hash(en.Item)] += en.Freq
+			}
+			return
+		}
+		cols := make([]uint32, p)
+		idx := make([]int32, p)
+		parallel.ForGrain(p, parallel.DefaultGrain, func(j int) {
+			cols[j] = uint32(hash.Hash(h[j].Item))
+			idx[j] = int32(j)
+		})
+		parallel.RadixSortPairs(cols, idx, uint32(s.w))
+		starts := parallel.PackIndices(p, func(j int) bool {
+			return j == 0 || cols[j] != cols[j-1]
+		})
+		parallel.ForGrain(len(starts), 8, func(b int) {
+			lo := starts[b]
+			hi := p
+			if b+1 < len(starts) {
+				hi = starts[b+1]
+			}
+			var total int64
+			for j := lo; j < hi; j++ {
+				total += h[idx[j]].Freq
+			}
+			row[cols[lo]] += total
+		})
+	})
+	var add int64
+	for _, en := range h {
+		add += en.Freq
+	}
+	s.m += add
+}
+
+// Query returns the point estimate for item: the minimum of its d cells,
+// computed with a parallel reduce (the paper's O(log log(1/δ))-depth
+// min).
+func (s *Sketch) Query(item uint64) int64 {
+	return parallel.Reduce(s.d, 8, int64(1)<<62,
+		func(a, b int64) int64 {
+			if a < b {
+				return a
+			}
+			return b
+		},
+		func(lo, hi int) int64 {
+			best := int64(1) << 62
+			for i := lo; i < hi; i++ {
+				if v := s.rows[i][s.hashes[i].Hash(item)]; v < best {
+					best = v
+				}
+			}
+			return best
+		})
+}
+
+// InnerProduct estimates the inner product of the frequency vectors
+// summarized by s and o, which must have identical dimensions and seeds
+// (a standard CM-sketch application).
+func (s *Sketch) InnerProduct(o *Sketch) int64 {
+	if s.d != o.d || s.w != o.w {
+		panic("cms: InnerProduct dimension mismatch")
+	}
+	best := int64(1) << 62
+	for i := 0; i < s.d; i++ {
+		var dot int64
+		for j := 0; j < s.w; j++ {
+			dot += s.rows[i][j] * o.rows[i][j]
+		}
+		if dot < best {
+			best = dot
+		}
+	}
+	return best
+}
+
+// SpaceWords estimates the memory footprint in 64-bit words.
+func (s *Sketch) SpaceWords() int { return s.d*s.w + 3*s.d + 4 }

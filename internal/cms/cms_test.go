@@ -1,0 +1,183 @@
+package cms
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func exactFreqs(items []uint64) map[uint64]int64 {
+	f := make(map[uint64]int64)
+	for _, it := range items {
+		f[it]++
+	}
+	return f
+}
+
+func TestDims(t *testing.T) {
+	s := New(0.01, 0.01, 1)
+	if s.Width() < 271 || s.Width() > 273 {
+		t.Fatalf("Width = %d want ~272", s.Width())
+	}
+	if s.Depth() != 5 { // ceil(ln 100) = 5
+		t.Fatalf("Depth = %d want 5", s.Depth())
+	}
+}
+
+func TestNeverUndercounts(t *testing.T) {
+	s := New(0.05, 0.01, 7)
+	rng := rand.New(rand.NewSource(1))
+	items := make([]uint64, 20000)
+	for i := range items {
+		items[i] = uint64(rng.Intn(1000))
+	}
+	s.ProcessBatch(items)
+	f := exactFreqs(items)
+	for it, fe := range f {
+		if got := s.Query(it); got < fe {
+			t.Fatalf("item %d: query %d < true %d", it, got, fe)
+		}
+	}
+}
+
+func TestErrorBound(t *testing.T) {
+	eps := 0.01
+	s := New(eps, 0.001, 3)
+	rng := rand.New(rand.NewSource(2))
+	zipf := rand.NewZipf(rng, 1.1, 1, 1<<16)
+	var items []uint64
+	for i := 0; i < 100000; i++ {
+		items = append(items, zipf.Uint64())
+	}
+	s.ProcessBatch(items)
+	f := exactFreqs(items)
+	m := float64(s.TotalCount())
+	violations := 0
+	for it, fe := range f {
+		if float64(s.Query(it)-fe) > eps*m {
+			violations++
+		}
+	}
+	// Each query violates with probability <= δ=0.001; allow generous
+	// slack over the expectation.
+	if violations > len(f)/100+2 {
+		t.Fatalf("%d/%d queries exceeded εm", violations, len(f))
+	}
+}
+
+func TestBatchMatchesSequential(t *testing.T) {
+	// The parallel minibatch path must produce the exact same sketch state
+	// as sequential updates (same hash functions, same additions).
+	rng := rand.New(rand.NewSource(5))
+	items := make([]uint64, 30000)
+	for i := range items {
+		items[i] = uint64(rng.Intn(300))
+	}
+	a := NewWithDims(4, 100, 11)
+	b := NewWithDims(4, 100, 11)
+	a.ProcessBatch(items)
+	for _, it := range items {
+		b.Update(it, 1)
+	}
+	if a.TotalCount() != b.TotalCount() {
+		t.Fatalf("TotalCount %d != %d", a.TotalCount(), b.TotalCount())
+	}
+	for i := 0; i < a.d; i++ {
+		for j := 0; j < a.w; j++ {
+			if a.rows[i][j] != b.rows[i][j] {
+				t.Fatalf("cell [%d][%d]: %d != %d", i, j, a.rows[i][j], b.rows[i][j])
+			}
+		}
+	}
+}
+
+func TestSmallBatchFastPath(t *testing.T) {
+	a := NewWithDims(3, 50, 9)
+	b := NewWithDims(3, 50, 9)
+	items := []uint64{1, 2, 3, 1, 1, 2}
+	a.ProcessBatch(items)
+	for _, it := range items {
+		b.Update(it, 1)
+	}
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 50; j++ {
+			if a.rows[i][j] != b.rows[i][j] {
+				t.Fatalf("cell [%d][%d] mismatch", i, j)
+			}
+		}
+	}
+}
+
+func TestEmptyBatch(t *testing.T) {
+	s := New(0.1, 0.1, 1)
+	s.ProcessBatch(nil)
+	if s.TotalCount() != 0 {
+		t.Fatal("empty batch changed total")
+	}
+	if q := s.Query(42); q != 0 {
+		t.Fatalf("empty sketch Query = %d", q)
+	}
+}
+
+func TestWeightedUpdate(t *testing.T) {
+	s := NewWithDims(3, 64, 2)
+	s.Update(7, 100)
+	s.Update(8, 5)
+	if q := s.Query(7); q < 100 {
+		t.Fatalf("Query(7) = %d want >= 100", q)
+	}
+	if s.TotalCount() != 105 {
+		t.Fatalf("TotalCount = %d", s.TotalCount())
+	}
+}
+
+func TestInnerProduct(t *testing.T) {
+	a := NewWithDims(4, 256, 21)
+	b := NewWithDims(4, 256, 21)
+	// a: 10 of item 1; b: 20 of item 1 and 5 of item 2.
+	a.Update(1, 10)
+	b.Update(1, 20)
+	b.Update(2, 5)
+	// True inner product = 10*20 = 200; CM overestimates.
+	got := a.InnerProduct(b)
+	if got < 200 {
+		t.Fatalf("InnerProduct = %d want >= 200", got)
+	}
+	if got > 200+int64(a.TotalCount()*b.TotalCount())/256+50 {
+		t.Fatalf("InnerProduct = %d implausibly large", got)
+	}
+}
+
+func TestInnerProductDimMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewWithDims(2, 10, 1).InnerProduct(NewWithDims(3, 10, 1))
+}
+
+func TestParamPanics(t *testing.T) {
+	for _, f := range []func(){
+		func() { New(0, 0.1, 1) },
+		func() { New(0.1, 0, 1) },
+		func() { New(0.1, 1, 1) },
+		func() { NewWithDims(0, 5, 1) },
+		func() { NewWithDims(5, 0, 1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestSpaceWords(t *testing.T) {
+	s := NewWithDims(4, 100, 1)
+	if sw := s.SpaceWords(); sw < 400 || sw > 450 {
+		t.Fatalf("SpaceWords = %d want ~416", sw)
+	}
+}

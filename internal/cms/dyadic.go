@@ -1,0 +1,129 @@
+package cms
+
+// Dyadic range structure: one sketch per dyadic level, supporting range
+// counts and approximate quantiles — the standard CM-sketch applications
+// the paper cites (point and range queries, quantiles). Level l sketches
+// the stream with items truncated to their high bits (item >> l), so any
+// interval [lo, hi] decomposes into O(log U) dyadic nodes, one or two per
+// level.
+
+// RangeSketch answers approximate range-count and quantile queries over a
+// universe of size 2^bits.
+type RangeSketch struct {
+	bits   int
+	levels []*Sketch
+}
+
+// NewRange creates a dyadic range sketch over the universe [0, 2^bits)
+// with per-level error εm and failure probability δ.
+func NewRange(bits int, epsilon, delta float64, seed int64) *RangeSketch {
+	if bits < 1 || bits > 63 {
+		panic("cms: bits must be in [1, 63]")
+	}
+	r := &RangeSketch{bits: bits}
+	r.levels = make([]*Sketch, bits+1)
+	for l := range r.levels {
+		r.levels[l] = New(epsilon, delta, seed+int64(l)*977)
+	}
+	return r
+}
+
+// Bits returns the universe size exponent.
+func (r *RangeSketch) Bits() int { return r.bits }
+
+// TotalCount returns m, the total weight ingested.
+func (r *RangeSketch) TotalCount() int64 { return r.levels[0].TotalCount() }
+
+// Update adds count occurrences of item to every level.
+func (r *RangeSketch) Update(item uint64, count int64) {
+	for l, s := range r.levels {
+		s.Update(item>>uint(l), count)
+	}
+}
+
+// ProcessBatch ingests a minibatch into every level in parallel. Each
+// level uses the parallel histogram-based ingestion.
+func (r *RangeSketch) ProcessBatch(items []uint64) {
+	if len(items) == 0 {
+		return
+	}
+	for l, s := range r.levels {
+		if l == 0 {
+			s.ProcessBatch(items)
+			continue
+		}
+		shifted := make([]uint64, len(items))
+		for i, it := range items {
+			shifted[i] = it >> uint(l)
+		}
+		s.ProcessBatch(shifted)
+	}
+}
+
+// RangeCount estimates the number of stream items in [lo, hi]
+// (inclusive). The estimate never undercounts; it overcounts by at most
+// O(εm log U) with high probability.
+func (r *RangeSketch) RangeCount(lo, hi uint64) int64 {
+	if lo > hi {
+		return 0
+	}
+	// Walk levels bottom-up, peeling unaligned endpoints: at level l the
+	// node v covers universe values [v·2^l, (v+1)·2^l). An odd lo or even
+	// hi node has a parent that would overcount, so it is counted at this
+	// level; the rest is covered by parents.
+	var total int64
+	l := 0
+	for lo <= hi {
+		if lo == hi {
+			total += r.levels[l].Query(lo)
+			break
+		}
+		if lo&1 == 1 {
+			total += r.levels[l].Query(lo)
+			lo++
+		}
+		if hi&1 == 0 {
+			total += r.levels[l].Query(hi)
+			hi-- // hi > lo >= 0 here, so no underflow
+		}
+		if lo > hi {
+			break
+		}
+		lo >>= 1
+		hi >>= 1
+		l++
+	}
+	return total
+}
+
+// Quantile returns an approximate q-quantile (q in [0, 1]): a universe
+// value v such that the prefix count of [0, v] is approximately q·m.
+// Binary search over prefix range counts.
+func (r *RangeSketch) Quantile(q float64) uint64 {
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	target := int64(q * float64(r.TotalCount()))
+	lo, hi := uint64(0), uint64(1)<<uint(r.bits)-1
+	for lo < hi {
+		mid := lo + (hi-lo)/2
+		if r.RangeCount(0, mid) < target {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// SpaceWords estimates the memory footprint in 64-bit words.
+func (r *RangeSketch) SpaceWords() int {
+	total := 2
+	for _, s := range r.levels {
+		total += s.SpaceWords()
+	}
+	return total
+}

@@ -1,0 +1,73 @@
+package cms
+
+import "fmt"
+
+// State is the serializable form of a Sketch. The hash functions are not
+// serialized; they are redrawn deterministically from HashSeed.
+type State struct {
+	D, W     int
+	M        int64
+	HashSeed int64
+	Seed     int64
+	Cells    []int64 // row-major d×w
+}
+
+// State captures the sketch for serialization.
+func (s *Sketch) State() State {
+	cells := make([]int64, 0, s.d*s.w)
+	for _, row := range s.rows {
+		cells = append(cells, row...)
+	}
+	return State{D: s.d, W: s.w, M: s.m, HashSeed: s.hashSeed, Seed: s.seed, Cells: cells}
+}
+
+// FromState reconstructs a sketch, validating invariants.
+func FromState(st State) (*Sketch, error) {
+	if st.D < 1 || st.W < 1 {
+		return nil, fmt.Errorf("cms: bad state dims %dx%d", st.D, st.W)
+	}
+	if len(st.Cells) != st.D*st.W {
+		return nil, fmt.Errorf("cms: state has %d cells, want %d", len(st.Cells), st.D*st.W)
+	}
+	s := NewWithDims(st.D, st.W, st.HashSeed)
+	s.m = st.M
+	s.seed = st.Seed
+	for i := 0; i < st.D; i++ {
+		copy(s.rows[i], st.Cells[i*st.W:(i+1)*st.W])
+	}
+	return s, nil
+}
+
+// RangeState is the serializable form of a RangeSketch.
+type RangeState struct {
+	Bits   int
+	Levels []State
+}
+
+// State captures the range sketch for serialization.
+func (r *RangeSketch) State() RangeState {
+	st := RangeState{Bits: r.bits}
+	for _, s := range r.levels {
+		st.Levels = append(st.Levels, s.State())
+	}
+	return st
+}
+
+// RangeFromState reconstructs a range sketch, validating invariants.
+func RangeFromState(st RangeState) (*RangeSketch, error) {
+	if st.Bits < 1 || st.Bits > 63 {
+		return nil, fmt.Errorf("cms: bad state bits %d", st.Bits)
+	}
+	if len(st.Levels) != st.Bits+1 {
+		return nil, fmt.Errorf("cms: state has %d levels, want %d", len(st.Levels), st.Bits+1)
+	}
+	r := &RangeSketch{bits: st.Bits}
+	for _, ls := range st.Levels {
+		s, err := FromState(ls)
+		if err != nil {
+			return nil, err
+		}
+		r.levels = append(r.levels, s)
+	}
+	return r, nil
+}

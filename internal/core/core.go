@@ -1,0 +1,59 @@
+// Package core assembles the paper's contributions behind one umbrella:
+// constructors for every engine the paper defines, typed so the
+// experiment harness (cmd/aggbench) and the integration tests can sweep
+// across them uniformly. The algorithmic substance lives in the sibling
+// packages: snapshot and sbbc (Section 3), bcount and wsum (Section 4),
+// hist and mg (Sections 2, 5.1-5.2), swfreq (Section 5.3), cms
+// (Section 6); this package provides the cross-module composition and is
+// where whole-pipeline integration tests reside.
+package core
+
+import (
+	"repro/internal/bcount"
+	"repro/internal/cms"
+	"repro/internal/mg"
+	"repro/internal/swfreq"
+	"repro/internal/wsum"
+)
+
+// FrequencyEngine abstracts everything that estimates item frequencies
+// from minibatches (infinite-window MG, the sliding-window variants, and
+// the count-min sketch behave uniformly for the accuracy experiments).
+type FrequencyEngine interface {
+	ProcessBatch(items []uint64)
+	Estimate(item uint64) int64
+	SpaceWords() int
+}
+
+// cmsAdapter lets the count-min sketch satisfy FrequencyEngine (Query is
+// its estimate).
+type cmsAdapter struct{ *cms.Sketch }
+
+func (a cmsAdapter) Estimate(item uint64) int64 { return a.Query(item) }
+
+// NewInfiniteMG returns the paper's infinite-window engine (Theorem 5.2).
+func NewInfiniteMG(epsilon float64) FrequencyEngine { return mgAdapter{mg.New(epsilon)} }
+
+// mgAdapter adapts *mg.Summary (method set already matches).
+type mgAdapter struct{ *mg.Summary }
+
+// NewSliding returns a sliding-window engine of the given variant.
+func NewSliding(n int64, epsilon float64, v swfreq.Variant) FrequencyEngine {
+	return swfreq.New(n, epsilon, v)
+}
+
+// NewCountMin returns a count-min engine (Theorem 6.1).
+func NewCountMin(epsilon, delta float64, seed int64) FrequencyEngine {
+	return cmsAdapter{cms.New(epsilon, delta, seed)}
+}
+
+// NewBasicCounter returns the sliding-window basic counter
+// (Theorem 4.1).
+func NewBasicCounter(n int64, epsilon float64) *bcount.Counter {
+	return bcount.New(n, epsilon)
+}
+
+// NewWindowSum returns the sliding-window summer (Theorem 4.2).
+func NewWindowSum(n int64, r uint64, epsilon float64) *wsum.Summer {
+	return wsum.New(n, r, epsilon)
+}

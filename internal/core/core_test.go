@@ -1,0 +1,155 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/css"
+	"repro/internal/minibatch"
+	"repro/internal/swfreq"
+	"repro/internal/workload"
+)
+
+// TestAllEnginesOnOneStream drives the same Zipf stream through every
+// frequency engine and validates each one's guarantee on the same ground
+// truth — the cross-module integration check.
+func TestAllEnginesOnOneStream(t *testing.T) {
+	const (
+		streamLen = 100000
+		batchSize = 4096
+		eps       = 0.01
+		window    = int64(16384)
+	)
+	stream := workload.Zipf(42, streamLen, 1.2, 1<<16)
+
+	engines := map[string]FrequencyEngine{
+		"mg-infinite": NewInfiniteMG(eps),
+		"sw-basic":    NewSliding(window, eps, swfreq.Basic),
+		"sw-space":    NewSliding(window, eps, swfreq.SpaceEfficient),
+		"sw-work":     NewSliding(window, eps, swfreq.WorkEfficient),
+		"countmin":    NewCountMin(eps, 0.001, 99),
+	}
+	for _, batch := range workload.Batches(stream, batchSize) {
+		for _, e := range engines {
+			e.ProcessBatch(batch)
+		}
+	}
+
+	// Ground truths.
+	total := map[uint64]int64{}
+	for _, it := range stream {
+		total[it]++
+	}
+	inWindow := map[uint64]int64{}
+	for _, it := range stream[streamLen-int(window):] {
+		inWindow[it]++
+	}
+
+	m := float64(streamLen)
+	for it, fe := range total {
+		if est := engines["mg-infinite"].Estimate(it); est > fe || float64(fe-est) > eps*m {
+			t.Fatalf("mg-infinite item %d: est %d true %d", it, est, fe)
+		}
+	}
+	cmBad := 0
+	for it, fe := range total {
+		q := engines["countmin"].Estimate(it)
+		if q < fe {
+			t.Fatalf("countmin undercounts item %d", it)
+		}
+		if float64(q-fe) > eps*m {
+			cmBad++
+		}
+	}
+	if cmBad > len(total)/50 {
+		t.Fatalf("countmin: %d/%d beyond bound", cmBad, len(total))
+	}
+	for _, name := range []string{"sw-basic", "sw-space", "sw-work"} {
+		for it, fe := range inWindow {
+			est := engines[name].Estimate(it)
+			if est > fe || float64(fe-est) > eps*float64(window)+1e-9 {
+				t.Fatalf("%s item %d: est %d true %d", name, it, est, fe)
+			}
+		}
+	}
+	// Space ordering: the pruned sliding variants must not exceed the
+	// basic variant's footprint on a skewed stream with many distinct
+	// items; countmin and mg are O(1/ε · polylog) regardless.
+	if engines["sw-space"].SpaceWords() > engines["sw-basic"].SpaceWords()*2 {
+		t.Fatalf("space-efficient (%d words) larger than basic (%d words)",
+			engines["sw-space"].SpaceWords(), engines["sw-basic"].SpaceWords())
+	}
+}
+
+// TestBasicCounterAgainstSumConsistency: a 0/1 value stream must make
+// WindowSum and BasicCounter agree (both estimate the same quantity).
+func TestBasicCounterAgainstSumConsistency(t *testing.T) {
+	n := int64(2048)
+	eps := 0.05
+	bc := NewBasicCounter(n, eps)
+	ws := NewWindowSum(n, 1, eps)
+	bits := workload.Bits(7, 1<<15, 0.3)
+	var truth []bool
+	for _, batch := range workload.BitBatches(bits, 1024) {
+		bc.Advance(css.FromBools(batch))
+		vals := make([]uint64, len(batch))
+		for i, b := range batch {
+			if b {
+				vals[i] = 1
+			}
+		}
+		ws.Advance(vals)
+		truth = append(truth, batch...)
+	}
+	var m int64
+	start := len(truth) - int(n)
+	for _, b := range truth[start:] {
+		if b {
+			m++
+		}
+	}
+	for name, est := range map[string]int64{"basic": bc.Estimate(), "sum": ws.Estimate()} {
+		if est < m || float64(est) > (1+eps)*float64(m) {
+			t.Fatalf("%s: est %d outside [%d, %g]", name, est, m, (1+eps)*float64(m))
+		}
+	}
+}
+
+// TestMinibatchDriverIntegration runs an engine through the driver and
+// checks the stats plumbing.
+func TestMinibatchDriverIntegration(t *testing.T) {
+	e := NewSliding(4096, 0.05, swfreq.WorkEfficient)
+	stream := workload.Zipf(3, 50000, 1.1, 1<<12)
+	st := minibatch.Drive(minibatch.Func(e.ProcessBatch), stream, 2000)
+	if st.Items != 50000 || st.Batches != 25 {
+		t.Fatalf("driver stats: %+v", st)
+	}
+	if st.NsPerItem() <= 0 {
+		t.Fatal("no time recorded")
+	}
+}
+
+// TestQueriesBetweenEveryBatch interleaves queries with ingestion across
+// all engines (the paper's interleaved update/query model).
+func TestQueriesBetweenEveryBatch(t *testing.T) {
+	window := int64(2000)
+	eps := 0.05
+	engines := []FrequencyEngine{
+		NewInfiniteMG(eps),
+		NewSliding(window, eps, swfreq.WorkEfficient),
+		NewCountMin(eps, 0.01, 5),
+	}
+	stream := workload.HeavyMix(9, 30000, []uint64{1, 2, 3}, []float64{0.3, 0.15, 0.07}, 1<<20)
+	for _, batch := range workload.Batches(stream, 500) {
+		for _, e := range engines {
+			e.ProcessBatch(batch)
+			_ = e.Estimate(1)
+			_ = e.Estimate(1 << 50) // never-seen item
+		}
+	}
+	for i, e := range engines {
+		if e.Estimate(1) <= e.Estimate(3) {
+			t.Fatalf("engine %d: heavy item 1 not dominant (%d vs %d)",
+				i, e.Estimate(1), e.Estimate(3))
+		}
+	}
+}

@@ -1,0 +1,40 @@
+package countsketch
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func benchBatches(nBatches, batchSize int) [][]uint64 {
+	rng := rand.New(rand.NewSource(13))
+	zipf := rand.NewZipf(rng, 1.2, 1, 1<<18)
+	out := make([][]uint64, nBatches)
+	for b := range out {
+		out[b] = make([]uint64, batchSize)
+		for i := range out[b] {
+			out[b][i] = zipf.Uint64()
+		}
+	}
+	return out
+}
+
+func BenchmarkProcessBatch(b *testing.B) {
+	bs := benchBatches(32, 1<<14)
+	s := New(0.01, 1e-3, 3)
+	b.SetBytes(1 << 14 * 8)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.ProcessBatch(bs[i%len(bs)])
+	}
+}
+
+func BenchmarkQuery(b *testing.B) {
+	s := New(0.01, 1e-3, 3)
+	for _, batch := range benchBatches(8, 1<<14) {
+		s.ProcessBatch(batch)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = s.Query(uint64(i % 4096))
+	}
+}

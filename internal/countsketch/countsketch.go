@@ -1,0 +1,151 @@
+// Package countsketch implements the Count-Sketch of Charikar, Chen and
+// Farach-Colton [CCFC02] (cited in the paper's related work) with the
+// same parallel minibatch ingestion style as the count-min sketch
+// (Section 6): histogram the batch, then per row group updates by column
+// so every cell has a single writer.
+//
+// Unlike count-min, count-sketch is unbiased: each row adds s_i(e)·count
+// to cell h_i(e) for a ±1 sign hash s_i, and a point query returns the
+// median over rows of s_i(e)·cell. Error is ±ε·‖f‖₂ with probability
+// 1−δ, which beats count-min's εm on heavy-tailed streams.
+package countsketch
+
+import (
+	"math"
+	"sort"
+
+	"repro/internal/hashfn"
+	"repro/internal/hist"
+	"repro/internal/parallel"
+)
+
+// Sketch is a count-sketch.
+type Sketch struct {
+	d, w     int
+	rows     [][]int64
+	cols     []hashfn.Pairwise
+	signs    []hashfn.Pairwise
+	m        int64
+	hashSeed int64 // constructor seed: determines the hash functions
+	seed     int64 // rolling seed for per-batch histogram hashing
+}
+
+// New creates a sketch with w = ⌈3/ε²⌉ columns and d = ⌈ln(1/δ)⌉ rows
+// (point error ±ε‖f‖₂ with probability 1−δ).
+func New(epsilon, delta float64, seed int64) *Sketch {
+	if epsilon <= 0 || epsilon > 1 {
+		panic("countsketch: epsilon must be in (0, 1]")
+	}
+	if delta <= 0 || delta >= 1 {
+		panic("countsketch: delta must be in (0, 1)")
+	}
+	w := int(math.Ceil(3 / (epsilon * epsilon)))
+	d := int(math.Ceil(math.Log(1 / delta)))
+	if d < 1 {
+		d = 1
+	}
+	return NewWithDims(d, w, seed)
+}
+
+// NewWithDims creates a d×w sketch directly.
+func NewWithDims(d, w int, seed int64) *Sketch {
+	if d < 1 || w < 1 {
+		panic("countsketch: dimensions must be >= 1")
+	}
+	s := &Sketch{d: d, w: w, hashSeed: seed, seed: seed}
+	s.rows = make([][]int64, d)
+	flat := make([]int64, d*w)
+	s.cols = make([]hashfn.Pairwise, d)
+	s.signs = make([]hashfn.Pairwise, d)
+	for i := 0; i < d; i++ {
+		s.rows[i] = flat[i*w : (i+1)*w]
+		s.cols[i] = hashfn.NewPairwise(uint64(w), seed+int64(i)*31+5)
+		s.signs[i] = hashfn.NewPairwise(2, seed+int64(i)*57+11)
+	}
+	return s
+}
+
+// Depth returns d.
+func (s *Sketch) Depth() int { return s.d }
+
+// Width returns w.
+func (s *Sketch) Width() int { return s.w }
+
+// TotalCount returns the total ingested weight.
+func (s *Sketch) TotalCount() int64 { return s.m }
+
+func (s *Sketch) sign(i int, item uint64) int64 {
+	return 2*int64(s.signs[i].Hash(item)) - 1
+}
+
+// Update adds count occurrences of item (sequential path).
+func (s *Sketch) Update(item uint64, count int64) {
+	for i := 0; i < s.d; i++ {
+		s.rows[i][s.cols[i].Hash(item)] += s.sign(i, item) * count
+	}
+	s.m += count
+}
+
+// ProcessBatch ingests a minibatch in parallel: histogram + per-row
+// column grouping, mirroring the paper's count-min scheme.
+func (s *Sketch) ProcessBatch(items []uint64) {
+	if len(items) == 0 {
+		return
+	}
+	s.seed++
+	h := hist.Build(items, s.seed^0x6373)
+	p := len(h)
+	parallel.ForGrain(s.d, 1, func(i int) {
+		row := s.rows[i]
+		if p < 2048 {
+			for _, en := range h {
+				row[s.cols[i].Hash(en.Item)] += s.sign(i, en.Item) * en.Freq
+			}
+			return
+		}
+		colKeys := make([]uint32, p)
+		idx := make([]int32, p)
+		parallel.ForGrain(p, parallel.DefaultGrain, func(j int) {
+			colKeys[j] = uint32(s.cols[i].Hash(h[j].Item))
+			idx[j] = int32(j)
+		})
+		parallel.RadixSortPairs(colKeys, idx, uint32(s.w))
+		starts := parallel.PackIndices(p, func(j int) bool {
+			return j == 0 || colKeys[j] != colKeys[j-1]
+		})
+		parallel.ForGrain(len(starts), 8, func(b int) {
+			lo := starts[b]
+			hi := p
+			if b+1 < len(starts) {
+				hi = starts[b+1]
+			}
+			var total int64
+			for j := lo; j < hi; j++ {
+				en := h[idx[j]]
+				total += s.sign(i, en.Item) * en.Freq
+			}
+			row[colKeys[lo]] += total
+		})
+	})
+	for _, en := range h {
+		s.m += en.Freq
+	}
+}
+
+// Query returns the median-of-rows point estimate for item. It is
+// unbiased; |Query(e) - f_e| <= ε·‖f‖₂ with probability >= 1-δ.
+func (s *Sketch) Query(item uint64) int64 {
+	ests := make([]int64, s.d)
+	for i := 0; i < s.d; i++ {
+		ests[i] = s.sign(i, item) * s.rows[i][s.cols[i].Hash(item)]
+	}
+	sort.Slice(ests, func(a, b int) bool { return ests[a] < ests[b] })
+	mid := s.d / 2
+	if s.d%2 == 1 {
+		return ests[mid]
+	}
+	return (ests[mid-1] + ests[mid]) / 2
+}
+
+// SpaceWords estimates the footprint in 64-bit words.
+func (s *Sketch) SpaceWords() int { return s.d*s.w + 5*s.d + 4 }

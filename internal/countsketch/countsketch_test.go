@@ -1,0 +1,143 @@
+package countsketch
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestDims(t *testing.T) {
+	s := New(0.1, 0.01, 1)
+	if s.Width() != 300 {
+		t.Fatalf("Width = %d want 300", s.Width())
+	}
+	if s.Depth() != 5 {
+		t.Fatalf("Depth = %d want 5", s.Depth())
+	}
+}
+
+func TestBatchMatchesSequential(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	items := make([]uint64, 30000)
+	for i := range items {
+		items[i] = uint64(rng.Intn(500))
+	}
+	a := NewWithDims(5, 128, 7)
+	b := NewWithDims(5, 128, 7)
+	a.ProcessBatch(items)
+	for _, it := range items {
+		b.Update(it, 1)
+	}
+	if a.TotalCount() != b.TotalCount() {
+		t.Fatalf("TotalCount %d != %d", a.TotalCount(), b.TotalCount())
+	}
+	for i := 0; i < 5; i++ {
+		for j := 0; j < 128; j++ {
+			if a.rows[i][j] != b.rows[i][j] {
+				t.Fatalf("cell [%d][%d]: %d != %d", i, j, a.rows[i][j], b.rows[i][j])
+			}
+		}
+	}
+}
+
+func TestErrorBoundL2(t *testing.T) {
+	eps, delta := 0.05, 0.01
+	s := New(eps, delta, 3)
+	rng := rand.New(rand.NewSource(2))
+	zipf := rand.NewZipf(rng, 1.3, 1, 1<<14)
+	exact := map[uint64]int64{}
+	items := make([]uint64, 100000)
+	for i := range items {
+		items[i] = zipf.Uint64()
+		exact[items[i]]++
+	}
+	s.ProcessBatch(items)
+	var l2sq float64
+	for _, f := range exact {
+		l2sq += float64(f) * float64(f)
+	}
+	bound := eps * math.Sqrt(l2sq)
+	bad := 0
+	for it, fe := range exact {
+		diff := float64(s.Query(it) - fe)
+		if diff < 0 {
+			diff = -diff
+		}
+		if diff > bound {
+			bad++
+		}
+	}
+	if bad > len(exact)/50+2 {
+		t.Fatalf("%d/%d queries beyond ε‖f‖₂", bad, len(exact))
+	}
+}
+
+func TestUnbiasedOnHeavyItem(t *testing.T) {
+	// A heavy item's estimate should be close to truth (within a few
+	// percent), not systematically above like count-min.
+	s := New(0.02, 0.01, 9)
+	rng := rand.New(rand.NewSource(4))
+	items := make([]uint64, 50000)
+	for i := range items {
+		if i%4 == 0 {
+			items[i] = 7
+		} else {
+			items[i] = rng.Uint64() % (1 << 16)
+		}
+	}
+	s.ProcessBatch(items)
+	got := s.Query(7)
+	if got < 11000 || got > 14000 {
+		t.Fatalf("heavy item estimate %d want ~12500", got)
+	}
+}
+
+func TestWeightedUpdateAndAccessors(t *testing.T) {
+	s := NewWithDims(3, 64, 1)
+	s.Update(1, 10)
+	s.Update(2, -3) // deletions are legal in count-sketch (turnstile)
+	if s.TotalCount() != 7 {
+		t.Fatalf("TotalCount %d", s.TotalCount())
+	}
+	if q := s.Query(1); q < 5 || q > 15 {
+		t.Fatalf("Query(1) = %d want ~10", q)
+	}
+	if s.SpaceWords() < 3*64 {
+		t.Fatal("SpaceWords too small")
+	}
+}
+
+func TestEmptyBatch(t *testing.T) {
+	s := New(0.1, 0.1, 1)
+	s.ProcessBatch(nil)
+	if s.TotalCount() != 0 || s.Query(5) != 0 {
+		t.Fatal("empty batch changed state")
+	}
+}
+
+func TestEvenDepthMedian(t *testing.T) {
+	s := NewWithDims(4, 64, 5)
+	s.Update(3, 100)
+	if q := s.Query(3); q < 50 || q > 150 {
+		t.Fatalf("even-d median: %d", q)
+	}
+}
+
+func TestPanics(t *testing.T) {
+	for _, f := range []func(){
+		func() { New(0, 0.1, 1) },
+		func() { New(0.1, 0, 1) },
+		func() { New(0.1, 1, 1) },
+		func() { NewWithDims(0, 1, 1) },
+		func() { NewWithDims(1, 0, 1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}

@@ -1,0 +1,39 @@
+package countsketch
+
+import "fmt"
+
+// State is the serializable form of a Sketch; hash functions are redrawn
+// deterministically from HashSeed.
+type State struct {
+	D, W     int
+	M        int64
+	HashSeed int64
+	Seed     int64
+	Cells    []int64 // row-major d×w
+}
+
+// State captures the sketch for serialization.
+func (s *Sketch) State() State {
+	cells := make([]int64, 0, s.d*s.w)
+	for _, row := range s.rows {
+		cells = append(cells, row...)
+	}
+	return State{D: s.d, W: s.w, M: s.m, HashSeed: s.hashSeed, Seed: s.seed, Cells: cells}
+}
+
+// FromState reconstructs a sketch, validating invariants.
+func FromState(st State) (*Sketch, error) {
+	if st.D < 1 || st.W < 1 {
+		return nil, fmt.Errorf("countsketch: bad state dims %dx%d", st.D, st.W)
+	}
+	if len(st.Cells) != st.D*st.W {
+		return nil, fmt.Errorf("countsketch: state has %d cells, want %d", len(st.Cells), st.D*st.W)
+	}
+	s := NewWithDims(st.D, st.W, st.HashSeed)
+	s.m = st.M
+	s.seed = st.Seed
+	for i := 0; i < st.D; i++ {
+		copy(s.rows[i], st.Cells[i*st.W:(i+1)*st.W])
+	}
+	return s, nil
+}

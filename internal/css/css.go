@@ -1,0 +1,64 @@
+// Package css implements compacted stream segments (Section 2 of the
+// paper): an encoding of a binary stream segment that records only the
+// segment length and the positions of its 1 bits. Lemma 2.1: a CSS can be
+// built from a length-n segment in O(n) work and O(log n) depth; we
+// realize this with the flag/prefix-sum compaction from internal/parallel.
+package css
+
+import "repro/internal/parallel"
+
+// Segment is a compacted stream segment. Ones lists the 1-based positions
+// (within the segment) of the segment's 1 bits, in increasing order.
+type Segment struct {
+	Len  int64
+	Ones []int64
+}
+
+// FromBools builds the CSS of the given bit sequence.
+func FromBools(bits []bool) Segment {
+	return FromFunc(len(bits), func(i int) bool { return bits[i] })
+}
+
+// FromFunc builds the CSS of the length-n binary segment whose i-th bit
+// (0-based i) is one(i). O(n) work, polylog depth (Lemma 2.1).
+func FromFunc(n int, one func(i int) bool) Segment {
+	idx := parallel.PackIndices(n, one)
+	ones := make([]int64, len(idx))
+	parallel.ForGrain(len(idx), parallel.DefaultGrain, func(j int) {
+		ones[j] = int64(idx[j]) + 1 // 1-based
+	})
+	return Segment{Len: int64(n), Ones: ones}
+}
+
+// FromPositions builds a CSS directly from 1-based positions of ones,
+// which must be strictly increasing and within [1, n]. The slice is
+// retained, not copied.
+func FromPositions(n int64, ones []int64) Segment {
+	return Segment{Len: n, Ones: ones}
+}
+
+// Count returns the number of 1s in the segment.
+func (s Segment) Count() int64 { return int64(len(s.Ones)) }
+
+// Concat returns the CSS of the concatenation s || t.
+func Concat(s, t Segment) Segment {
+	ones := make([]int64, 0, len(s.Ones)+len(t.Ones))
+	ones = append(ones, s.Ones...)
+	for _, p := range t.Ones {
+		ones = append(ones, p+s.Len)
+	}
+	return Segment{Len: s.Len + t.Len, Ones: ones}
+}
+
+// Valid reports whether the segment is well-formed: positions strictly
+// increasing within [1, Len].
+func (s Segment) Valid() bool {
+	prev := int64(0)
+	for _, p := range s.Ones {
+		if p <= prev || p > s.Len {
+			return false
+		}
+		prev = p
+	}
+	return s.Len >= 0
+}

@@ -1,0 +1,125 @@
+package css
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestFromBoolsBasic(t *testing.T) {
+	bits := []bool{false, true, true, false, true}
+	s := FromBools(bits)
+	if s.Len != 5 {
+		t.Fatalf("Len = %d", s.Len)
+	}
+	want := []int64{2, 3, 5}
+	if len(s.Ones) != len(want) {
+		t.Fatalf("Ones = %v want %v", s.Ones, want)
+	}
+	for i := range want {
+		if s.Ones[i] != want[i] {
+			t.Fatalf("Ones = %v want %v", s.Ones, want)
+		}
+	}
+	if !s.Valid() {
+		t.Fatal("segment invalid")
+	}
+}
+
+func TestFromBoolsEmpty(t *testing.T) {
+	s := FromBools(nil)
+	if s.Len != 0 || s.Count() != 0 || !s.Valid() {
+		t.Fatalf("empty segment wrong: %+v", s)
+	}
+}
+
+func TestFromFuncLarge(t *testing.T) {
+	n := 1 << 17
+	s := FromFunc(n, func(i int) bool { return i%7 == 3 })
+	if !s.Valid() {
+		t.Fatal("invalid segment")
+	}
+	cnt := int64(0)
+	for i := 0; i < n; i++ {
+		if i%7 == 3 {
+			cnt++
+		}
+	}
+	if s.Count() != cnt {
+		t.Fatalf("Count = %d want %d", s.Count(), cnt)
+	}
+	for _, p := range s.Ones {
+		if (p-1)%7 != 3 {
+			t.Fatalf("position %d should not be a one", p)
+		}
+	}
+}
+
+func TestFromBoolsMatchesNaive(t *testing.T) {
+	check := func(seed int64, nRaw uint16) bool {
+		n := int(nRaw % 2048)
+		rng := rand.New(rand.NewSource(seed))
+		bits := make([]bool, n)
+		for i := range bits {
+			bits[i] = rng.Intn(3) == 0
+		}
+		s := FromBools(bits)
+		if s.Len != int64(n) || !s.Valid() {
+			return false
+		}
+		j := 0
+		for i, b := range bits {
+			if b {
+				if j >= len(s.Ones) || s.Ones[j] != int64(i)+1 {
+					return false
+				}
+				j++
+			}
+		}
+		return j == len(s.Ones)
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConcat(t *testing.T) {
+	a := FromBools([]bool{true, false, true})
+	b := FromBools([]bool{false, true})
+	c := Concat(a, b)
+	if c.Len != 5 || c.Count() != 3 {
+		t.Fatalf("concat: %+v", c)
+	}
+	want := []int64{1, 3, 5}
+	for i := range want {
+		if c.Ones[i] != want[i] {
+			t.Fatalf("concat Ones = %v want %v", c.Ones, want)
+		}
+	}
+	if !c.Valid() {
+		t.Fatal("concat invalid")
+	}
+}
+
+func TestValidRejectsBad(t *testing.T) {
+	bad := []Segment{
+		{Len: 3, Ones: []int64{0}},       // position < 1
+		{Len: 3, Ones: []int64{4}},       // position > Len
+		{Len: 3, Ones: []int64{2, 2}},    // not strictly increasing
+		{Len: 5, Ones: []int64{3, 1}},    // decreasing
+		{Len: -1, Ones: nil},             // negative length
+		{Len: 2, Ones: []int64{1, 2, 2}}, // duplicate
+	}
+	for i, s := range bad {
+		if s.Valid() {
+			t.Fatalf("case %d: Valid() = true for %+v", i, s)
+		}
+	}
+}
+
+func TestFromPositions(t *testing.T) {
+	s := FromPositions(10, []int64{2, 5, 9})
+	if !s.Valid() || s.Count() != 3 || s.Len != 10 {
+		t.Fatalf("FromPositions: %+v", s)
+	}
+}

@@ -1,0 +1,40 @@
+package css
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzFromBools checks CSS construction against a naive scan for
+// arbitrary bit patterns (each input byte contributes 8 bits).
+func FuzzFromBools(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0x00})
+	f.Add([]byte{0xff, 0x00, 0xaa})
+	f.Add(bytes.Repeat([]byte{0x55}, 100))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		bits := make([]bool, len(data)*8)
+		for i := range bits {
+			bits[i] = data[i/8]>>(uint(i)%8)&1 == 1
+		}
+		s := FromBools(bits)
+		if !s.Valid() {
+			t.Fatal("invalid CSS")
+		}
+		if s.Len != int64(len(bits)) {
+			t.Fatalf("Len %d want %d", s.Len, len(bits))
+		}
+		j := 0
+		for i, b := range bits {
+			if b {
+				if j >= len(s.Ones) || s.Ones[j] != int64(i)+1 {
+					t.Fatalf("one at %d missing or misplaced", i)
+				}
+				j++
+			}
+		}
+		if j != len(s.Ones) {
+			t.Fatalf("extra ones recorded: %d vs %d", len(s.Ones), j)
+		}
+	})
+}

@@ -1,0 +1,117 @@
+// Package hashfn implements the hash families the paper's algorithms rely
+// on: k-wise independent polynomial hashing over the Mersenne prime field
+// GF(2^61 - 1) (Theorem 2.3 asks for an O(log mu)-wise independent family
+// for the linear-work histogram), and the pairwise-independent family used
+// by the count-min sketch (Section 6).
+package hashfn
+
+import (
+	"math/bits"
+	"math/rand"
+)
+
+// MersennePrime61 is 2^61 - 1, a Mersenne prime enabling fast modular
+// reduction without division.
+const MersennePrime61 = (1 << 61) - 1
+
+// mulMod61 returns a*b mod 2^61-1 using 128-bit intermediate arithmetic.
+// With p = 2^61-1, 2^61 === 1 (mod p), so the 122-bit product folds into
+// two 61-bit chunks that are added mod p. A single fold suffices because
+// both chunks are < 2^61 and their sum is < 2^62 < 2p + p.
+func mulMod61(a, b uint64) uint64 {
+	hi, lo := bits.Mul64(a, b)
+	res := (lo & MersennePrime61) + (hi<<3 | lo>>61)
+	if res >= MersennePrime61 {
+		res -= MersennePrime61
+	}
+	if res >= MersennePrime61 { // the fold sum can reach 2p exactly
+		res -= MersennePrime61
+	}
+	return res
+}
+
+// addMod61 returns a+b mod 2^61-1 for a, b < 2^61-1.
+func addMod61(a, b uint64) uint64 {
+	s := a + b
+	if s >= MersennePrime61 {
+		s -= MersennePrime61
+	}
+	return s
+}
+
+// Poly is a degree-(k-1) polynomial hash over GF(2^61-1), giving a k-wise
+// independent family. Hash values are reduced to a caller-chosen range.
+type Poly struct {
+	coef []uint64 // coefficients, all < MersennePrime61; len(coef) == k
+	r    uint64   // output range
+}
+
+// NewPoly draws a hash function from the k-wise independent polynomial
+// family with output range [0, r) using the given seed. k must be >= 1 and
+// r >= 1.
+func NewPoly(k int, r uint64, seed int64) *Poly {
+	if k < 1 {
+		panic("hashfn: NewPoly requires k >= 1")
+	}
+	if r < 1 {
+		panic("hashfn: NewPoly requires r >= 1")
+	}
+	rng := rand.New(rand.NewSource(seed))
+	coef := make([]uint64, k)
+	for i := range coef {
+		coef[i] = uint64(rng.Int63()) % MersennePrime61
+	}
+	// The leading coefficient should be non-zero so the polynomial has full
+	// degree; this only improves the family and keeps hashes non-constant.
+	if k > 1 && coef[k-1] == 0 {
+		coef[k-1] = 1
+	}
+	return &Poly{coef: coef, r: r}
+}
+
+// Hash returns the hash of x in [0, Range()). Horner evaluation, O(k).
+func (p *Poly) Hash(x uint64) uint64 {
+	x %= MersennePrime61
+	acc := p.coef[len(p.coef)-1]
+	for i := len(p.coef) - 2; i >= 0; i-- {
+		acc = addMod61(mulMod61(acc, x), p.coef[i])
+	}
+	return acc % p.r
+}
+
+// Range returns the size of the hash output range.
+func (p *Poly) Range() uint64 { return p.r }
+
+// K returns the independence of the family the function was drawn from.
+func (p *Poly) K() int { return len(p.coef) }
+
+// Pairwise is a pairwise-independent hash h(x) = ((a*x + b) mod p) mod r,
+// the family count-min sketch uses per row.
+type Pairwise struct {
+	a, b uint64
+	r    uint64
+}
+
+// NewPairwise draws a pairwise-independent hash with output range [0, r).
+func NewPairwise(r uint64, seed int64) Pairwise {
+	rng := rand.New(rand.NewSource(seed))
+	a := uint64(rng.Int63())%(MersennePrime61-1) + 1 // a != 0
+	b := uint64(rng.Int63()) % MersennePrime61
+	return Pairwise{a: a, b: b, r: r}
+}
+
+// Hash returns the hash of x in [0, Range()).
+func (h Pairwise) Hash(x uint64) uint64 {
+	return addMod61(mulMod61(h.a, x%MersennePrime61), h.b) % h.r
+}
+
+// Range returns the size of the hash output range.
+func (h Pairwise) Range() uint64 { return h.r }
+
+// Mix64 is a fast non-cryptographic bit mixer (splitmix64 finalizer) used
+// to decorrelate adversarially regular item identifiers before bucketing.
+func Mix64(x uint64) uint64 {
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}

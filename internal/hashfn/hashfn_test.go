@@ -1,0 +1,160 @@
+package hashfn
+
+import (
+	"math/big"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestMulMod61MatchesBigInt(t *testing.T) {
+	p := big.NewInt(MersennePrime61)
+	check := func(a, b uint64) bool {
+		a %= MersennePrime61
+		b %= MersennePrime61
+		got := mulMod61(a, b)
+		want := new(big.Int).Mul(big.NewInt(int64(a)), big.NewInt(int64(b)))
+		want.Mod(want, p)
+		return got == want.Uint64()
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Fatal(err)
+	}
+	// Edge cases.
+	for _, pair := range [][2]uint64{
+		{0, 0}, {1, 1}, {MersennePrime61 - 1, MersennePrime61 - 1},
+		{MersennePrime61 - 1, 2}, {1 << 60, 1 << 60},
+	} {
+		if !check(pair[0], pair[1]) {
+			t.Fatalf("mulMod61(%d,%d) wrong", pair[0], pair[1])
+		}
+	}
+}
+
+func TestAddMod61(t *testing.T) {
+	if got := addMod61(MersennePrime61-1, 1); got != 0 {
+		t.Fatalf("addMod61 wrap = %d", got)
+	}
+	if got := addMod61(5, 7); got != 12 {
+		t.Fatalf("addMod61(5,7) = %d", got)
+	}
+}
+
+func TestPolyRange(t *testing.T) {
+	h := NewPoly(4, 1000, 42)
+	for x := uint64(0); x < 100000; x += 37 {
+		if v := h.Hash(x); v >= 1000 {
+			t.Fatalf("Hash(%d) = %d out of range", x, v)
+		}
+	}
+	if h.K() != 4 || h.Range() != 1000 {
+		t.Fatalf("K=%d Range=%d", h.K(), h.Range())
+	}
+}
+
+func TestPolyDeterministic(t *testing.T) {
+	h1 := NewPoly(8, 1<<20, 7)
+	h2 := NewPoly(8, 1<<20, 7)
+	for x := uint64(0); x < 1000; x++ {
+		if h1.Hash(x) != h2.Hash(x) {
+			t.Fatal("same seed produced different hash functions")
+		}
+	}
+	h3 := NewPoly(8, 1<<20, 8)
+	diff := 0
+	for x := uint64(0); x < 1000; x++ {
+		if h1.Hash(x) != h3.Hash(x) {
+			diff++
+		}
+	}
+	if diff < 900 {
+		t.Fatalf("different seeds nearly identical: only %d/1000 differ", diff)
+	}
+}
+
+func TestPolyUniformity(t *testing.T) {
+	// Chi-squared style sanity check: bucket counts should be near uniform
+	// for random inputs.
+	const buckets = 64
+	const samples = 64 * 1024
+	h := NewPoly(5, buckets, 99)
+	rng := rand.New(rand.NewSource(3))
+	counts := make([]int, buckets)
+	for i := 0; i < samples; i++ {
+		counts[h.Hash(rng.Uint64())]++
+	}
+	mean := samples / buckets
+	for b, c := range counts {
+		if c < mean/2 || c > mean*2 {
+			t.Fatalf("bucket %d count %d far from mean %d", b, c, mean)
+		}
+	}
+}
+
+func TestPolyPanics(t *testing.T) {
+	mustPanic(t, func() { NewPoly(0, 10, 1) })
+	mustPanic(t, func() { NewPoly(2, 0, 1) })
+}
+
+func TestPairwiseRangeAndDeterminism(t *testing.T) {
+	h := NewPairwise(977, 5)
+	h2 := NewPairwise(977, 5)
+	for x := uint64(0); x < 50000; x += 11 {
+		v := h.Hash(x)
+		if v >= 977 {
+			t.Fatalf("Hash(%d)=%d out of range", x, v)
+		}
+		if v != h2.Hash(x) {
+			t.Fatal("same seed, different pairwise hash")
+		}
+	}
+	if h.Range() != 977 {
+		t.Fatalf("Range = %d", h.Range())
+	}
+}
+
+func TestPairwiseCollisionRate(t *testing.T) {
+	// For a pairwise-independent family, Pr[h(x)=h(y)] <= 1/r. Estimate the
+	// collision rate over many draws and random pairs.
+	const r = 1 << 10
+	rng := rand.New(rand.NewSource(17))
+	collisions, trials := 0, 20000
+	for i := 0; i < trials; i++ {
+		h := NewPairwise(r, int64(i))
+		x, y := rng.Uint64(), rng.Uint64()
+		if x == y {
+			continue
+		}
+		if h.Hash(x) == h.Hash(y) {
+			collisions++
+		}
+	}
+	// Expected ~ trials/r ~= 19.5. Allow generous slack.
+	if collisions > trials/int(r)*5+20 {
+		t.Fatalf("collision rate too high: %d/%d", collisions, trials)
+	}
+}
+
+func TestMix64(t *testing.T) {
+	seen := make(map[uint64]bool)
+	for x := uint64(0); x < 10000; x++ {
+		v := Mix64(x)
+		if seen[v] {
+			t.Fatalf("Mix64 collision at %d", x)
+		}
+		seen[v] = true
+	}
+	if Mix64(0) == 0 && Mix64(1) == 1 {
+		t.Fatal("Mix64 looks like identity")
+	}
+}
+
+func mustPanic(t *testing.T, f func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	f()
+}

@@ -1,0 +1,43 @@
+package hist
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+func benchItems(n int, distinct uint64) []uint64 {
+	rng := rand.New(rand.NewSource(int64(n)))
+	items := make([]uint64, n)
+	for i := range items {
+		items[i] = rng.Uint64() % distinct
+	}
+	return items
+}
+
+func BenchmarkBuild(b *testing.B) {
+	for _, n := range []int{1 << 12, 1 << 16, 1 << 20} {
+		for _, distinct := range []uint64{16, 1 << 12, 1 << 20} {
+			b.Run(fmt.Sprintf("n%d-distinct%d", n, distinct), func(b *testing.B) {
+				items := benchItems(n, distinct)
+				b.SetBytes(int64(n) * 8)
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					_ = Build(items, int64(i))
+				}
+			})
+		}
+	}
+}
+
+func BenchmarkCombine(b *testing.B) {
+	entries := make([]Entry, 1<<16)
+	rng := rand.New(rand.NewSource(3))
+	for i := range entries {
+		entries[i] = Entry{Item: rng.Uint64() % (1 << 14), Freq: int64(rng.Intn(100))}
+	}
+	b.SetBytes(int64(len(entries)) * 16)
+	for i := 0; i < b.N; i++ {
+		_ = Combine(entries, int64(i))
+	}
+}

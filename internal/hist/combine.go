@@ -1,0 +1,76 @@
+package hist
+
+import (
+	"repro/internal/hashfn"
+	"repro/internal/parallel"
+)
+
+// Combine groups entries by item and sums their frequencies, returning
+// one entry per distinct item in arbitrary order. It is the "add up the
+// corresponding frequencies" step of MGaugment (Lemma 5.3), implemented
+// with the same hash + integer-sort + collect machinery as Build so the
+// whole step is O(len(entries)) expected work and polylog depth rather
+// than a sequential hash-table merge.
+func Combine(entries []Entry, seed int64) []Entry {
+	n := len(entries)
+	if n == 0 {
+		return nil
+	}
+	r := uint32(2)
+	for int(r) < 2*n {
+		r <<= 1
+	}
+	h := hashfn.NewPoly(independence, uint64(r), seed)
+	keys := make([]uint32, n)
+	idx := make([]int32, n)
+	parallel.ForGrain(n, parallel.DefaultGrain, func(i int) {
+		keys[i] = uint32(h.Hash(entries[i].Item))
+		idx[i] = int32(i)
+	})
+	parallel.RadixSortPairs(keys, idx, r)
+	starts := parallel.PackIndices(n, func(i int) bool {
+		return i == 0 || keys[i] != keys[i-1]
+	})
+	nb := len(starts)
+	perBucket := make([][]Entry, nb)
+	counts := make([]int, nb)
+	parallel.ForGrain(nb, 8, func(b int) {
+		lo := starts[b]
+		hi := n
+		if b+1 < nb {
+			hi = starts[b+1]
+		}
+		es := collectBinWeighted(entries, idx[lo:hi])
+		perBucket[b] = es
+		counts[b] = len(es)
+	})
+	total := parallel.ScanExclusive(counts)
+	out := make([]Entry, total)
+	parallel.ForGrain(nb, 8, func(b int) {
+		copy(out[counts[b]:], perBucket[b])
+	})
+	return out
+}
+
+// collectBinWeighted is collectBin over weighted entries: for each
+// distinct item in the bucket it sums the frequencies of its occurrences.
+func collectBinWeighted(entries []Entry, positions []int32) []Entry {
+	var out []Entry
+	live := positions
+	scratch := make([]int32, 0, len(positions))
+	for len(live) > 0 {
+		e := entries[live[0]].Item
+		var freq int64
+		scratch = scratch[:0]
+		for _, p := range live {
+			if entries[p].Item == e {
+				freq += entries[p].Freq
+			} else {
+				scratch = append(scratch, p)
+			}
+		}
+		out = append(out, Entry{Item: e, Freq: freq})
+		live, scratch = scratch, live[:0]
+	}
+	return out
+}

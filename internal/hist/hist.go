@@ -1,0 +1,117 @@
+// Package hist implements buildHist (Theorem 2.3): a linear-work,
+// polylog-depth parallel histogram of a stream segment. Items are hashed
+// into R = O(µ) buckets with a k-wise independent polynomial hash,
+// bucketed together with the parallel integer sort (Theorem 2.2's role),
+// and each bucket is collapsed with collectBin, which counts the distinct
+// items that landed in it. With a good hash, each bucket holds O(1)
+// distinct items in expectation and O(log µ) whp, giving O(µ) expected
+// work and O(log² µ) depth whp.
+package hist
+
+import (
+	"repro/internal/hashfn"
+	"repro/internal/parallel"
+)
+
+// Entry is one histogram row: a distinct item and its frequency in the
+// segment. Entries are reported in no particular order.
+type Entry struct {
+	Item uint64
+	Freq int64
+}
+
+// independence is the degree of the polynomial hash family. The analysis
+// asks for O(log µ)-wise independence for the whp depth bound; a fixed
+// moderate degree keeps hash evaluation O(1) per item (the theory assumes
+// unit-cost hashing) and is ample in practice.
+const independence = 8
+
+// Build computes the histogram of items. The seed selects the hash
+// function; any seed yields a correct histogram (hashing only affects
+// performance). O(µ) expected work, polylog depth.
+func Build(items []uint64, seed int64) []Entry {
+	mu := len(items)
+	if mu == 0 {
+		return nil
+	}
+	// Output range R = next power of two >= 2µ, so expected distinct items
+	// per bucket is <= 1/2.
+	r := uint32(2)
+	for int(r) < 2*mu {
+		r <<= 1
+	}
+	h := hashfn.NewPoly(independence, uint64(r), seed)
+
+	// Bucket items: stable sort of (hash(item), index) pairs.
+	keys := make([]uint32, mu)
+	idx := make([]int32, mu)
+	parallel.ForGrain(mu, parallel.DefaultGrain, func(i int) {
+		keys[i] = uint32(h.Hash(items[i]))
+		idx[i] = int32(i)
+	})
+	parallel.RadixSortPairs(keys, idx, r)
+
+	// Bucket boundaries: positions where the sorted key changes.
+	starts := parallel.PackIndices(mu, func(i int) bool {
+		return i == 0 || keys[i] != keys[i-1]
+	})
+	nb := len(starts)
+
+	// collectBin per bucket, in parallel. Each bucket yields its distinct
+	// items; counts go into per-bucket scratch, then a prefix sum lays out
+	// the output.
+	perBucket := make([][]Entry, nb)
+	counts := make([]int, nb)
+	parallel.ForGrain(nb, 8, func(b int) {
+		lo := starts[b]
+		hi := mu
+		if b+1 < nb {
+			hi = starts[b+1]
+		}
+		es := collectBin(items, idx[lo:hi])
+		perBucket[b] = es
+		counts[b] = len(es)
+	})
+	total := parallel.ScanExclusive(counts)
+	out := make([]Entry, total)
+	parallel.ForGrain(nb, 8, func(b int) {
+		copy(out[counts[b]:], perBucket[b])
+	})
+	return out
+}
+
+// collectBin counts distinct items among the originals referenced by
+// positions (the members of one hash bucket): repeatedly pick an item,
+// count and remove all its occurrences (the paper's recursive routine,
+// iteratively). O(d·|B|) work for d distinct items in the bucket; d is
+// O(1) in expectation.
+func collectBin(items []uint64, positions []int32) []Entry {
+	var out []Entry
+	live := positions
+	scratch := make([]int32, 0, len(positions))
+	for len(live) > 0 {
+		e := items[live[0]]
+		var freq int64
+		scratch = scratch[:0]
+		for _, p := range live {
+			if items[p] == e {
+				freq++
+			} else {
+				scratch = append(scratch, p)
+			}
+		}
+		out = append(out, Entry{Item: e, Freq: freq})
+		live, scratch = scratch, live[:0]
+	}
+	return out
+}
+
+// BuildMap is a convenience wrapper returning the histogram as a map,
+// used by tests and by reference (ground-truth) computations.
+func BuildMap(items []uint64, seed int64) map[uint64]int64 {
+	m := make(map[uint64]int64)
+	for _, e := range Build(items, seed) {
+		m[e.Item] += e.Freq
+	}
+	return m
+}

@@ -1,0 +1,130 @@
+package hist
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func refHist(items []uint64) map[uint64]int64 {
+	m := make(map[uint64]int64)
+	for _, it := range items {
+		m[it]++
+	}
+	return m
+}
+
+func checkAgainstRef(t *testing.T, items []uint64, entries []Entry) {
+	t.Helper()
+	want := refHist(items)
+	got := make(map[uint64]int64)
+	for _, e := range entries {
+		if _, dup := got[e.Item]; dup {
+			t.Fatalf("item %d reported twice", e.Item)
+		}
+		got[e.Item] = e.Freq
+	}
+	if len(got) != len(want) {
+		t.Fatalf("distinct count %d want %d", len(got), len(want))
+	}
+	for it, f := range want {
+		if got[it] != f {
+			t.Fatalf("item %d freq %d want %d", it, got[it], f)
+		}
+	}
+}
+
+func TestBuildEmpty(t *testing.T) {
+	if out := Build(nil, 1); out != nil {
+		t.Fatalf("Build(nil) = %v", out)
+	}
+}
+
+func TestBuildSingle(t *testing.T) {
+	checkAgainstRef(t, []uint64{42}, Build([]uint64{42}, 1))
+}
+
+func TestBuildAllSame(t *testing.T) {
+	items := make([]uint64, 10000)
+	for i := range items {
+		items[i] = 7
+	}
+	out := Build(items, 3)
+	if len(out) != 1 || out[0].Item != 7 || out[0].Freq != 10000 {
+		t.Fatalf("all-same: %v", out)
+	}
+}
+
+func TestBuildAllDistinct(t *testing.T) {
+	items := make([]uint64, 20000)
+	for i := range items {
+		items[i] = uint64(i) * 1000003
+	}
+	checkAgainstRef(t, items, Build(items, 5))
+}
+
+func TestBuildZipfLike(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	zipf := rand.NewZipf(rng, 1.2, 1, 1<<20)
+	items := make([]uint64, 50000)
+	for i := range items {
+		items[i] = zipf.Uint64()
+	}
+	checkAgainstRef(t, items, Build(items, 7))
+}
+
+func TestBuildRandomProperty(t *testing.T) {
+	check := func(seed int64, nRaw uint16, universe uint8) bool {
+		n := int(nRaw%5000) + 1
+		u := uint64(universe) + 1
+		rng := rand.New(rand.NewSource(seed))
+		items := make([]uint64, n)
+		for i := range items {
+			items[i] = rng.Uint64() % u
+		}
+		want := refHist(items)
+		got := make(map[uint64]int64)
+		for _, e := range Build(items, seed^0x5a5a) {
+			got[e.Item] = e.Freq
+		}
+		if len(got) != len(want) {
+			return false
+		}
+		for it, f := range want {
+			if got[it] != f {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBuildSeedIndependence(t *testing.T) {
+	// Different seeds must produce the same histogram (as a set).
+	items := []uint64{1, 1, 2, 3, 3, 3, 1 << 40, 1 << 40}
+	for seed := int64(0); seed < 20; seed++ {
+		checkAgainstRef(t, items, Build(items, seed))
+	}
+}
+
+func TestBuildAdversarialKeys(t *testing.T) {
+	// Keys crafted as multiples of a large power of two, which defeat weak
+	// (mask-based) hashes; the polynomial hash must still bucket them well
+	// enough for correctness (and the histogram must be exact regardless).
+	items := make([]uint64, 30000)
+	for i := range items {
+		items[i] = uint64(i%300) << 40
+	}
+	checkAgainstRef(t, items, Build(items, 13))
+}
+
+func TestBuildMap(t *testing.T) {
+	items := []uint64{5, 5, 6}
+	m := BuildMap(items, 1)
+	if m[5] != 2 || m[6] != 1 || len(m) != 2 {
+		t.Fatalf("BuildMap = %v", m)
+	}
+}

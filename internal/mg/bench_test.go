@@ -1,0 +1,62 @@
+package mg
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+func benchBatches(nBatches, batchSize int) [][]uint64 {
+	rng := rand.New(rand.NewSource(5))
+	zipf := rand.NewZipf(rng, 1.1, 1, 1<<18)
+	out := make([][]uint64, nBatches)
+	for b := range out {
+		out[b] = make([]uint64, batchSize)
+		for i := range out[b] {
+			out[b][i] = zipf.Uint64()
+		}
+	}
+	return out
+}
+
+func BenchmarkProcessBatch(b *testing.B) {
+	bs := benchBatches(64, 1<<14)
+	for _, eps := range []float64{1e-2, 1e-3, 1e-4} {
+		b.Run(fmt.Sprintf("eps%g", eps), func(b *testing.B) {
+			g := New(eps)
+			b.SetBytes(1 << 14 * 8)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				g.ProcessBatch(bs[i%len(bs)])
+			}
+		})
+	}
+}
+
+func BenchmarkMerge(b *testing.B) {
+	bs := benchBatches(8, 1<<14)
+	base := New(1e-3)
+	other := New(1e-3)
+	for _, batch := range bs[:4] {
+		base.ProcessBatch(batch)
+	}
+	for _, batch := range bs[4:] {
+		other.ProcessBatch(batch)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c := base.Clone()
+		c.Merge(other)
+	}
+}
+
+func BenchmarkEstimate(b *testing.B) {
+	g := New(1e-3)
+	for _, batch := range benchBatches(16, 1<<14) {
+		g.ProcessBatch(batch)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = g.Estimate(uint64(i % 2000))
+	}
+}

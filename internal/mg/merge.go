@@ -1,0 +1,34 @@
+package mg
+
+import "repro/internal/hist"
+
+// Merge folds another summary into this one with the mergeable-summaries
+// algorithm of [ACH+13] (the paper cites mergeability as the property the
+// independent data-structure approach relies on; providing it here makes
+// the shared-structure summary a drop-in for distributed aggregation
+// too). The merged summary keeps capacity S = max of the two and
+// preserves the combined guarantee f_e - (m1+m2)/S <= Estimate(e) <= f_e.
+// The merge itself reuses the parallel MGaugment machinery: combining and
+// pruning in O(S) work and polylog depth — so a log p-deep merge tree
+// over p summaries has polylog·log p total depth, in contrast to the
+// sequential-merge bottleneck of Section 5.4's strawman.
+func (g *Summary) Merge(o *Summary) {
+	if o.capS > g.capS {
+		g.capS = o.capS
+	}
+	entries := make([]hist.Entry, len(o.entries))
+	copy(entries, o.entries)
+	g.AugmentHist(entries)
+	g.m += o.m
+}
+
+// Clone returns a deep copy of the summary.
+func (g *Summary) Clone() *Summary {
+	c := NewWithCapacity(g.capS)
+	c.entries = make([]hist.Entry, len(g.entries))
+	copy(c.entries, g.entries)
+	c.m = g.m
+	c.seed = g.seed + 0x9e37
+	c.rebuildIndex()
+	return c
+}

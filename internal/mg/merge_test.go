@@ -1,0 +1,104 @@
+package mg
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestMergePreservesGuarantee(t *testing.T) {
+	eps := 0.01
+	rng := rand.New(rand.NewSource(1))
+	zipf := rand.NewZipf(rng, 1.25, 1, 1<<14)
+	streamA := make([]uint64, 40000)
+	streamB := make([]uint64, 60000)
+	for i := range streamA {
+		streamA[i] = zipf.Uint64()
+	}
+	for i := range streamB {
+		streamB[i] = zipf.Uint64() + 100 // partially disjoint universes
+	}
+	a := New(eps)
+	b := New(eps)
+	a.ProcessBatch(streamA)
+	b.ProcessBatch(streamB)
+	a.Merge(b)
+
+	exact := map[uint64]int64{}
+	for _, it := range streamA {
+		exact[it]++
+	}
+	for _, it := range streamB {
+		exact[it]++
+	}
+	m := int64(len(streamA) + len(streamB))
+	if a.StreamLen() != m {
+		t.Fatalf("merged StreamLen %d want %d", a.StreamLen(), m)
+	}
+	bound := 2 * eps * float64(m) // each source contributes its own εm
+	for it, fe := range exact {
+		est := a.Estimate(it)
+		if est > fe {
+			t.Fatalf("merged overestimates item %d: %d > %d", it, est, fe)
+		}
+		if float64(fe-est) > bound {
+			t.Fatalf("merged item %d: est %d true %d bound %g", it, est, fe, bound)
+		}
+	}
+	if len(a.Entries()) > a.Capacity() {
+		t.Fatalf("merged size %d > S", len(a.Entries()))
+	}
+}
+
+func TestMergeTreeOfFour(t *testing.T) {
+	eps := 0.02
+	rng := rand.New(rand.NewSource(2))
+	parts := make([]*Summary, 4)
+	exact := map[uint64]int64{}
+	var m int64
+	for p := range parts {
+		parts[p] = New(eps)
+		items := make([]uint64, 10000)
+		for i := range items {
+			items[i] = uint64(rng.Intn(200))
+			exact[items[i]]++
+		}
+		parts[p].ProcessBatch(items)
+		m += 10000
+	}
+	parts[0].Merge(parts[1])
+	parts[2].Merge(parts[3])
+	parts[0].Merge(parts[2])
+	merged := parts[0]
+	// log p = 2 merge levels: error <= (1 + levels)·εm is a safe bound;
+	// the per-item deficit must stay within it.
+	bound := 3 * eps * float64(m)
+	for it, fe := range exact {
+		est := merged.Estimate(it)
+		if est > fe || float64(fe-est) > bound {
+			t.Fatalf("tree-merged item %d: est %d true %d", it, est, fe)
+		}
+	}
+}
+
+func TestClone(t *testing.T) {
+	a := New(0.1)
+	a.ProcessBatch([]uint64{1, 1, 2, 3})
+	c := a.Clone()
+	if c.Estimate(1) != a.Estimate(1) || c.StreamLen() != a.StreamLen() {
+		t.Fatal("clone state mismatch")
+	}
+	c.ProcessBatch([]uint64{9, 9, 9})
+	if a.Estimate(9) != 0 {
+		t.Fatal("clone mutation leaked into original")
+	}
+}
+
+func TestMergeEmpty(t *testing.T) {
+	a := New(0.1)
+	a.ProcessBatch([]uint64{5, 5})
+	b := New(0.1)
+	a.Merge(b)
+	if a.Estimate(5) != 2 || a.StreamLen() != 2 {
+		t.Fatalf("merge with empty changed state: est=%d m=%d", a.Estimate(5), a.StreamLen())
+	}
+}

@@ -1,0 +1,123 @@
+// Package mg implements the Misra-Gries summary and its parallel
+// minibatch maintenance for infinite-window frequency estimation and
+// heavy hitters (Sections 5.1-5.2 of the paper).
+//
+// A summary with capacity S = ⌈1/ε⌉ keeps at most S items with counters.
+// Processing a minibatch of size µ runs buildHist (Theorem 2.3) and then
+// MGAugment (Lemma 5.3): combine the summary with the histogram, find the
+// cutoff ϕ — the (S+1)-st largest combined count — subtract ϕ from every
+// count and keep the positive ones. Each unit of ϕ corresponds to a batch
+// of decrements hitting more than S distinct counters, so the classic MG
+// accounting (Lemma 5.1) gives f_e - εm <= Estimate(e) <= f_e. Total cost
+// per minibatch: O(ε⁻¹ + µ) expected work, polylog depth (Theorem 5.2).
+package mg
+
+import (
+	"repro/internal/hist"
+	"repro/internal/parallel"
+)
+
+// Summary is a Misra-Gries summary maintained over minibatches.
+type Summary struct {
+	capS    int
+	entries []hist.Entry     // at most capS live counters
+	index   map[uint64]int64 // item -> counter, rebuilt per batch
+	m       int64            // stream length observed so far
+	seed    int64            // hash seed sequence for buildHist
+}
+
+// New creates a summary with error parameter epsilon in (0, 1]:
+// capacity S = ⌈1/ε⌉ counters.
+func New(epsilon float64) *Summary {
+	if epsilon <= 0 || epsilon > 1 {
+		panic("mg: epsilon must be in (0, 1]")
+	}
+	s := int(1 / epsilon)
+	if float64(s) < 1/epsilon {
+		s++
+	}
+	return NewWithCapacity(s)
+}
+
+// NewWithCapacity creates a summary with exactly s counters (ε = 1/s).
+func NewWithCapacity(s int) *Summary {
+	if s < 1 {
+		panic("mg: capacity must be >= 1")
+	}
+	return &Summary{capS: s, index: make(map[uint64]int64), seed: 0x6d67}
+}
+
+// Capacity returns S, the maximum number of counters.
+func (g *Summary) Capacity() int { return g.capS }
+
+// StreamLen returns the number of items observed so far.
+func (g *Summary) StreamLen() int64 { return g.m }
+
+// ProcessBatch ingests a minibatch of items (Theorem 5.2).
+func (g *Summary) ProcessBatch(items []uint64) {
+	if len(items) == 0 {
+		return
+	}
+	g.seed++
+	h := hist.Build(items, g.seed)
+	g.AugmentHist(h)
+	g.m += int64(len(items))
+}
+
+// AugmentHist merges a pre-computed histogram into the summary
+// (MGaugment, Lemma 5.3). The histogram must have one entry per distinct
+// item. Callers other than ProcessBatch must bump m themselves.
+func (g *Summary) AugmentHist(h []hist.Entry) {
+	g.seed++
+	combined := hist.Combine(append(g.entries, h...), g.seed)
+	phi := int64(0)
+	if len(combined) > g.capS {
+		// ϕ = (S+1)-st largest combined count: subtracting it everywhere
+		// kills all but at most S counters, and every unit subtracted
+		// decrements > S distinct counters (Lemma 5.3's accounting).
+		freqs := parallel.Map(len(combined), func(i int) int64 { return combined[i].Freq })
+		phi = parallel.KthLargest(freqs, g.capS+1)
+	}
+	kept := parallel.Pack(combined, func(i int) bool { return combined[i].Freq > phi })
+	parallel.ForGrain(len(kept), parallel.DefaultGrain, func(i int) {
+		kept[i].Freq -= phi
+	})
+	g.entries = kept
+	g.rebuildIndex()
+}
+
+func (g *Summary) rebuildIndex() {
+	clear(g.index)
+	for _, e := range g.entries {
+		g.index[e.Item] = e.Freq
+	}
+}
+
+// Estimate returns the summary's estimate for item e, satisfying
+// f_e - εm <= Estimate(e) <= f_e (0 for items not tracked).
+func (g *Summary) Estimate(e uint64) int64 { return g.index[e] }
+
+// Entries returns the live counters (at most S), in arbitrary order. The
+// caller must not modify the returned slice.
+func (g *Summary) Entries() []hist.Entry { return g.entries }
+
+// HeavyHitters returns every tracked item whose estimate is at least
+// (φ-ε)·m — the standard reduction from frequency estimation (Section 5):
+// it includes every item with f_e >= φm and no item with f_e < (φ-2ε)m...
+// precisely, no item with f_e < (φ-ε)m is ever reported since estimates
+// never exceed true counts.
+func (g *Summary) HeavyHitters(phi float64) []uint64 {
+	eps := 1 / float64(g.capS)
+	thr := (phi - eps) * float64(g.m)
+	var out []uint64
+	for _, e := range g.entries {
+		if float64(e.Freq) >= thr {
+			out = append(out, e.Item)
+		}
+	}
+	return out
+}
+
+// SpaceWords estimates the memory footprint in 64-bit words: 2 words per
+// live counter plus the index.
+func (g *Summary) SpaceWords() int { return 4*len(g.entries) + 4 }

@@ -1,0 +1,232 @@
+package mg
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/hist"
+)
+
+// exact tracks true frequencies for validation.
+type exact struct {
+	f map[uint64]int64
+	m int64
+}
+
+func newExact() *exact { return &exact{f: make(map[uint64]int64)} }
+
+func (e *exact) add(items []uint64) {
+	for _, it := range items {
+		e.f[it]++
+	}
+	e.m += int64(len(items))
+}
+
+func checkGuarantee(t *testing.T, g *Summary, ex *exact, eps float64) {
+	t.Helper()
+	if g.StreamLen() != ex.m {
+		t.Fatalf("StreamLen %d want %d", g.StreamLen(), ex.m)
+	}
+	if len(g.Entries()) > g.Capacity() {
+		t.Fatalf("summary holds %d > S=%d counters", len(g.Entries()), g.Capacity())
+	}
+	bound := eps * float64(ex.m)
+	for it, fe := range ex.f {
+		est := g.Estimate(it)
+		if est > fe {
+			t.Fatalf("item %d: estimate %d > true %d", it, est, fe)
+		}
+		if float64(fe-est) > bound+1e-9 {
+			t.Fatalf("item %d: underestimate %d (true %d) beyond εm=%g", it, est, fe, bound)
+		}
+	}
+	// Untracked items must estimate 0 and have true count <= εm.
+	for _, e := range g.Entries() {
+		if _, ok := ex.f[e.Item]; !ok {
+			t.Fatalf("summary tracks item %d never seen", e.Item)
+		}
+	}
+}
+
+func TestLemma51GuaranteeUniform(t *testing.T) {
+	eps := 0.05
+	g := New(eps)
+	ex := newExact()
+	rng := rand.New(rand.NewSource(1))
+	for batch := 0; batch < 30; batch++ {
+		items := make([]uint64, 2000)
+		for i := range items {
+			items[i] = uint64(rng.Intn(500))
+		}
+		g.ProcessBatch(items)
+		ex.add(items)
+		checkGuarantee(t, g, ex, eps)
+	}
+}
+
+func TestLemma51GuaranteeZipf(t *testing.T) {
+	eps := 0.01
+	g := New(eps)
+	ex := newExact()
+	rng := rand.New(rand.NewSource(2))
+	zipf := rand.NewZipf(rng, 1.3, 1, 1<<16)
+	for batch := 0; batch < 20; batch++ {
+		items := make([]uint64, 5000)
+		for i := range items {
+			items[i] = zipf.Uint64()
+		}
+		g.ProcessBatch(items)
+		ex.add(items)
+	}
+	checkGuarantee(t, g, ex, eps)
+}
+
+func TestSingleHeavyItem(t *testing.T) {
+	g := New(0.1)
+	ex := newExact()
+	items := make([]uint64, 10000)
+	for i := range items {
+		if i%2 == 0 {
+			items[i] = 42
+		} else {
+			items[i] = uint64(1000 + i) // all distinct
+		}
+	}
+	g.ProcessBatch(items)
+	ex.add(items)
+	checkGuarantee(t, g, ex, 0.1)
+	if est := g.Estimate(42); float64(est) < 0.4*float64(ex.m) {
+		t.Fatalf("heavy item underestimated: %d of %d", est, ex.f[42])
+	}
+}
+
+func TestHeavyHitters(t *testing.T) {
+	eps, phi := 0.02, 0.1
+	g := New(eps)
+	ex := newExact()
+	rng := rand.New(rand.NewSource(3))
+	for batch := 0; batch < 10; batch++ {
+		items := make([]uint64, 3000)
+		for i := range items {
+			switch {
+			case rng.Float64() < 0.3:
+				items[i] = 1 // ~30%: heavy
+			case rng.Float64() < 0.2:
+				items[i] = 2 // ~14%: heavy
+			default:
+				items[i] = uint64(rng.Intn(100000)) + 10
+			}
+		}
+		g.ProcessBatch(items)
+		ex.add(items)
+	}
+	hh := g.HeavyHitters(phi)
+	got := make(map[uint64]bool)
+	for _, h := range hh {
+		got[h] = true
+	}
+	phiN := phi * float64(ex.m)
+	for it, fe := range ex.f {
+		if float64(fe) >= phiN && !got[it] {
+			t.Fatalf("missed heavy hitter %d (f=%d, φN=%g)", it, fe, phiN)
+		}
+	}
+	for h := range got {
+		if float64(ex.f[h]) < (phi-eps)*float64(ex.m) {
+			t.Fatalf("false positive %d (f=%d < (φ-ε)N=%g)", h, ex.f[h], (phi-eps)*float64(ex.m))
+		}
+	}
+}
+
+func TestEmptyBatch(t *testing.T) {
+	g := New(0.1)
+	g.ProcessBatch(nil)
+	g.ProcessBatch([]uint64{})
+	if g.StreamLen() != 0 || len(g.Entries()) != 0 {
+		t.Fatal("empty batches changed state")
+	}
+}
+
+func TestBatchOfOneItemKind(t *testing.T) {
+	g := NewWithCapacity(3)
+	for i := 0; i < 5; i++ {
+		g.ProcessBatch([]uint64{9, 9, 9, 9})
+	}
+	if est := g.Estimate(9); est != 20 {
+		t.Fatalf("single-item stream: estimate %d want 20", est)
+	}
+}
+
+func TestCapacityOne(t *testing.T) {
+	// S=1 is the extreme: only the majority-style single counter.
+	g := NewWithCapacity(1)
+	ex := newExact()
+	rng := rand.New(rand.NewSource(4))
+	for batch := 0; batch < 20; batch++ {
+		items := make([]uint64, 100)
+		for i := range items {
+			items[i] = uint64(rng.Intn(4))
+		}
+		g.ProcessBatch(items)
+		ex.add(items)
+		checkGuarantee(t, g, ex, 1.0)
+	}
+}
+
+func TestManySmallBatches(t *testing.T) {
+	eps := 0.05
+	g := New(eps)
+	ex := newExact()
+	rng := rand.New(rand.NewSource(5))
+	for batch := 0; batch < 500; batch++ {
+		items := make([]uint64, rng.Intn(5)) // tiny, sometimes empty
+		for i := range items {
+			items[i] = uint64(rng.Intn(50))
+		}
+		g.ProcessBatch(items)
+		ex.add(items)
+	}
+	checkGuarantee(t, g, ex, eps)
+}
+
+func TestAugmentHistDirect(t *testing.T) {
+	g := NewWithCapacity(2)
+	g.AugmentHist([]hist.Entry{{Item: 1, Freq: 5}, {Item: 2, Freq: 3}, {Item: 3, Freq: 1}})
+	// ϕ = 3rd largest = 1; counts become 4, 2, 0 -> two survivors.
+	if len(g.Entries()) > 2 {
+		t.Fatalf("kept %d > 2 entries", len(g.Entries()))
+	}
+	if g.Estimate(1) != 4 || g.Estimate(2) != 2 || g.Estimate(3) != 0 {
+		t.Fatalf("estimates: %d %d %d", g.Estimate(1), g.Estimate(2), g.Estimate(3))
+	}
+}
+
+func TestPanics(t *testing.T) {
+	for _, f := range []func(){
+		func() { New(0) },
+		func() { New(1.5) },
+		func() { NewWithCapacity(0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestSpaceWords(t *testing.T) {
+	g := New(0.01) // S = 100
+	rng := rand.New(rand.NewSource(6))
+	items := make([]uint64, 100000)
+	for i := range items {
+		items[i] = rng.Uint64() % 100000
+	}
+	g.ProcessBatch(items)
+	if sw := g.SpaceWords(); sw > 4*g.Capacity()+4 {
+		t.Fatalf("SpaceWords %d exceeds 4S+4 = %d", sw, 4*g.Capacity()+4)
+	}
+}

@@ -1,0 +1,103 @@
+// Package minibatch implements the discretized-stream driver from the
+// paper's processing model (Section 1): the stream arrives divided into
+// minibatches; the engine processes each batch (internally in parallel)
+// and queries are answered at batch boundaries. The driver measures
+// throughput and per-batch latency for the benchmark harness.
+package minibatch
+
+import "time"
+
+// Engine is anything that ingests minibatches of items.
+type Engine interface {
+	ProcessBatch(items []uint64)
+}
+
+// BitEngine is anything that ingests minibatches of bits.
+type BitEngine interface {
+	ProcessBits(bits []bool)
+}
+
+// Stats reports the outcome of a drive.
+type Stats struct {
+	Batches  int
+	Items    int64
+	Elapsed  time.Duration
+	MaxBatch time.Duration // slowest single batch
+}
+
+// NsPerItem returns the average per-item processing cost.
+func (s Stats) NsPerItem() float64 {
+	if s.Items == 0 {
+		return 0
+	}
+	return float64(s.Elapsed.Nanoseconds()) / float64(s.Items)
+}
+
+// ItemsPerSec returns the sustained ingestion throughput.
+func (s Stats) ItemsPerSec() float64 {
+	if s.Elapsed <= 0 {
+		return 0
+	}
+	return float64(s.Items) / s.Elapsed.Seconds()
+}
+
+// Drive feeds the stream to the engine in minibatches of the given size
+// and collects timing statistics.
+func Drive(e Engine, stream []uint64, batch int) Stats {
+	if batch < 1 {
+		panic("minibatch: batch size must be >= 1")
+	}
+	var st Stats
+	start := time.Now()
+	for lo := 0; lo < len(stream); lo += batch {
+		hi := lo + batch
+		if hi > len(stream) {
+			hi = len(stream)
+		}
+		b0 := time.Now()
+		e.ProcessBatch(stream[lo:hi])
+		if d := time.Since(b0); d > st.MaxBatch {
+			st.MaxBatch = d
+		}
+		st.Batches++
+		st.Items += int64(hi - lo)
+	}
+	st.Elapsed = time.Since(start)
+	return st
+}
+
+// DriveBits feeds a bit stream to a bit engine in minibatches.
+func DriveBits(e BitEngine, stream []bool, batch int) Stats {
+	if batch < 1 {
+		panic("minibatch: batch size must be >= 1")
+	}
+	var st Stats
+	start := time.Now()
+	for lo := 0; lo < len(stream); lo += batch {
+		hi := lo + batch
+		if hi > len(stream) {
+			hi = len(stream)
+		}
+		b0 := time.Now()
+		e.ProcessBits(stream[lo:hi])
+		if d := time.Since(b0); d > st.MaxBatch {
+			st.MaxBatch = d
+		}
+		st.Batches++
+		st.Items += int64(hi - lo)
+	}
+	st.Elapsed = time.Since(start)
+	return st
+}
+
+// Func adapts a function to the Engine interface.
+type Func func(items []uint64)
+
+// ProcessBatch implements Engine.
+func (f Func) ProcessBatch(items []uint64) { f(items) }
+
+// BitFunc adapts a function to the BitEngine interface.
+type BitFunc func(bits []bool)
+
+// ProcessBits implements BitEngine.
+func (f BitFunc) ProcessBits(bits []bool) { f(bits) }

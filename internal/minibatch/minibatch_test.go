@@ -1,0 +1,65 @@
+package minibatch
+
+import (
+	"testing"
+)
+
+func TestDriveCoversStream(t *testing.T) {
+	var got []uint64
+	var batches int
+	e := Func(func(items []uint64) {
+		got = append(got, items...)
+		batches++
+	})
+	stream := make([]uint64, 1000)
+	for i := range stream {
+		stream[i] = uint64(i)
+	}
+	st := Drive(e, stream, 64)
+	if st.Items != 1000 || st.Batches != 16 || batches != 16 {
+		t.Fatalf("stats: %+v (batches=%d)", st, batches)
+	}
+	for i, v := range got {
+		if v != uint64(i) {
+			t.Fatalf("order broken at %d", i)
+		}
+	}
+	if st.NsPerItem() < 0 || st.ItemsPerSec() < 0 {
+		t.Fatal("negative rates")
+	}
+}
+
+func TestDriveBits(t *testing.T) {
+	var n int
+	e := BitFunc(func(bits []bool) { n += len(bits) })
+	st := DriveBits(e, make([]bool, 100), 33)
+	if st.Items != 100 || st.Batches != 4 || n != 100 {
+		t.Fatalf("stats: %+v", st)
+	}
+}
+
+func TestDriveEmpty(t *testing.T) {
+	st := Drive(Func(func([]uint64) {}), nil, 10)
+	if st.Items != 0 || st.Batches != 0 {
+		t.Fatalf("empty drive: %+v", st)
+	}
+	if st.NsPerItem() != 0 {
+		t.Fatal("NsPerItem on empty should be 0")
+	}
+}
+
+func TestDrivePanicsOnBadBatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Drive(Func(func([]uint64) {}), []uint64{1}, 0)
+}
+
+func TestZeroElapsedRates(t *testing.T) {
+	var s Stats
+	if s.ItemsPerSec() != 0 {
+		t.Fatal("zero-elapsed ItemsPerSec should be 0")
+	}
+}

@@ -1,0 +1,45 @@
+package parallel
+
+import "sort"
+
+// Merge merges two sorted int64 slices into a freshly allocated sorted
+// slice using the classic divide-and-conquer parallel merge: O(n+m) work,
+// O(log^2(n+m)) span. Used by tests and by the independent-data-structure
+// baseline's merge tree.
+func Merge(a, b []int64) []int64 {
+	out := make([]int64, len(a)+len(b))
+	mergeInto(a, b, out)
+	return out
+}
+
+func mergeInto(a, b []int64, out []int64) {
+	if len(a) < len(b) {
+		a, b = b, a
+	}
+	if len(a) == 0 {
+		return
+	}
+	if len(a)+len(b) <= 4*DefaultGrain {
+		i, j, k := 0, 0, 0
+		for i < len(a) && j < len(b) {
+			if a[i] <= b[j] {
+				out[k] = a[i]
+				i++
+			} else {
+				out[k] = b[j]
+				j++
+			}
+			k++
+		}
+		copy(out[k:], a[i:])
+		copy(out[k+len(a)-i:], b[j:])
+		return
+	}
+	ma := len(a) / 2
+	pivot := a[ma]
+	mb := sort.Search(len(b), func(i int) bool { return b[i] > pivot })
+	Do(
+		func() { mergeInto(a[:ma], b[:mb], out[:ma+mb]) },
+		func() { mergeInto(a[ma:], b[mb:], out[ma+mb:]) },
+	)
+}

@@ -1,0 +1,104 @@
+package parallel
+
+// Number is the constraint for arithmetic reductions and scans.
+type Number interface {
+	~int | ~int8 | ~int16 | ~int32 | ~int64 |
+		~uint | ~uint8 | ~uint16 | ~uint32 | ~uint64 | ~uintptr |
+		~float32 | ~float64
+}
+
+// Reduce combines leaf results over [0, n) using an associative combine
+// with identity id. leaf(lo, hi) must compute the reduction of the range
+// sequentially; combine must be associative with id as identity.
+func Reduce[T any](n, grain int, id T, combine func(a, b T) T, leaf func(lo, hi int) T) T {
+	if n <= 0 {
+		return id
+	}
+	chunks := splitCount(n, grain)
+	if chunks == 1 {
+		return combine(id, leaf(0, n))
+	}
+	partial := make([]T, chunks)
+	chunked(n, chunks, func(c, lo, hi int) {
+		partial[c] = leaf(lo, hi)
+	})
+	out := id
+	for _, p := range partial {
+		out = combine(out, p)
+	}
+	return out
+}
+
+// Sum returns the sum of xs using parallel reduction.
+func Sum[T Number](xs []T) T {
+	return Reduce(len(xs), DefaultGrain, T(0),
+		func(a, b T) T { return a + b },
+		func(lo, hi int) T {
+			var s T
+			for _, v := range xs[lo:hi] {
+				s += v
+			}
+			return s
+		})
+}
+
+// Max returns the maximum of xs, or def when xs is empty.
+func Max[T Number](xs []T, def T) T {
+	if len(xs) == 0 {
+		return def
+	}
+	return Reduce(len(xs), DefaultGrain, xs[0],
+		func(a, b T) T {
+			if a > b {
+				return a
+			}
+			return b
+		},
+		func(lo, hi int) T {
+			m := xs[lo]
+			for _, v := range xs[lo+1 : hi] {
+				if v > m {
+					m = v
+				}
+			}
+			return m
+		})
+}
+
+// Min returns the minimum of xs, or def when xs is empty.
+func Min[T Number](xs []T, def T) T {
+	if len(xs) == 0 {
+		return def
+	}
+	return Reduce(len(xs), DefaultGrain, xs[0],
+		func(a, b T) T {
+			if a < b {
+				return a
+			}
+			return b
+		},
+		func(lo, hi int) T {
+			m := xs[lo]
+			for _, v := range xs[lo+1 : hi] {
+				if v < m {
+					m = v
+				}
+			}
+			return m
+		})
+}
+
+// Count returns the number of indices i in [0, n) for which pred(i) holds.
+func Count(n int, pred func(i int) bool) int {
+	return Reduce(n, DefaultGrain, 0,
+		func(a, b int) int { return a + b },
+		func(lo, hi int) int {
+			c := 0
+			for i := lo; i < hi; i++ {
+				if pred(i) {
+					c++
+				}
+			}
+			return c
+		})
+}

@@ -1,0 +1,44 @@
+package sbbc
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/css"
+)
+
+func BenchmarkAdvance(b *testing.B) {
+	for _, gamma := range []int64{1, 64, 4096} {
+		b.Run(fmt.Sprintf("gamma%d", gamma), func(b *testing.B) {
+			seg := css.FromFunc(1<<14, func(i int) bool { return i%4 == 0 })
+			c := New(1<<20, 0, gamma)
+			b.SetBytes(1 << 14)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				c.Advance(seg)
+			}
+		})
+	}
+}
+
+func BenchmarkAdvanceWithCapacity(b *testing.B) {
+	seg := css.FromFunc(1<<14, func(i int) bool { return i%2 == 0 })
+	c := New(1<<20, 64, 16)
+	b.SetBytes(1 << 14)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Advance(seg)
+	}
+}
+
+func BenchmarkQueryAndValue(b *testing.B) {
+	c := New(1<<16, 8, 32)
+	c.Advance(css.FromFunc(1<<16, func(i int) bool { return i%3 == 0 }))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if v, ok := c.Query(); ok {
+			_ = v
+		}
+		_ = c.ValueForWindow(1 << 12)
+	}
+}

@@ -1,0 +1,137 @@
+// Package sbbc implements the (σ,λ)-space-bounded block counter of
+// Section 3.2 (Theorem 3.4): a γ-snapshot (γ = max(1, ⌊λ/2⌋)) kept
+// together with demarcation information (t, r) that records the window
+// the snapshot actually covers. The counter tracks a window of size n,
+// but caps its live sampled entries at 2σ; when the cap is exceeded the
+// oldest entries are dropped and the coverage r is truncated, and Query
+// reports OVERFLOWED (ok=false) until the window slides past the
+// truncation point.
+//
+// Guarantees (for γ >= 1, window count m of the last n positions):
+//   - if Query reports overflow, then m >= 2γ·(σ-1) — the "coarse lower
+//     bound" the basic-counting ladder exploits (with γ = λ/2 this is the
+//     paper's m >= σλ up to rounding; the σ-1 accounts for the window
+//     continuing to slide between the truncation and the query while the
+//     retained 2σ sampled entries, worth at least 2σγ, stay in coverage);
+//   - otherwise m <= Value <= m + 2γ <= m + λ (Corollary 3.5).
+package sbbc
+
+import (
+	"repro/internal/css"
+	"repro/internal/snapshot"
+)
+
+// Counter is a (σ,λ)-space-bounded block counter for a window of size n.
+type Counter struct {
+	snap  *snapshot.Snapshot
+	n     int64 // window size being tracked
+	sigma int64 // capacity parameter; <= 0 means unbounded
+	r     int64 // coverage: the snapshot vouches for the last r positions
+}
+
+// New creates a counter for window size n with capacity parameter sigma
+// (sigma <= 0 means unbounded — the (∞, λ)-SBBC the frequency-estimation
+// algorithms use) and block size gamma = max(1, ⌊λ/2⌋) chosen by the
+// caller. n must be >= 1.
+func New(n, sigma, gamma int64) *Counter {
+	if n < 1 {
+		panic("sbbc: window size must be >= 1")
+	}
+	return &Counter{snap: snapshot.New(gamma), n: n, sigma: sigma, r: 0}
+}
+
+// NewFromLambda creates a counter with the paper's parameterization:
+// additive error budget lambda, realized as gamma = max(1, ⌊lambda/2⌋).
+func NewFromLambda(n, sigma int64, lambda float64) *Counter {
+	gamma := int64(lambda / 2)
+	if gamma < 1 {
+		gamma = 1
+	}
+	return New(n, sigma, gamma)
+}
+
+// Gamma returns the snapshot block size.
+func (c *Counter) Gamma() int64 { return c.snap.Gamma() }
+
+// N returns the tracked window size.
+func (c *Counter) N() int64 { return c.n }
+
+// T returns the number of stream positions consumed.
+func (c *Counter) T() int64 { return c.snap.T() }
+
+// Coverage returns r, the number of trailing positions the snapshot
+// covers (r < N means overflowed).
+func (c *Counter) Coverage() int64 { return c.r }
+
+// Advance incorporates a minibatch encoded as a CSS (Theorem 3.4's
+// advance): extend the snapshot, slide/shrink the window, and truncate
+// coverage if the σ capacity is exceeded. Work O(min(σ, m/γ) + count/γ)
+// plus the cost of reading the CSS; polylog depth.
+func (c *Counter) Advance(seg css.Segment) {
+	c.snap.Append(seg)
+	c.r += seg.Len
+	if c.r > c.n {
+		c.r = c.n
+	}
+	c.snap.EvictBefore(c.snap.T() - c.r + 1)
+	if c.sigma > 0 {
+		if over := c.snap.NumBlocks() - int(2*c.sigma); over > 0 {
+			lastBlock := c.snap.DropOldest(over)
+			// The snapshot now only vouches for positions after the end of
+			// the dropped block.
+			if cov := c.snap.T() - lastBlock*c.snap.Gamma(); cov < c.r {
+				c.r = cov
+			}
+		}
+	}
+}
+
+// Overflowed reports whether the counter's coverage has been truncated
+// below the tracked window. While the stream is shorter than the window
+// (t < n), full coverage means covering the whole stream so far.
+func (c *Counter) Overflowed() bool {
+	want := c.n
+	if t := c.snap.T(); t < want {
+		want = t
+	}
+	return c.r < want
+}
+
+// Query returns the snapshot value for the window and ok=true, or ok=false
+// if the counter is overflowed (the paper's OVERFLOWED sentinel).
+func (c *Counter) Query() (value int64, ok bool) {
+	if c.Overflowed() {
+		return 0, false
+	}
+	return c.snap.Value(), true
+}
+
+// Value returns the snapshot value regardless of overflow state. Callers
+// that have checked Overflowed (or run with sigma <= 0) use this.
+func (c *Counter) Value() int64 { return c.snap.Value() }
+
+// ValueForWindow returns the counter's value for a hypothetically smaller
+// window of the last w positions (Lemma 3.3's shrink) without mutating
+// state. Used by the predict step of the work-efficient algorithm.
+func (c *Counter) ValueForWindow(w int64) int64 {
+	if w > c.r {
+		w = c.r
+	}
+	return c.snap.ValueForWindow(w)
+}
+
+// Decrement reduces the counter's value by exactly min(r, Value)
+// (Theorem 3.4's decrement). Only meaningful when not overflowed.
+func (c *Counter) Decrement(r int64) { c.snap.Decrement(r) }
+
+// SpaceWords estimates the counter's memory footprint in 64-bit words.
+func (c *Counter) SpaceWords() int { return c.snap.SpaceWords() + 3 }
+
+// OverflowThreshold returns 2γ·(σ-1), a lower bound on the window's true
+// count whenever the counter reports overflow (0 when unbounded).
+func (c *Counter) OverflowThreshold() int64 {
+	if c.sigma <= 0 {
+		return 0
+	}
+	return 2 * c.snap.Gamma() * (c.sigma - 1)
+}

@@ -1,0 +1,225 @@
+package sbbc
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/css"
+)
+
+// ref tracks the true stream to validate counter guarantees.
+type ref struct {
+	bits []bool
+}
+
+func (r *ref) append(seg []bool) { r.bits = append(r.bits, seg...) }
+
+func (r *ref) onesInLast(n int64) int64 {
+	start := int64(len(r.bits)) - n
+	if start < 0 {
+		start = 0
+	}
+	var m int64
+	for _, b := range r.bits[start:] {
+		if b {
+			m++
+		}
+	}
+	return m
+}
+
+func randSeg(rng *rand.Rand, maxLen int, density float64) []bool {
+	n := rng.Intn(maxLen + 1)
+	seg := make([]bool, n)
+	for i := range seg {
+		seg[i] = rng.Float64() < density
+	}
+	return seg
+}
+
+// TestTheorem34Contract drives random minibatches and asserts the full
+// query contract: overflow implies m >= 2γ(σ-1); otherwise the value is
+// within [m, m+2γ].
+func TestTheorem34Contract(t *testing.T) {
+	cases := []struct {
+		n, sigma, gamma int64
+	}{
+		{100, 4, 2},
+		{100, 2, 5},
+		{1000, 8, 10},
+		{50, 1, 1},
+		{500, 3, 25},
+		{64, 16, 1},
+	}
+	for _, tc := range cases {
+		rng := rand.New(rand.NewSource(tc.n*31 + tc.sigma*7 + tc.gamma))
+		c := New(tc.n, tc.sigma, tc.gamma)
+		r := &ref{}
+		overflowSeen, okSeen := false, false
+		for step := 0; step < 300; step++ {
+			density := []float64{0.9, 0.1, 0.5, 0}[step%4]
+			seg := randSeg(rng, int(tc.n)/3+1, density)
+			c.Advance(css.FromBools(seg))
+			r.append(seg)
+			m := r.onesInLast(tc.n)
+			if v, ok := c.Query(); ok {
+				okSeen = true
+				if v < m || v > m+2*tc.gamma {
+					t.Fatalf("n=%d σ=%d γ=%d step=%d: value %d outside [%d,%d]",
+						tc.n, tc.sigma, tc.gamma, step, v, m, m+2*tc.gamma)
+				}
+			} else {
+				overflowSeen = true
+				if thr := c.OverflowThreshold(); m < thr {
+					t.Fatalf("n=%d σ=%d γ=%d step=%d: overflowed but m=%d < threshold %d",
+						tc.n, tc.sigma, tc.gamma, step, m, thr)
+				}
+			}
+			if nb := c.SpaceWords(); tc.sigma > 0 && nb > int(2*tc.sigma)+8 {
+				t.Fatalf("space %d exceeds cap for σ=%d", nb, tc.sigma)
+			}
+		}
+		_ = okSeen
+		_ = overflowSeen
+	}
+}
+
+// TestWarmupNotOverflowed: a fresh counter observing fewer than n
+// positions covers the whole stream and must not report overflow.
+func TestWarmupNotOverflowed(t *testing.T) {
+	c := New(1000, 4, 2)
+	if c.Overflowed() {
+		t.Fatal("fresh counter overflowed")
+	}
+	c.Advance(css.FromBools([]bool{true, false, true}))
+	if c.Overflowed() {
+		t.Fatal("warm-up counter overflowed")
+	}
+	if v, ok := c.Query(); !ok || v < 2 || v > 2+2*c.Gamma() {
+		t.Fatalf("warm-up query = %d, %v", v, ok)
+	}
+}
+
+// TestUnboundedNeverOverflows: sigma <= 0 disables capacity truncation.
+func TestUnboundedNeverOverflows(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	c := New(200, 0, 3)
+	r := &ref{}
+	for step := 0; step < 100; step++ {
+		seg := randSeg(rng, 100, 0.8)
+		c.Advance(css.FromBools(seg))
+		r.append(seg)
+		v, ok := c.Query()
+		if !ok {
+			t.Fatal("unbounded counter overflowed")
+		}
+		m := r.onesInLast(200)
+		if v < m || v > m+2*c.Gamma() {
+			t.Fatalf("step %d: value %d outside [%d,%d]", step, v, m, m+6)
+		}
+	}
+}
+
+// TestOverflowHeals: after truncation, a quiet stream lets the window
+// slide past the truncation point and the counter recovers.
+func TestOverflowHeals(t *testing.T) {
+	c := New(50, 2, 1) // capacity 4 sampled entries, γ=1: overflow fast
+	dense := make([]bool, 40)
+	for i := range dense {
+		dense[i] = true
+	}
+	c.Advance(css.FromBools(dense))
+	if !c.Overflowed() {
+		t.Fatal("expected overflow after dense burst")
+	}
+	// 60 zeros slide the burst fully out of the window.
+	c.Advance(css.FromBools(make([]bool, 60)))
+	if c.Overflowed() {
+		t.Fatal("counter did not heal after window slid past burst")
+	}
+	if v, ok := c.Query(); !ok || v != 0 {
+		t.Fatalf("healed counter value = %d, ok=%v; want 0, true", v, ok)
+	}
+}
+
+func TestDecrementReducesValue(t *testing.T) {
+	c := New(100, 0, 2)
+	bits := make([]bool, 30)
+	for i := range bits {
+		bits[i] = true
+	}
+	c.Advance(css.FromBools(bits))
+	before := c.Value()
+	c.Decrement(7)
+	if got := c.Value(); got != before-7 {
+		t.Fatalf("decrement: %d -> %d, want %d", before, got, before-7)
+	}
+	c.Decrement(before) // over-decrement clamps at 0
+	if got := c.Value(); got != 0 {
+		t.Fatalf("over-decrement left value %d", got)
+	}
+}
+
+func TestValueForWindow(t *testing.T) {
+	c := New(1000, 0, 1) // exact
+	r := &ref{}
+	rng := rand.New(rand.NewSource(9))
+	for i := 0; i < 20; i++ {
+		seg := randSeg(rng, 80, 0.4)
+		c.Advance(css.FromBools(seg))
+		r.append(seg)
+	}
+	for _, w := range []int64{1, 10, 100, 1000} {
+		if got, want := c.ValueForWindow(w), r.onesInLast(w); got != want {
+			t.Fatalf("w=%d: ValueForWindow=%d want %d", w, got, want)
+		}
+	}
+}
+
+func TestNewFromLambda(t *testing.T) {
+	if g := NewFromLambda(10, 1, 7).Gamma(); g != 3 {
+		t.Fatalf("lambda=7: gamma=%d want 3", g)
+	}
+	if g := NewFromLambda(10, 1, 0.5).Gamma(); g != 1 {
+		t.Fatalf("lambda=0.5: gamma=%d want 1", g)
+	}
+	if g := NewFromLambda(10, 1, 2).Gamma(); g != 1 {
+		t.Fatalf("lambda=2: gamma=%d want 1", g)
+	}
+}
+
+func TestNewPanicsOnBadWindow(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("New(0, ...) did not panic")
+		}
+	}()
+	New(0, 1, 1)
+}
+
+func TestAccessors(t *testing.T) {
+	c := New(42, 5, 3)
+	if c.N() != 42 || c.Gamma() != 3 || c.T() != 0 || c.Coverage() != 0 {
+		t.Fatalf("accessors: N=%d γ=%d T=%d r=%d", c.N(), c.Gamma(), c.T(), c.Coverage())
+	}
+	c.Advance(css.Segment{Len: 10})
+	if c.T() != 10 || c.Coverage() != 10 {
+		t.Fatalf("after advance: T=%d r=%d", c.T(), c.Coverage())
+	}
+}
+
+// TestBatchLargerThanWindow: a single minibatch longer than the window
+// must behave like the window over its suffix.
+func TestBatchLargerThanWindow(t *testing.T) {
+	c := New(10, 0, 1)
+	bits := make([]bool, 100)
+	for i := range bits {
+		bits[i] = i%2 == 0
+	}
+	c.Advance(css.FromBools(bits))
+	// window = last 10 positions (91..100, 0-based 90..99): even 0-based
+	// indices are ones -> 5 ones.
+	if v, ok := c.Query(); !ok || v != 5 {
+		t.Fatalf("value=%d ok=%v want 5,true", v, ok)
+	}
+}

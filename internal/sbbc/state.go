@@ -1,0 +1,35 @@
+package sbbc
+
+import (
+	"fmt"
+
+	"repro/internal/snapshot"
+)
+
+// State is the serializable form of a Counter.
+type State struct {
+	N     int64
+	Sigma int64
+	R     int64
+	Snap  snapshot.State
+}
+
+// State captures the counter for serialization.
+func (c *Counter) State() State {
+	return State{N: c.n, Sigma: c.sigma, R: c.r, Snap: c.snap.State()}
+}
+
+// FromState reconstructs a counter, validating invariants.
+func FromState(st State) (*Counter, error) {
+	if st.N < 1 {
+		return nil, fmt.Errorf("sbbc: state window %d < 1", st.N)
+	}
+	if st.R < 0 || st.R > st.N {
+		return nil, fmt.Errorf("sbbc: state coverage %d outside [0, %d]", st.R, st.N)
+	}
+	snap, err := snapshot.FromState(st.Snap)
+	if err != nil {
+		return nil, err
+	}
+	return &Counter{snap: snap, n: st.N, sigma: st.Sigma, r: st.R}, nil
+}

@@ -1,0 +1,49 @@
+package snapshot
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/css"
+)
+
+func BenchmarkAppend(b *testing.B) {
+	for _, gamma := range []int64{4, 64, 1024} {
+		b.Run(fmt.Sprintf("gamma%d", gamma), func(b *testing.B) {
+			seg := css.FromFunc(1<<16, func(i int) bool { return i%2 == 0 })
+			s := New(gamma)
+			b.SetBytes(1 << 16)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				s.Append(seg)
+				s.EvictBefore(s.T() - 1<<20)
+			}
+		})
+	}
+}
+
+func BenchmarkDecrement(b *testing.B) {
+	seg := css.FromFunc(1<<16, func(i int) bool { return true })
+	s := New(8)
+	s.Append(seg)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Decrement(3)
+		if s.Value() < 100 {
+			b.StopTimer()
+			s.Append(seg)
+			b.StartTimer()
+		}
+	}
+}
+
+func BenchmarkValueForWindow(b *testing.B) {
+	s := New(4)
+	for k := 0; k < 64; k++ {
+		s.Append(css.FromFunc(1<<12, func(i int) bool { return i%3 == 0 }))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = s.ValueForWindow(1 << 14)
+	}
+}

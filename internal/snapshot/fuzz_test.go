@@ -1,0 +1,51 @@
+package snapshot
+
+import (
+	"testing"
+
+	"repro/internal/css"
+)
+
+// FuzzLemma32 drives a snapshot with an arbitrary operation stream
+// decoded from fuzz bytes — appends of fuzzer-chosen bit segments and
+// evictions — and asserts Lemma 3.2's two-sided bound against a
+// reference bit buffer.
+func FuzzLemma32(f *testing.F) {
+	f.Add(uint8(3), uint8(10), []byte{0xff, 0x0f, 0x00, 0xf0})
+	f.Add(uint8(1), uint8(1), []byte{0xaa})
+	f.Add(uint8(200), uint8(255), []byte{0x01, 0x02, 0x03, 0x04, 0x05})
+	f.Fuzz(func(t *testing.T, gammaRaw, windowRaw uint8, data []byte) {
+		gamma := int64(gammaRaw%32) + 1
+		window := int64(windowRaw%200) + 1
+		s := New(gamma)
+		var all []bool
+		// Each byte is an 8-bit segment; every 4th byte also triggers an
+		// eviction to the window.
+		for k, b := range data {
+			seg := make([]bool, 8)
+			for i := range seg {
+				seg[i] = b>>uint(i)&1 == 1
+			}
+			s.Append(css.FromBools(seg))
+			all = append(all, seg...)
+			if k%4 == 3 {
+				s.EvictBefore(s.T() - window + 1)
+			}
+		}
+		s.EvictBefore(s.T() - window + 1)
+		start := int64(len(all)) - window
+		if start < 0 {
+			start = 0
+		}
+		var m int64
+		for _, bit := range all[start:] {
+			if bit {
+				m++
+			}
+		}
+		v := s.Value()
+		if v < m || v > m+2*gamma {
+			t.Fatalf("γ=%d w=%d: value %d outside [%d, %d]", gamma, window, v, m, m+2*gamma)
+		}
+	})
+}

@@ -1,0 +1,188 @@
+// Package snapshot implements γ-snapshots (Definition 3.1, after Lee and
+// Ting [LT06a, LT06b]): a deterministic-sampling synopsis of a binary
+// stream that supports approximate counting of 1s over a sliding window
+// with additive error at most 2γ (Lemma 3.2), window shrinking
+// (Lemma 3.3), parallel ingestion of a compacted stream segment, and the
+// decrement operation the space-bounded block counter builds on.
+//
+// Representation. The stream is divided into consecutive blocks of γ
+// positions; block k covers positions ((k-1)γ, kγ]. Every γ-th 1 of the
+// stream (by rank) is "sampled". The snapshot stores, oldest first, the
+// block ids of the sampled 1s whose block still overlaps the window of
+// interest, plus tail = the number of 1s seen after the most recent
+// sampled 1 (always < γ). Its value is γ·len(blocks) + tail, which
+// satisfies m <= value <= m + 2γ for the true window count m.
+//
+// Consecutive sampled 1s are at least γ positions apart, so block ids are
+// strictly increasing while the stream only advances; after a Decrement
+// (which logically deletes the most recent 1s), a block id may repeat, so
+// blocks is a non-decreasing multiset. Every entry always accounts for
+// exactly γ counted 1s, which keeps the value semantics exact.
+package snapshot
+
+import (
+	"sort"
+
+	"repro/internal/css"
+	"repro/internal/parallel"
+)
+
+// Snapshot is a γ-snapshot of a binary stream. The zero value is not
+// usable; call New.
+type Snapshot struct {
+	gamma  int64
+	t      int64   // total stream positions consumed so far
+	blocks []int64 // non-decreasing block ids of sampled (still-live) 1s
+	tail   int64   // 1s counted after the last sampled 1; 0 <= tail < gamma
+	head   int     // index of first live entry in blocks (amortized eviction)
+}
+
+// New creates an empty γ-snapshot. gamma must be >= 1.
+func New(gamma int64) *Snapshot {
+	if gamma < 1 {
+		panic("snapshot: gamma must be >= 1")
+	}
+	return &Snapshot{gamma: gamma}
+}
+
+// Gamma returns the block size γ.
+func (s *Snapshot) Gamma() int64 { return s.gamma }
+
+// T returns the number of stream positions consumed so far.
+func (s *Snapshot) T() int64 { return s.t }
+
+// NumBlocks returns the number of sampled entries currently held.
+func (s *Snapshot) NumBlocks() int { return len(s.blocks) - s.head }
+
+// Tail returns the count of 1s after the last sampled 1.
+func (s *Snapshot) Tail() int64 { return s.tail }
+
+// Value returns γ·|Q| + tail, the snapshot's estimate of the number of
+// live 1s (Lemma 3.2): m <= Value() <= m + 2γ, where m is the number of
+// 1s in the window the snapshot has been maintained for.
+func (s *Snapshot) Value() int64 {
+	return s.gamma*int64(s.NumBlocks()) + s.tail
+}
+
+// Append ingests a stream segment given as a CSS. It samples every γ-th
+// counted 1 (continuing the running tail), recording its block id. Work is
+// O(count/γ) plus O(1) amortized bookkeeping; the sampled positions are
+// computed independently in parallel (Section 3.2's advance inner loop).
+// Append does not evict; callers follow with EvictBefore to maintain a
+// window.
+func (s *Snapshot) Append(seg css.Segment) {
+	count := seg.Count()
+	if count > 0 {
+		// The j-th new sample (1-based) is the (j*γ - tail)-th 1 in seg.
+		q := int((s.tail + count) / s.gamma)
+		if q > 0 {
+			s.compact()
+			base := len(s.blocks)
+			s.blocks = append(s.blocks, make([]int64, q)...)
+			gamma, tail, t := s.gamma, s.tail, s.t
+			dst := s.blocks[base:]
+			ones := seg.Ones
+			parallel.ForGrain(q, parallel.DefaultGrain, func(j int) {
+				pos := t + ones[int64(j+1)*gamma-tail-1]
+				dst[j] = (pos + gamma - 1) / gamma // block id = ceil(pos/γ)
+			})
+		}
+		s.tail = (s.tail + count) % s.gamma
+	}
+	s.t += seg.Len
+}
+
+// EvictBefore drops all sampled entries whose block lies entirely before
+// the given 1-based stream position start, i.e. entries with block end
+// k·γ < start. These are exactly the samples that are too old for a
+// window starting at start (Definition 3.1's overlap condition).
+func (s *Snapshot) EvictBefore(start int64) {
+	live := s.blocks[s.head:]
+	// Block ids are non-decreasing: binary-search the first live entry.
+	i := sort.Search(len(live), func(i int) bool { return live[i]*s.gamma >= start })
+	s.head += i
+	if s.head > len(s.blocks)/2 && s.head > 64 {
+		s.compact()
+	}
+}
+
+// compact physically removes evicted prefix entries.
+func (s *Snapshot) compact() {
+	if s.head == 0 {
+		return
+	}
+	n := copy(s.blocks, s.blocks[s.head:])
+	s.blocks = s.blocks[:n]
+	s.head = 0
+}
+
+// ValueForWindow returns the value the snapshot would have after
+// EvictBefore(s.T()-w+1) — i.e. the estimate for a window of the last w
+// positions — without mutating the snapshot (Lemma 3.3's shrink, in O(log
+// |Q|)). w must be >= 0.
+func (s *Snapshot) ValueForWindow(w int64) int64 {
+	start := s.t - w + 1
+	live := s.blocks[s.head:]
+	i := sort.Search(len(live), func(i int) bool { return live[i]*s.gamma >= start })
+	return s.gamma*int64(len(live)-i) + s.tail
+}
+
+// DropOldest removes the d oldest sampled entries and returns the largest
+// removed block id (0 if none were removed). The space-bounded counter
+// uses this to truncate coverage when over capacity: after dropping
+// through block k, the snapshot only vouches for positions > k·γ.
+func (s *Snapshot) DropOldest(d int) int64 {
+	if d <= 0 {
+		return 0
+	}
+	live := len(s.blocks) - s.head
+	if d > live {
+		d = live
+	}
+	if d == 0 {
+		return 0
+	}
+	last := s.blocks[s.head+d-1]
+	s.head += d
+	if s.head > len(s.blocks)/2 && s.head > 64 {
+		s.compact()
+	}
+	return last
+}
+
+// Decrement logically deletes the most recent r counted 1s, reducing
+// Value() by exactly min(r, Value()): if r <= tail, the tail absorbs it;
+// otherwise the newest q = ceil((r-tail)/γ) sampled entries are removed
+// and the leftover γ·q + tail - r (in [0, γ)) is re-credited to the tail
+// (Section 3.2's decrement rule, stated with the snapshot's own block
+// size). O(q) work, O(log) depth.
+func (s *Snapshot) Decrement(r int64) {
+	if r <= 0 {
+		return
+	}
+	if r <= s.tail {
+		s.tail -= r
+		return
+	}
+	q := (r - s.tail + s.gamma - 1) / s.gamma
+	live := int64(s.NumBlocks())
+	if q >= live {
+		// All sampled entries are consumed; whatever of the value survives
+		// (it is < γ, since r - tail > γ(live-1)) lives on in the tail.
+		left := s.Value() - r
+		if left < 0 {
+			left = 0
+		}
+		s.blocks = s.blocks[:s.head]
+		s.tail = left
+		return
+	}
+	s.blocks = s.blocks[:len(s.blocks)-int(q)]
+	s.tail = s.gamma*q + s.tail - r
+}
+
+// SpaceWords estimates the memory footprint in 64-bit words (live sampled
+// entries plus O(1) bookkeeping), used by the space experiments.
+func (s *Snapshot) SpaceWords() int {
+	return s.NumBlocks() + 4
+}

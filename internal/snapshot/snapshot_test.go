@@ -1,0 +1,280 @@
+package snapshot
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/css"
+)
+
+// refWindow is a reference implementation that stores the raw bits of the
+// suffix of the stream, for checking Lemma 3.2's guarantee.
+type refWindow struct {
+	bits []bool // entire stream (tests keep streams modest)
+}
+
+func (r *refWindow) append(seg []bool) { r.bits = append(r.bits, seg...) }
+
+// onesIn counts 1s in the last w positions.
+func (r *refWindow) onesIn(w int64) int64 {
+	start := int64(len(r.bits)) - w
+	if start < 0 {
+		start = 0
+	}
+	var m int64
+	for _, b := range r.bits[start:] {
+		if b {
+			m++
+		}
+	}
+	return m
+}
+
+func randomSegment(rng *rand.Rand, maxLen int, density float64) []bool {
+	n := rng.Intn(maxLen + 1)
+	seg := make([]bool, n)
+	for i := range seg {
+		seg[i] = rng.Float64() < density
+	}
+	return seg
+}
+
+// TestLemma32Guarantee drives random segments through a snapshot
+// maintained for a sliding window and asserts m <= value <= m + 2γ.
+func TestLemma32Guarantee(t *testing.T) {
+	for _, gamma := range []int64{1, 2, 3, 7, 16, 100} {
+		for _, window := range []int64{1, 10, 64, 500} {
+			rng := rand.New(rand.NewSource(gamma*1000 + window))
+			s := New(gamma)
+			ref := &refWindow{}
+			for step := 0; step < 60; step++ {
+				density := []float64{0, 0.05, 0.5, 1}[step%4]
+				seg := randomSegment(rng, 200, density)
+				s.Append(css.FromBools(seg))
+				ref.append(seg)
+				s.EvictBefore(s.T() - window + 1)
+				m := ref.onesIn(window)
+				v := s.Value()
+				if v < m || v > m+2*gamma {
+					t.Fatalf("γ=%d w=%d step=%d: value %d outside [%d, %d]",
+						gamma, window, step, v, m, m+2*gamma)
+				}
+				if s.Tail() < 0 || s.Tail() >= gamma {
+					t.Fatalf("tail %d outside [0, γ)", s.Tail())
+				}
+			}
+		}
+	}
+}
+
+// TestGammaOneExact verifies that γ=1 degenerates to exact counting.
+func TestGammaOneExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	s := New(1)
+	ref := &refWindow{}
+	const window = 77
+	for step := 0; step < 50; step++ {
+		seg := randomSegment(rng, 100, 0.3)
+		s.Append(css.FromBools(seg))
+		ref.append(seg)
+		s.EvictBefore(s.T() - window + 1)
+		if got, want := s.Value(), ref.onesIn(window); got != want {
+			t.Fatalf("step %d: γ=1 value %d want exact %d", step, got, want)
+		}
+	}
+}
+
+func TestValueForWindowMatchesEvict(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	gamma := int64(5)
+	s := New(gamma)
+	for step := 0; step < 30; step++ {
+		s.Append(css.FromBools(randomSegment(rng, 300, 0.4)))
+	}
+	for _, w := range []int64{1, 10, 100, 1000, 1 << 20} {
+		want := func() int64 {
+			clone := New(gamma)
+			clone.blocks = append([]int64(nil), s.blocks[s.head:]...)
+			clone.tail = s.tail
+			clone.t = s.t
+			clone.EvictBefore(clone.t - w + 1)
+			return clone.Value()
+		}()
+		if got := s.ValueForWindow(w); got != want {
+			t.Fatalf("w=%d: ValueForWindow %d != evicted value %d", w, got, want)
+		}
+	}
+}
+
+// TestDecrementExact asserts Value decreases by exactly min(r, Value).
+func TestDecrementExact(t *testing.T) {
+	check := func(seed int64, rRaw uint16) bool {
+		rng := rand.New(rand.NewSource(seed))
+		gamma := int64(rng.Intn(20) + 1)
+		s := New(gamma)
+		for i := 0; i < 5; i++ {
+			s.Append(css.FromBools(randomSegment(rng, 400, 0.5)))
+		}
+		before := s.Value()
+		r := int64(rRaw % 1000)
+		s.Decrement(r)
+		want := before - r
+		if want < 0 {
+			want = 0
+		}
+		if s.Value() != want {
+			return false
+		}
+		return s.Tail() >= 0 && s.Tail() < gamma || (s.Tail() == 0 && gamma == 1)
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDecrementZeroAndNegative(t *testing.T) {
+	s := New(4)
+	s.Append(css.FromBools([]bool{true, true, true, true, true}))
+	v := s.Value()
+	s.Decrement(0)
+	s.Decrement(-5)
+	if s.Value() != v {
+		t.Fatalf("no-op decrement changed value %d -> %d", v, s.Value())
+	}
+}
+
+func TestDecrementThenAppendStillSound(t *testing.T) {
+	// After decrements, Lemma 3.2 holds against the stream with the
+	// decremented 1s logically deleted. We check a weaker but crucial
+	// property here: the value never goes below 0 nor explodes, and tail
+	// stays within range across interleaved operations.
+	rng := rand.New(rand.NewSource(42))
+	gamma := int64(6)
+	s := New(gamma)
+	totalOnes := int64(0)
+	for step := 0; step < 200; step++ {
+		seg := randomSegment(rng, 50, 0.5)
+		sc := css.FromBools(seg)
+		totalOnes += sc.Count()
+		s.Append(sc)
+		if step%3 == 0 {
+			d := int64(rng.Intn(20))
+			before := s.Value()
+			s.Decrement(d)
+			dec := before - s.Value()
+			if dec < 0 {
+				t.Fatal("decrement increased value")
+			}
+			totalOnes -= dec
+		}
+		if v := s.Value(); v < 0 || v > totalOnes+2*gamma {
+			t.Fatalf("step %d: value %d outside [0, %d]", step, v, totalOnes+2*gamma)
+		}
+		if s.Tail() < 0 || s.Tail() >= gamma {
+			t.Fatalf("tail %d out of range", s.Tail())
+		}
+	}
+}
+
+func TestDropOldest(t *testing.T) {
+	s := New(2)
+	// 20 ones at positions 1..20: samples at ranks 2,4,..,20 = positions
+	// 2,4,...,20, block ids 1..10.
+	bits := make([]bool, 20)
+	for i := range bits {
+		bits[i] = true
+	}
+	s.Append(css.FromBools(bits))
+	if s.NumBlocks() != 10 {
+		t.Fatalf("NumBlocks = %d want 10", s.NumBlocks())
+	}
+	last := s.DropOldest(3)
+	if last != 3 {
+		t.Fatalf("DropOldest returned block %d want 3", last)
+	}
+	if s.NumBlocks() != 7 {
+		t.Fatalf("NumBlocks = %d want 7", s.NumBlocks())
+	}
+	if got := s.DropOldest(0); got != 0 {
+		t.Fatalf("DropOldest(0) = %d", got)
+	}
+	if got := s.DropOldest(100); got != 10 {
+		t.Fatalf("DropOldest(overshoot) = %d want 10", got)
+	}
+	if s.NumBlocks() != 0 {
+		t.Fatalf("NumBlocks = %d want 0", s.NumBlocks())
+	}
+}
+
+func TestBlocksNonDecreasing(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	s := New(3)
+	for step := 0; step < 100; step++ {
+		s.Append(css.FromBools(randomSegment(rng, 60, 0.6)))
+		if step%4 == 1 {
+			s.Decrement(int64(rng.Intn(15)))
+		}
+		if step%4 == 3 {
+			s.EvictBefore(s.T() - 100)
+		}
+		live := s.blocks[s.head:]
+		for i := 1; i < len(live); i++ {
+			if live[i-1] > live[i] {
+				t.Fatalf("blocks decreasing at %d: %v", i, live)
+			}
+		}
+	}
+}
+
+func TestEmptySnapshot(t *testing.T) {
+	s := New(10)
+	if s.Value() != 0 || s.NumBlocks() != 0 || s.Tail() != 0 {
+		t.Fatal("fresh snapshot not empty")
+	}
+	s.EvictBefore(100)
+	s.Decrement(5)
+	s.Append(css.Segment{Len: 50})
+	if s.Value() != 0 || s.T() != 50 {
+		t.Fatalf("zero-ones append: value=%d t=%d", s.Value(), s.T())
+	}
+}
+
+func TestNewPanicsOnBadGamma(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("New(0) did not panic")
+		}
+	}()
+	New(0)
+}
+
+func TestSpaceWords(t *testing.T) {
+	s := New(2)
+	bits := make([]bool, 100)
+	for i := range bits {
+		bits[i] = true
+	}
+	s.Append(css.FromBools(bits))
+	if sw := s.SpaceWords(); sw < s.NumBlocks() {
+		t.Fatalf("SpaceWords %d < NumBlocks %d", sw, s.NumBlocks())
+	}
+}
+
+// TestAmortizedEviction exercises the head/compact machinery across many
+// evictions to catch stale-head bugs.
+func TestAmortizedEviction(t *testing.T) {
+	s := New(1)
+	ref := &refWindow{}
+	rng := rand.New(rand.NewSource(23))
+	const window = 64
+	for step := 0; step < 2000; step++ {
+		seg := randomSegment(rng, 8, 0.8)
+		s.Append(css.FromBools(seg))
+		ref.append(seg)
+		s.EvictBefore(s.T() - window + 1)
+		if got, want := s.Value(), ref.onesIn(window); got != want {
+			t.Fatalf("step %d: %d != %d", step, got, want)
+		}
+	}
+}

@@ -1,0 +1,51 @@
+package snapshot
+
+import "fmt"
+
+// State is the serializable form of a Snapshot (all fields exported for
+// encoding/gob). The discretized-stream model the paper adopts from
+// Spark Streaming [ZDL+13] relies on checkpointing operator state
+// between minibatches; State makes every aggregate built on snapshots
+// checkpointable.
+type State struct {
+	Gamma  int64
+	T      int64
+	Tail   int64
+	Blocks []int64
+}
+
+// State captures the snapshot for serialization.
+func (s *Snapshot) State() State {
+	return State{
+		Gamma:  s.gamma,
+		T:      s.t,
+		Tail:   s.tail,
+		Blocks: append([]int64(nil), s.blocks[s.head:]...),
+	}
+}
+
+// FromState reconstructs a snapshot, validating invariants.
+func FromState(st State) (*Snapshot, error) {
+	if st.Gamma < 1 {
+		return nil, fmt.Errorf("snapshot: state gamma %d < 1", st.Gamma)
+	}
+	if st.Tail < 0 || st.Tail >= st.Gamma {
+		return nil, fmt.Errorf("snapshot: state tail %d out of [0, %d)", st.Tail, st.Gamma)
+	}
+	if st.T < 0 {
+		return nil, fmt.Errorf("snapshot: state t %d < 0", st.T)
+	}
+	prev := int64(0)
+	for _, b := range st.Blocks {
+		if b < prev {
+			return nil, fmt.Errorf("snapshot: state blocks not sorted")
+		}
+		prev = b
+	}
+	return &Snapshot{
+		gamma:  st.Gamma,
+		t:      st.T,
+		tail:   st.Tail,
+		blocks: append([]int64(nil), st.Blocks...),
+	}, nil
+}

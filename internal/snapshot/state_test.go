@@ -1,0 +1,49 @@
+package snapshot
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/css"
+)
+
+func TestStateRoundTrip(t *testing.T) {
+	s := New(5)
+	rng := rand.New(rand.NewSource(1))
+	for k := 0; k < 20; k++ {
+		s.Append(css.FromBools(randomSegment(rng, 100, 0.5)))
+	}
+	s.EvictBefore(s.T() - 500)
+	st := s.State()
+	r, err := FromState(st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Value() != s.Value() || r.T() != s.T() || r.Tail() != s.Tail() ||
+		r.NumBlocks() != s.NumBlocks() {
+		t.Fatal("state round trip changed snapshot")
+	}
+	// Continue identically.
+	seg := css.FromBools(randomSegment(rng, 100, 0.5))
+	s.Append(seg)
+	r.Append(seg)
+	if r.Value() != s.Value() {
+		t.Fatal("diverged after restore")
+	}
+}
+
+func TestFromStateRejectsBad(t *testing.T) {
+	cases := []State{
+		{Gamma: 0},
+		{Gamma: 3, Tail: 3},
+		{Gamma: 3, Tail: -1},
+		{Gamma: 3, T: -1},
+		{Gamma: 3, Blocks: []int64{5, 2}},
+		{Gamma: 1, Tail: 1},
+	}
+	for i, st := range cases {
+		if _, err := FromState(st); err == nil {
+			t.Fatalf("case %d: bad state accepted", i)
+		}
+	}
+}

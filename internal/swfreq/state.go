@@ -1,0 +1,64 @@
+package swfreq
+
+import (
+	"fmt"
+
+	"repro/internal/sbbc"
+)
+
+// State is the serializable form of an Estimator.
+type State struct {
+	Variant  int
+	N        int64
+	Epsilon  float64
+	T        int64
+	Seed     int64
+	Items    []uint64
+	Counters []sbbc.State
+}
+
+// State captures the estimator for serialization.
+func (e *Estimator) State() State {
+	st := State{
+		Variant: int(e.variant),
+		N:       e.n,
+		Epsilon: e.eps,
+		T:       e.t,
+		Seed:    e.seed,
+	}
+	for item, c := range e.ctr {
+		st.Items = append(st.Items, item)
+		st.Counters = append(st.Counters, c.State())
+	}
+	return st
+}
+
+// FromState reconstructs an estimator. Derived parameters (capS, gamma,
+// adj) are recomputed from (n, epsilon, variant) by the constructor, so
+// they always match what a fresh estimator would use.
+func FromState(st State) (*Estimator, error) {
+	v := Variant(st.Variant)
+	if v != Basic && v != SpaceEfficient && v != WorkEfficient {
+		return nil, fmt.Errorf("swfreq: state variant %d unknown", st.Variant)
+	}
+	if st.N < 1 || st.Epsilon <= 0 || st.Epsilon > 1 {
+		return nil, fmt.Errorf("swfreq: bad state params n=%d eps=%v", st.N, st.Epsilon)
+	}
+	if len(st.Items) != len(st.Counters) {
+		return nil, fmt.Errorf("swfreq: state items/counters length mismatch")
+	}
+	e := New(st.N, st.Epsilon, v)
+	e.t = st.T
+	e.seed = st.Seed
+	for i, item := range st.Items {
+		c, err := sbbc.FromState(st.Counters[i])
+		if err != nil {
+			return nil, err
+		}
+		if _, dup := e.ctr[item]; dup {
+			return nil, fmt.Errorf("swfreq: state item %d duplicated", item)
+		}
+		e.ctr[item] = c
+	}
+	return e, nil
+}

@@ -1,0 +1,53 @@
+package swfreq
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/sbbc"
+)
+
+func TestStateRoundTripInternal(t *testing.T) {
+	for _, v := range allVariants {
+		e := New(1024, 0.05, v)
+		rng := rand.New(rand.NewSource(int64(v)))
+		for batch := 0; batch < 10; batch++ {
+			items := make([]uint64, 200)
+			for i := range items {
+				items[i] = uint64(rng.Intn(50))
+			}
+			e.ProcessBatch(items)
+		}
+		st := e.State()
+		r, err := FromState(st)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.StreamLen() != e.StreamLen() || r.NumCounters() != e.NumCounters() {
+			t.Fatalf("%v: state round trip lost counters", v)
+		}
+		for it := uint64(0); it < 50; it++ {
+			if r.Estimate(it) != e.Estimate(it) {
+				t.Fatalf("%v: estimate diverged for %d", v, it)
+			}
+		}
+	}
+}
+
+func TestFromStateRejectsBad(t *testing.T) {
+	good := New(100, 0.1, Basic).State()
+	cases := []State{
+		{Variant: 99, N: good.N, Epsilon: good.Epsilon},
+		{Variant: good.Variant, N: 0, Epsilon: good.Epsilon},
+		{Variant: good.Variant, N: good.N, Epsilon: 0},
+		{Variant: good.Variant, N: good.N, Epsilon: good.Epsilon,
+			Items: []uint64{1}, Counters: nil}, // length mismatch
+		{Variant: good.Variant, N: good.N, Epsilon: good.Epsilon,
+			Items: []uint64{1, 1}, Counters: make([]sbbc.State, 2)}, // dup + invalid counter
+	}
+	for i, st := range cases {
+		if _, err := FromState(st); err == nil {
+			t.Fatalf("case %d: bad state accepted", i)
+		}
+	}
+}

@@ -1,0 +1,159 @@
+// Package workload generates the synthetic streams the experiments run
+// on. The paper names no dataset (its guarantees are input-independent),
+// so the behaviour-relevant knobs are skew (Zipf exponent), burstiness
+// (for bit streams), and the heavy-hitter mix; every generator is
+// deterministic given its seed.
+package workload
+
+import "math/rand"
+
+// Zipf returns n items drawn Zipf(s) over the universe [0, imax]. Skew
+// s > 1; larger s is more skewed.
+func Zipf(seed int64, n int, s float64, imax uint64) []uint64 {
+	rng := rand.New(rand.NewSource(seed))
+	z := rand.NewZipf(rng, s, 1, imax)
+	out := make([]uint64, n)
+	for i := range out {
+		out[i] = z.Uint64()
+	}
+	return out
+}
+
+// Uniform returns n items drawn uniformly from [0, universe).
+func Uniform(seed int64, n int, universe uint64) []uint64 {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]uint64, n)
+	for i := range out {
+		out[i] = rng.Uint64() % universe
+	}
+	return out
+}
+
+// Distinct returns n all-distinct items — the adversarial input for
+// summary-space bounds.
+func Distinct(start uint64, n int) []uint64 {
+	out := make([]uint64, n)
+	for i := range out {
+		out[i] = start + uint64(i)
+	}
+	return out
+}
+
+// HeavyMix returns n items where each of the given heavy items appears
+// with its probability and the rest of the mass is uniform noise over a
+// large universe. Probabilities must sum to < 1.
+func HeavyMix(seed int64, n int, heavy []uint64, prob []float64, noiseUniverse uint64) []uint64 {
+	if len(heavy) != len(prob) {
+		panic("workload: heavy/prob length mismatch")
+	}
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]uint64, n)
+	for i := range out {
+		u := rng.Float64()
+		placed := false
+		for j, p := range prob {
+			if u < p {
+				out[i] = heavy[j]
+				placed = true
+				break
+			}
+			u -= p
+		}
+		if !placed {
+			out[i] = rng.Uint64()%noiseUniverse + 1<<32 // disjoint from heavy ids
+		}
+	}
+	return out
+}
+
+// Bits returns n random bits with the given density of 1s.
+func Bits(seed int64, n int, density float64) []bool {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]bool, n)
+	for i := range out {
+		out[i] = rng.Float64() < density
+	}
+	return out
+}
+
+// BurstyBits returns n bits alternating between dense bursts (density
+// hi) and quiet spans (density lo), each of geometric mean length
+// spanLen — the stress case for sliding-window counting.
+func BurstyBits(seed int64, n, spanLen int, lo, hi float64) []bool {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]bool, n)
+	dense := false
+	left := 0
+	for i := range out {
+		if left == 0 {
+			dense = !dense
+			left = 1 + rng.Intn(2*spanLen)
+		}
+		left--
+		d := lo
+		if dense {
+			d = hi
+		}
+		out[i] = rng.Float64() < d
+	}
+	return out
+}
+
+// Values returns n integers in [0, r] with the given distribution skew:
+// each value is r scaled by a power of a uniform draw, so skew > 1
+// concentrates mass near zero (sensor-like readings with rare spikes).
+func Values(seed int64, n int, r uint64, skew float64) []uint64 {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]uint64, n)
+	for i := range out {
+		u := rng.Float64()
+		for k := 1.0; k < skew; k++ {
+			u *= rng.Float64()
+		}
+		out[i] = uint64(u * float64(r+1))
+		if out[i] > r {
+			out[i] = r
+		}
+	}
+	return out
+}
+
+// Flows returns n packet arrivals over nFlows flows with Zipf(s)-sized
+// flows — the synthetic stand-in for a network packet trace (the paper's
+// network-monitoring motivation, [EV03]).
+func Flows(seed int64, n int, nFlows uint64, s float64) []uint64 {
+	return Zipf(seed, n, s, nFlows-1)
+}
+
+// Batches slices a stream into minibatches of the given size (the last
+// one may be shorter).
+func Batches(stream []uint64, batch int) [][]uint64 {
+	if batch < 1 {
+		panic("workload: batch size must be >= 1")
+	}
+	var out [][]uint64
+	for lo := 0; lo < len(stream); lo += batch {
+		hi := lo + batch
+		if hi > len(stream) {
+			hi = len(stream)
+		}
+		out = append(out, stream[lo:hi])
+	}
+	return out
+}
+
+// BitBatches slices a bit stream into minibatches.
+func BitBatches(stream []bool, batch int) [][]bool {
+	if batch < 1 {
+		panic("workload: batch size must be >= 1")
+	}
+	var out [][]bool
+	for lo := 0; lo < len(stream); lo += batch {
+		hi := lo + batch
+		if hi > len(stream) {
+			hi = len(stream)
+		}
+		out = append(out, stream[lo:hi])
+	}
+	return out
+}

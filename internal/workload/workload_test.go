@@ -1,0 +1,143 @@
+package workload
+
+import "testing"
+
+func TestZipfDeterministicAndSkewed(t *testing.T) {
+	a := Zipf(1, 10000, 1.3, 1<<16)
+	b := Zipf(1, 10000, 1.3, 1<<16)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("same seed, different stream")
+		}
+	}
+	// Skew: the most frequent item should dominate.
+	freq := map[uint64]int{}
+	for _, v := range a {
+		freq[v]++
+	}
+	if freq[0] < len(a)/10 {
+		t.Fatalf("Zipf(1.3) top item has only %d/%d", freq[0], len(a))
+	}
+}
+
+func TestUniformRange(t *testing.T) {
+	for _, v := range Uniform(2, 5000, 100) {
+		if v >= 100 {
+			t.Fatalf("uniform value %d out of range", v)
+		}
+	}
+}
+
+func TestDistinct(t *testing.T) {
+	d := Distinct(50, 100)
+	seen := map[uint64]bool{}
+	for i, v := range d {
+		if v != 50+uint64(i) || seen[v] {
+			t.Fatalf("Distinct wrong at %d: %d", i, v)
+		}
+		seen[v] = true
+	}
+}
+
+func TestHeavyMix(t *testing.T) {
+	items := HeavyMix(3, 50000, []uint64{7, 8}, []float64{0.3, 0.1}, 1<<20)
+	var c7, c8 int
+	for _, v := range items {
+		switch v {
+		case 7:
+			c7++
+		case 8:
+			c8++
+		}
+	}
+	if c7 < 13000 || c7 > 17000 {
+		t.Fatalf("item 7 frequency %d/50000, want ~15000", c7)
+	}
+	if c8 < 3500 || c8 > 6500 {
+		t.Fatalf("item 8 frequency %d/50000, want ~5000", c8)
+	}
+}
+
+func TestHeavyMixPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	HeavyMix(1, 10, []uint64{1}, []float64{0.1, 0.2}, 100)
+}
+
+func TestBitsDensity(t *testing.T) {
+	bits := Bits(4, 100000, 0.25)
+	ones := 0
+	for _, b := range bits {
+		if b {
+			ones++
+		}
+	}
+	if ones < 23000 || ones > 27000 {
+		t.Fatalf("density: %d/100000 ones, want ~25000", ones)
+	}
+}
+
+func TestBurstyBits(t *testing.T) {
+	bits := BurstyBits(5, 100000, 500, 0.01, 0.95)
+	ones := 0
+	for _, b := range bits {
+		if b {
+			ones++
+		}
+	}
+	// Roughly half dense at 0.95, half quiet at 0.01 => ~48%.
+	if ones < 30000 || ones > 65000 {
+		t.Fatalf("bursty ones = %d, implausible", ones)
+	}
+}
+
+func TestValuesBounded(t *testing.T) {
+	for _, v := range Values(6, 10000, 999, 2) {
+		if v > 999 {
+			t.Fatalf("value %d exceeds R", v)
+		}
+	}
+}
+
+func TestFlows(t *testing.T) {
+	fl := Flows(7, 1000, 64, 1.5)
+	for _, f := range fl {
+		if f >= 64 {
+			t.Fatalf("flow id %d out of range", f)
+		}
+	}
+}
+
+func TestBatches(t *testing.T) {
+	stream := Distinct(0, 10)
+	bs := Batches(stream, 3)
+	if len(bs) != 4 || len(bs[0]) != 3 || len(bs[3]) != 1 {
+		t.Fatalf("Batches shape wrong: %d batches", len(bs))
+	}
+	total := 0
+	for _, b := range bs {
+		total += len(b)
+	}
+	if total != 10 {
+		t.Fatalf("Batches lost items: %d", total)
+	}
+}
+
+func TestBitBatches(t *testing.T) {
+	bs := BitBatches(make([]bool, 7), 4)
+	if len(bs) != 2 || len(bs[0]) != 4 || len(bs[1]) != 3 {
+		t.Fatal("BitBatches shape wrong")
+	}
+}
+
+func TestBatchesPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Batches(nil, 0)
+}

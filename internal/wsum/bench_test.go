@@ -1,0 +1,41 @@
+package wsum
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+func BenchmarkAdvance(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	for _, R := range []uint64{255, 65535} {
+		vals := make([]uint64, 1<<13)
+		for i := range vals {
+			vals[i] = rng.Uint64() % (R + 1)
+		}
+		b.Run(fmt.Sprintf("R%d", R), func(b *testing.B) {
+			s := New(1<<18, R, 0.01)
+			b.SetBytes(1 << 13 * 8)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				s.Advance(vals)
+			}
+		})
+	}
+}
+
+func BenchmarkEstimate(b *testing.B) {
+	s := New(1<<16, 4095, 0.01)
+	rng := rand.New(rand.NewSource(2))
+	vals := make([]uint64, 1<<13)
+	for i := range vals {
+		vals[i] = rng.Uint64() % 4096
+	}
+	for k := 0; k < 16; k++ {
+		s.Advance(vals)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = s.Estimate()
+	}
+}

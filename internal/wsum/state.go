@@ -1,0 +1,40 @@
+package wsum
+
+import (
+	"fmt"
+
+	"repro/internal/bcount"
+)
+
+// State is the serializable form of a Summer.
+type State struct {
+	N       int64
+	R       uint64
+	Epsilon float64
+	Slices  []bcount.State
+}
+
+// State captures the summer for serialization.
+func (s *Summer) State() State {
+	st := State{N: s.n, R: s.r, Epsilon: s.eps}
+	for _, sl := range s.slices {
+		st.Slices = append(st.Slices, sl.State())
+	}
+	return st
+}
+
+// FromState reconstructs a summer, validating invariants.
+func FromState(st State) (*Summer, error) {
+	if st.N < 1 || len(st.Slices) == 0 {
+		return nil, fmt.Errorf("wsum: bad state (n=%d, %d slices)", st.N, len(st.Slices))
+	}
+	s := &Summer{n: st.N, r: st.R, eps: st.Epsilon}
+	for _, bs := range st.Slices {
+		c, err := bcount.FromState(bs)
+		if err != nil {
+			return nil, err
+		}
+		s.slices = append(s.slices, c)
+	}
+	return s, nil
+}

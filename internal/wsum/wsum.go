@@ -1,0 +1,90 @@
+// Package wsum implements the parallel sliding-window Sum (Theorem 4.2):
+// an ε-relative-error estimate of the sum of the last n stream values,
+// each a non-negative integer at most R. The value stream is bit-sliced
+// into ⌈log₂(R+1)⌉ binary streams; each bit position is tracked with a
+// basic counter (Theorem 4.1) and the estimate is the weighted sum of the
+// per-bit counts. Space O(ε⁻¹ log n log R); a minibatch of length µ costs
+// O((S+µ) log R) work and polylog depth.
+package wsum
+
+import (
+	"math/bits"
+
+	"repro/internal/bcount"
+	"repro/internal/css"
+	"repro/internal/parallel"
+)
+
+// Summer estimates the sliding-window sum of a stream of integers in
+// [0, R].
+type Summer struct {
+	n      int64
+	r      uint64
+	eps    float64
+	slices []*bcount.Counter // slices[i] counts 1s of bit i
+}
+
+// New creates a Summer for window size n, value bound R, and relative
+// error epsilon in (0, 1].
+func New(n int64, r uint64, epsilon float64) *Summer {
+	nbits := bits.Len64(r)
+	if nbits == 0 {
+		nbits = 1 // degenerate R=0: a single always-zero bit stream
+	}
+	slices := make([]*bcount.Counter, nbits)
+	for i := range slices {
+		slices[i] = bcount.New(n, epsilon)
+	}
+	return &Summer{n: n, r: r, eps: epsilon, slices: slices}
+}
+
+// N returns the window size.
+func (s *Summer) N() int64 { return s.n }
+
+// R returns the maximum permitted value.
+func (s *Summer) R() uint64 { return s.r }
+
+// Bits returns the number of bit slices maintained.
+func (s *Summer) Bits() int { return len(s.slices) }
+
+// Advance incorporates a minibatch of values. Every value must be <= R;
+// Advance panics otherwise (the public API validates before calling).
+// The log R bit slices are extracted and ingested in parallel.
+func (s *Summer) Advance(values []uint64) {
+	for _, v := range values {
+		if v > s.r {
+			panic("wsum: value exceeds R")
+		}
+	}
+	parallel.ForGrain(len(s.slices), 1, func(i int) {
+		seg := css.FromFunc(len(values), func(j int) bool {
+			return values[j]>>uint(i)&1 == 1
+		})
+		s.slices[i].Advance(seg)
+	})
+}
+
+// Estimate returns the current estimate of the window sum:
+// true <= Estimate() <= (1+ε)·true.
+func (s *Summer) Estimate() int64 {
+	// Sum of log R terms: parallel reduce (the paper's O(log log R)-depth
+	// final add).
+	return parallel.Reduce(len(s.slices), 1, int64(0),
+		func(a, b int64) int64 { return a + b },
+		func(lo, hi int) int64 {
+			var t int64
+			for i := lo; i < hi; i++ {
+				t += s.slices[i].Estimate() << uint(i)
+			}
+			return t
+		})
+}
+
+// SpaceWords estimates the memory footprint in 64-bit words.
+func (s *Summer) SpaceWords() int {
+	total := 4
+	for _, c := range s.slices {
+		total += c.SpaceWords()
+	}
+	return total
+}

@@ -1,0 +1,146 @@
+package wsum
+
+import (
+	"math/rand"
+	"testing"
+)
+
+type ref struct{ vals []uint64 }
+
+func (r *ref) append(vs []uint64) { r.vals = append(r.vals, vs...) }
+func (r *ref) sumLast(n int64) int64 {
+	start := int64(len(r.vals)) - n
+	if start < 0 {
+		start = 0
+	}
+	var s int64
+	for _, v := range r.vals[start:] {
+		s += int64(v)
+	}
+	return s
+}
+
+func randVals(rng *rand.Rand, maxLen int, r uint64) []uint64 {
+	n := rng.Intn(maxLen + 1)
+	vs := make([]uint64, n)
+	for i := range vs {
+		vs[i] = rng.Uint64() % (r + 1)
+	}
+	return vs
+}
+
+// TestTheorem42RelativeError asserts true <= est <= (1+ε)·true across
+// value bounds and epsilons.
+func TestTheorem42RelativeError(t *testing.T) {
+	for _, R := range []uint64{1, 7, 255, 65535} {
+		for _, eps := range []float64{0.3, 0.05} {
+			n := int64(512)
+			s := New(n, R, eps)
+			r := &ref{}
+			rng := rand.New(rand.NewSource(int64(R)*3 + int64(eps*100)))
+			for step := 0; step < 60; step++ {
+				vs := randVals(rng, 200, R)
+				s.Advance(vs)
+				r.append(vs)
+				want := r.sumLast(n)
+				est := s.Estimate()
+				if est < want {
+					t.Fatalf("R=%d ε=%g step=%d: est %d < true %d", R, eps, step, est, want)
+				}
+				if float64(est) > (1+eps)*float64(want)+1e-9 {
+					t.Fatalf("R=%d ε=%g step=%d: est %d > (1+ε)·%d", R, eps, step, est, want)
+				}
+			}
+		}
+	}
+}
+
+func TestDegenerateRZero(t *testing.T) {
+	s := New(100, 0, 0.1)
+	s.Advance([]uint64{0, 0, 0})
+	if est := s.Estimate(); est != 0 {
+		t.Fatalf("R=0 est = %d", est)
+	}
+	if s.Bits() != 1 {
+		t.Fatalf("R=0 Bits = %d", s.Bits())
+	}
+}
+
+func TestValueExceedsRPanics(t *testing.T) {
+	s := New(10, 5, 0.1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for value > R")
+		}
+	}()
+	s.Advance([]uint64{6})
+}
+
+func TestBitsCount(t *testing.T) {
+	if got := New(10, 255, 0.1).Bits(); got != 8 {
+		t.Fatalf("R=255 Bits = %d want 8", got)
+	}
+	if got := New(10, 256, 0.1).Bits(); got != 9 {
+		t.Fatalf("R=256 Bits = %d want 9", got)
+	}
+	s := New(10, 7, 0.25)
+	if s.N() != 10 || s.R() != 7 {
+		t.Fatal("accessor mismatch")
+	}
+}
+
+func TestConstantStream(t *testing.T) {
+	n := int64(64)
+	s := New(n, 100, 0.1)
+	r := &ref{}
+	for step := 0; step < 20; step++ {
+		vs := make([]uint64, 10)
+		for i := range vs {
+			vs[i] = 100
+		}
+		s.Advance(vs)
+		r.append(vs)
+	}
+	want := r.sumLast(n) // 64 * 100
+	est := s.Estimate()
+	if est < want || float64(est) > 1.1*float64(want) {
+		t.Fatalf("est %d outside [%d, %g]", est, want, 1.1*float64(want))
+	}
+}
+
+func TestBurstyValues(t *testing.T) {
+	// Alternating bursts of max values and silence.
+	n := int64(256)
+	R := uint64(1023)
+	eps := 0.1
+	s := New(n, R, eps)
+	r := &ref{}
+	rng := rand.New(rand.NewSource(8))
+	for step := 0; step < 40; step++ {
+		var vs []uint64
+		if step%2 == 0 {
+			vs = make([]uint64, rng.Intn(300))
+			for i := range vs {
+				vs[i] = R
+			}
+		} else {
+			vs = make([]uint64, rng.Intn(300))
+		}
+		s.Advance(vs)
+		r.append(vs)
+		want := r.sumLast(n)
+		est := s.Estimate()
+		if est < want || float64(est) > (1+eps)*float64(want)+1e-9 {
+			t.Fatalf("step %d: est %d, true %d", step, est, want)
+		}
+	}
+}
+
+func TestSpaceGrowsWithLogR(t *testing.T) {
+	s8 := New(1024, 255, 0.1)
+	s16 := New(1024, 65535, 0.1)
+	if s16.SpaceWords() <= s8.SpaceWords() {
+		t.Fatalf("space: logR=16 (%d words) should exceed logR=8 (%d words)",
+			s16.SpaceWords(), s8.SpaceWords())
+	}
+}

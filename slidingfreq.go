@@ -1,0 +1,123 @@
+package streamagg
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/swfreq"
+)
+
+// SlidingVariant selects the sliding-window frequency algorithm.
+type SlidingVariant = swfreq.Variant
+
+// Sliding-window algorithm variants (Section 5.3 of the paper).
+const (
+	// VariantBasic is the direct SBBC-per-item algorithm (Theorem 5.5);
+	// space grows with the number of distinct live items.
+	VariantBasic = swfreq.Basic
+	// VariantSpaceEfficient prunes Misra-Gries-style to O(1/ε) counters
+	// (Algorithm 2, Theorem 5.8).
+	VariantSpaceEfficient = swfreq.SpaceEfficient
+	// VariantWorkEfficient additionally predicts pruning survivors before
+	// building per-item streams, reaching O(ε⁻¹ + µ) work (Theorem 5.4).
+	VariantWorkEfficient = swfreq.WorkEfficient
+)
+
+// SlidingFreqEstimator tracks approximate item frequencies over a
+// count-based sliding window of the last n items. Estimates satisfy
+// f_e - εn <= Estimate(e) <= f_e where f_e is the item's frequency in
+// the window.
+type SlidingFreqEstimator struct {
+	mu   sync.RWMutex
+	impl *swfreq.Estimator
+}
+
+// NewSlidingFreqEstimator creates an estimator for window size n >= 1,
+// error epsilon in (0, 1], and the given algorithm variant
+// (VariantWorkEfficient is the paper's headline algorithm).
+func NewSlidingFreqEstimator(n int64, epsilon float64, v SlidingVariant) (*SlidingFreqEstimator, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("%w: window size %d", ErrBadParam, n)
+	}
+	if epsilon <= 0 || epsilon > 1 {
+		return nil, fmt.Errorf("%w: epsilon %v", ErrBadParam, epsilon)
+	}
+	if v != VariantBasic && v != VariantSpaceEfficient && v != VariantWorkEfficient {
+		return nil, fmt.Errorf("%w: variant %v", ErrBadParam, v)
+	}
+	return &SlidingFreqEstimator{impl: swfreq.New(n, epsilon, v)}, nil
+}
+
+// ProcessBatch ingests a minibatch of items.
+func (s *SlidingFreqEstimator) ProcessBatch(items []uint64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.impl.ProcessBatch(items)
+}
+
+// Estimate returns the estimate of item's frequency within the window.
+func (s *SlidingFreqEstimator) Estimate(item uint64) int64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.impl.Estimate(item)
+}
+
+// HeavyHitters returns items whose estimate reaches (phi-ε)·W, W being
+// the current window length: all items with window frequency >= phi·W
+// are included; none below (phi-2ε)·W can appear.
+func (s *SlidingFreqEstimator) HeavyHitters(phi float64) []ItemCount {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	var out []ItemCount
+	for _, item := range s.impl.HeavyHitters(phi) {
+		out = append(out, ItemCount{Item: item, Count: s.impl.Estimate(item)})
+	}
+	sortByCountDesc(out)
+	return out
+}
+
+// TopK returns the k tracked items with the largest estimates within the
+// window.
+func (s *SlidingFreqEstimator) TopK(k int) []ItemCount {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]ItemCount, 0, s.impl.NumCounters())
+	for _, item := range s.impl.TrackedItemIDs() {
+		if est := s.impl.Estimate(item); est > 0 {
+			out = append(out, ItemCount{Item: item, Count: est})
+		}
+	}
+	sortByCountDesc(out)
+	if k < len(out) {
+		out = out[:k]
+	}
+	return out
+}
+
+// WindowSize returns n.
+func (s *SlidingFreqEstimator) WindowSize() int64 { return s.impl.N() }
+
+// Variant returns the configured algorithm variant.
+func (s *SlidingFreqEstimator) Variant() SlidingVariant { return s.impl.VariantKind() }
+
+// StreamLen returns the number of items observed so far.
+func (s *SlidingFreqEstimator) StreamLen() int64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.impl.StreamLen()
+}
+
+// TrackedItems returns the number of live per-item counters (bounded by
+// O(1/ε) for the space- and work-efficient variants).
+func (s *SlidingFreqEstimator) TrackedItems() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.impl.NumCounters()
+}
+
+// SpaceWords reports the memory footprint in 64-bit words.
+func (s *SlidingFreqEstimator) SpaceWords() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.impl.SpaceWords()
+}

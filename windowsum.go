@@ -1,0 +1,65 @@
+package streamagg
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/wsum"
+)
+
+// WindowSum maintains an ε-approximate sum of the last n values of a
+// stream of non-negative integers bounded by R (Theorem 4.2). Space is
+// O(ε⁻¹ log n log R); a minibatch of µ values costs O((S+µ) log R) work
+// with polylog depth.
+type WindowSum struct {
+	mu   sync.RWMutex
+	impl *wsum.Summer
+}
+
+// NewWindowSum creates a summer for a window of the last n values
+// (n >= 1), each value at most maxValue, with relative error epsilon in
+// (0, 1].
+func NewWindowSum(n int64, maxValue uint64, epsilon float64) (*WindowSum, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("%w: window size %d", ErrBadParam, n)
+	}
+	if epsilon <= 0 || epsilon > 1 {
+		return nil, fmt.Errorf("%w: epsilon %v", ErrBadParam, epsilon)
+	}
+	return &WindowSum{impl: wsum.New(n, maxValue, epsilon)}, nil
+}
+
+// ProcessBatch ingests a minibatch of values. It returns an error (and
+// ingests nothing) if any value exceeds the configured bound.
+func (s *WindowSum) ProcessBatch(values []uint64) error {
+	for _, v := range values {
+		if v > s.impl.R() {
+			return fmt.Errorf("%w: value %d exceeds bound %d", ErrBadParam, v, s.impl.R())
+		}
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.impl.Advance(values)
+	return nil
+}
+
+// Estimate returns the approximate window sum:
+// true <= Estimate() <= (1+ε)·true.
+func (s *WindowSum) Estimate() int64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.impl.Estimate()
+}
+
+// WindowSize returns n.
+func (s *WindowSum) WindowSize() int64 { return s.impl.N() }
+
+// MaxValue returns R.
+func (s *WindowSum) MaxValue() uint64 { return s.impl.R() }
+
+// SpaceWords reports the memory footprint in 64-bit words.
+func (s *WindowSum) SpaceWords() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.impl.SpaceWords()
+}
