@@ -1,9 +1,6 @@
 package streamagg
 
 import (
-	"fmt"
-	"sync"
-
 	"repro/internal/bcount"
 	"repro/internal/css"
 )
@@ -13,47 +10,59 @@ import (
 // O(ε⁻¹ log n); ingesting a minibatch of µ bits costs O(ε⁻¹ log n + µ)
 // work with polylog depth.
 type BasicCounter struct {
-	mu   sync.RWMutex
+	gate
 	impl *bcount.Counter
 }
 
 // NewBasicCounter creates a counter for a window of the last n bits
 // (n >= 1) with relative error epsilon in (0, 1].
 func NewBasicCounter(n int64, epsilon float64) (*BasicCounter, error) {
-	if n < 1 {
-		return nil, fmt.Errorf("%w: window size %d", ErrBadParam, n)
+	a, err := New(KindBasicCounter, WithWindow(n), WithEpsilon(epsilon))
+	if err != nil {
+		return nil, err
 	}
-	if epsilon <= 0 || epsilon > 1 {
-		return nil, fmt.Errorf("%w: epsilon %v", ErrBadParam, epsilon)
-	}
-	return &BasicCounter{impl: bcount.New(n, epsilon)}, nil
+	return a.(*BasicCounter), nil
 }
+
+// Kind returns KindBasicCounter.
+func (c *BasicCounter) Kind() Kind { return KindBasicCounter }
 
 // ProcessBits ingests a minibatch of bits.
 func (c *BasicCounter) ProcessBits(bits []bool) {
 	seg := css.FromBools(bits) // parallel CSS construction (Lemma 2.1)
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	c.impl.Advance(seg)
+	c.ingest(len(bits), func() { c.impl.Advance(seg) })
+}
+
+// ProcessBatch ingests a minibatch of items, interpreting each nonzero
+// item as a 1-bit — the Aggregate-interface adapter that lets a
+// BasicCounter ride in a Pipeline next to item-stream aggregates.
+func (c *BasicCounter) ProcessBatch(items []uint64) error {
+	seg := css.FromFunc(len(items), func(i int) bool { return items[i] != 0 })
+	c.ingest(len(items), func() { c.impl.Advance(seg) })
+	return nil
 }
 
 // Estimate returns the approximate number of 1s in the window:
 // true <= Estimate() <= (1+ε)·true.
-func (c *BasicCounter) Estimate() int64 {
-	c.mu.RLock()
-	defer c.mu.RUnlock()
-	return c.impl.Estimate()
+func (c *BasicCounter) Estimate() (est int64) {
+	c.read(func() { est = c.impl.Estimate() })
+	return est
 }
 
 // WindowSize returns n.
-func (c *BasicCounter) WindowSize() int64 { return c.impl.N() }
+func (c *BasicCounter) WindowSize() (n int64) {
+	c.read(func() { n = c.impl.N() })
+	return n
+}
 
 // Epsilon returns the configured relative error.
-func (c *BasicCounter) Epsilon() float64 { return c.impl.Epsilon() }
+func (c *BasicCounter) Epsilon() (eps float64) {
+	c.read(func() { eps = c.impl.Epsilon() })
+	return eps
+}
 
 // SpaceWords reports the memory footprint in 64-bit words.
-func (c *BasicCounter) SpaceWords() int {
-	c.mu.RLock()
-	defer c.mu.RUnlock()
-	return c.impl.SpaceWords()
+func (c *BasicCounter) SpaceWords() (w int) {
+	c.read(func() { w = c.impl.SpaceWords() })
+	return w
 }

@@ -8,12 +8,13 @@ package streamagg
 // calls captures the full state; UnmarshalBinary restores an estimator
 // that continues exactly where the original left off (identical
 // estimates on identical suffixes).
+//
+// The locking, kind-tagged envelope, and stream-position plumbing live
+// in gate.go (marshalAgg/unmarshalAgg); each aggregate only binds its
+// internal State/FromState pair here. Pipeline checkpointing, which
+// composes these per-aggregate envelopes, lives in pipeline.go.
 
 import (
-	"bytes"
-	"encoding/gob"
-	"fmt"
-
 	"repro/internal/bcount"
 	"repro/internal/cms"
 	"repro/internal/countsketch"
@@ -22,196 +23,79 @@ import (
 	"repro/internal/wsum"
 )
 
-// checkpointMagic guards against feeding one aggregate's checkpoint to
-// another type.
-type envelope struct {
-	Kind string
-	Body []byte
-}
-
-func sealState(kind string, state any) ([]byte, error) {
-	var body bytes.Buffer
-	if err := gob.NewEncoder(&body).Encode(state); err != nil {
-		return nil, fmt.Errorf("streamagg: encoding %s state: %w", kind, err)
-	}
-	var out bytes.Buffer
-	if err := gob.NewEncoder(&out).Encode(envelope{Kind: kind, Body: body.Bytes()}); err != nil {
-		return nil, fmt.Errorf("streamagg: sealing %s checkpoint: %w", kind, err)
-	}
-	return out.Bytes(), nil
-}
-
-func openState(kind string, data []byte, state any) error {
-	var env envelope
-	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&env); err != nil {
-		return fmt.Errorf("streamagg: malformed checkpoint: %w", err)
-	}
-	if env.Kind != kind {
-		return fmt.Errorf("%w: checkpoint is for %q, not %q", ErrBadParam, env.Kind, kind)
-	}
-	if err := gob.NewDecoder(bytes.NewReader(env.Body)).Decode(state); err != nil {
-		return fmt.Errorf("streamagg: decoding %s state: %w", kind, err)
-	}
-	return nil
-}
-
 // MarshalBinary checkpoints the counter between minibatches.
 func (c *BasicCounter) MarshalBinary() ([]byte, error) {
-	c.mu.RLock()
-	defer c.mu.RUnlock()
-	return sealState("basic-counter", c.impl.State())
+	return marshalAgg(&c.gate, KindBasicCounter, func() bcount.State { return c.impl.State() })
 }
 
 // UnmarshalBinary restores a checkpoint made by MarshalBinary.
 func (c *BasicCounter) UnmarshalBinary(data []byte) error {
-	var st bcount.State
-	if err := openState("basic-counter", data, &st); err != nil {
-		return err
-	}
-	impl, err := bcount.FromState(st)
-	if err != nil {
-		return err
-	}
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	c.impl = impl
-	return nil
+	return unmarshalAgg(&c.gate, KindBasicCounter, data, bcount.FromState,
+		func(impl *bcount.Counter) { c.impl = impl })
 }
 
 // MarshalBinary checkpoints the summer between minibatches.
 func (s *WindowSum) MarshalBinary() ([]byte, error) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return sealState("window-sum", s.impl.State())
+	return marshalAgg(&s.gate, KindWindowSum, func() wsum.State { return s.impl.State() })
 }
 
 // UnmarshalBinary restores a checkpoint made by MarshalBinary.
 func (s *WindowSum) UnmarshalBinary(data []byte) error {
-	var st wsum.State
-	if err := openState("window-sum", data, &st); err != nil {
-		return err
-	}
-	impl, err := wsum.FromState(st)
-	if err != nil {
-		return err
-	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.impl = impl
-	return nil
+	return unmarshalAgg(&s.gate, KindWindowSum, data, wsum.FromState,
+		func(impl *wsum.Summer) { s.impl = impl })
 }
 
 // MarshalBinary checkpoints the estimator between minibatches.
 func (f *FreqEstimator) MarshalBinary() ([]byte, error) {
-	f.mu.RLock()
-	defer f.mu.RUnlock()
-	return sealState("freq-estimator", f.impl.State())
+	return marshalAgg(&f.gate, KindFreq, func() mg.State { return f.impl.State() })
 }
 
 // UnmarshalBinary restores a checkpoint made by MarshalBinary.
 func (f *FreqEstimator) UnmarshalBinary(data []byte) error {
-	var st mg.State
-	if err := openState("freq-estimator", data, &st); err != nil {
-		return err
-	}
-	impl, err := mg.FromState(st)
-	if err != nil {
-		return err
-	}
-	f.mu.Lock()
-	defer f.mu.Unlock()
-	f.impl = impl
-	return nil
+	return unmarshalAgg(&f.gate, KindFreq, data, mg.FromState,
+		func(impl *mg.Summary) { f.impl = impl })
 }
 
 // MarshalBinary checkpoints the estimator between minibatches.
 func (s *SlidingFreqEstimator) MarshalBinary() ([]byte, error) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return sealState("sliding-freq-estimator", s.impl.State())
+	return marshalAgg(&s.gate, KindSlidingFreq, func() swfreq.State { return s.impl.State() })
 }
 
 // UnmarshalBinary restores a checkpoint made by MarshalBinary.
 func (s *SlidingFreqEstimator) UnmarshalBinary(data []byte) error {
-	var st swfreq.State
-	if err := openState("sliding-freq-estimator", data, &st); err != nil {
-		return err
-	}
-	impl, err := swfreq.FromState(st)
-	if err != nil {
-		return err
-	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.impl = impl
-	return nil
+	return unmarshalAgg(&s.gate, KindSlidingFreq, data, swfreq.FromState,
+		func(impl *swfreq.Estimator) { s.impl = impl })
 }
 
 // MarshalBinary checkpoints the sketch between minibatches.
 func (c *CountMin) MarshalBinary() ([]byte, error) {
-	c.mu.RLock()
-	defer c.mu.RUnlock()
-	return sealState("count-min", c.impl.State())
+	return marshalAgg(&c.gate, KindCountMin, func() cms.State { return c.impl.State() })
 }
 
 // UnmarshalBinary restores a checkpoint made by MarshalBinary.
 func (c *CountMin) UnmarshalBinary(data []byte) error {
-	var st cms.State
-	if err := openState("count-min", data, &st); err != nil {
-		return err
-	}
-	impl, err := cms.FromState(st)
-	if err != nil {
-		return err
-	}
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	c.impl = impl
-	return nil
+	return unmarshalAgg(&c.gate, KindCountMin, data, cms.FromState,
+		func(impl *cms.Sketch) { c.impl = impl })
 }
 
 // MarshalBinary checkpoints the range sketch between minibatches.
 func (c *CountMinRange) MarshalBinary() ([]byte, error) {
-	c.mu.RLock()
-	defer c.mu.RUnlock()
-	return sealState("count-min-range", c.impl.State())
+	return marshalAgg(&c.gate, KindCountMinRange, func() cms.RangeState { return c.impl.State() })
 }
 
 // UnmarshalBinary restores a checkpoint made by MarshalBinary.
 func (c *CountMinRange) UnmarshalBinary(data []byte) error {
-	var st cms.RangeState
-	if err := openState("count-min-range", data, &st); err != nil {
-		return err
-	}
-	impl, err := cms.RangeFromState(st)
-	if err != nil {
-		return err
-	}
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	c.impl = impl
-	return nil
+	return unmarshalAgg(&c.gate, KindCountMinRange, data, cms.RangeFromState,
+		func(impl *cms.RangeSketch) { c.impl = impl })
 }
 
 // MarshalBinary checkpoints the sketch between minibatches.
 func (c *CountSketch) MarshalBinary() ([]byte, error) {
-	c.mu.RLock()
-	defer c.mu.RUnlock()
-	return sealState("count-sketch", c.impl.State())
+	return marshalAgg(&c.gate, KindCountSketch, func() countsketch.State { return c.impl.State() })
 }
 
 // UnmarshalBinary restores a checkpoint made by MarshalBinary.
 func (c *CountSketch) UnmarshalBinary(data []byte) error {
-	var st countsketch.State
-	if err := openState("count-sketch", data, &st); err != nil {
-		return err
-	}
-	impl, err := countsketch.FromState(st)
-	if err != nil {
-		return err
-	}
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	c.impl = impl
-	return nil
+	return unmarshalAgg(&c.gate, KindCountSketch, data, countsketch.FromState,
+		func(impl *countsketch.Sketch) { c.impl = impl })
 }

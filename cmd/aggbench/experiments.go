@@ -5,6 +5,7 @@ import (
 	"runtime"
 	"time"
 
+	streamagg "repro"
 	"repro/internal/baseline"
 	"repro/internal/bcount"
 	"repro/internal/cms"
@@ -443,4 +444,84 @@ func runE10() {
 	}
 	t.print()
 	fmt.Println("shape check: ns/elem flat in n for all three (linear work)")
+}
+
+// --------------------------------------------------------------- E11 --
+
+// runE11 measures the public API's multi-aggregate Pipeline: the same
+// four aggregates ingested via the Pipeline's concurrent fan-out (one
+// goroutine per aggregate, shared worker budget) against ingesting them
+// one after another — the hand-rolled loop the Pipeline replaces.
+func runE11() {
+	const (
+		streamLen = 1 << 20
+		batchSize = 1 << 15
+	)
+	stream := workload.Zipf(53, streamLen, 1.1, 1<<18)
+	batches := workload.Batches(stream, batchSize)
+
+	build := func() []streamagg.Aggregate {
+		mk := func(kind streamagg.Kind, opts ...streamagg.Option) streamagg.Aggregate {
+			a, err := streamagg.New(kind, opts...)
+			if err != nil {
+				panic(err)
+			}
+			return a
+		}
+		return []streamagg.Aggregate{
+			mk(streamagg.KindFreq, streamagg.WithEpsilon(1e-3)),
+			mk(streamagg.KindSlidingFreq,
+				streamagg.WithWindow(1<<18), streamagg.WithEpsilon(1.0/128),
+				streamagg.WithVariant(streamagg.VariantWorkEfficient)),
+			mk(streamagg.KindCountMin,
+				streamagg.WithEpsilon(1e-4), streamagg.WithDelta(1e-3), streamagg.WithSeed(7)),
+			mk(streamagg.KindCountSketch,
+				streamagg.WithEpsilon(0.01), streamagg.WithDelta(1e-3), streamagg.WithSeed(9)),
+		}
+	}
+	names := []string{"freq", "sliding", "count-min", "count-sketch"}
+
+	t := newTable("fan-out", "aggregates", "ns/item", "Mitem/s")
+	{
+		aggs := build()
+		start := time.Now()
+		for _, b := range batches {
+			for _, a := range aggs {
+				if err := a.ProcessBatch(b); err != nil {
+					panic(err)
+				}
+			}
+		}
+		el := time.Since(start)
+		t.add("sequential loop", len(aggs),
+			fmt.Sprintf("%.1f", float64(el.Nanoseconds())/float64(streamLen)),
+			fmt.Sprintf("%.1f", float64(streamLen)/el.Seconds()/1e6))
+	}
+	{
+		p := streamagg.NewPipeline()
+		for i, a := range build() {
+			if err := p.Register(names[i], a); err != nil {
+				panic(err)
+			}
+		}
+		start := time.Now()
+		for _, b := range batches {
+			if err := p.ProcessBatch(b); err != nil {
+				panic(err)
+			}
+		}
+		el := time.Since(start)
+		t.add("pipeline (concurrent)", p.Len(),
+			fmt.Sprintf("%.1f", float64(el.Nanoseconds())/float64(streamLen)),
+			fmt.Sprintf("%.1f", float64(streamLen)/el.Seconds()/1e6))
+
+		ckpt, err := p.MarshalBinary()
+		if err != nil {
+			panic(err)
+		}
+		t.print()
+		fmt.Printf("whole-pipeline checkpoint: %d bytes for %d aggregates at stream position %d\n",
+			len(ckpt), p.Len(), p.StreamLen())
+	}
+	fmt.Println("shape check: concurrent fan-out at least matches the sequential loop")
 }

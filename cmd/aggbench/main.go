@@ -7,8 +7,11 @@
 //
 // Usage:
 //
-//	aggbench -experiment E1        # one experiment
+//	aggbench -experiment E1       # one experiment
 //	aggbench -experiment all      # everything (a few minutes)
+//
+// E1–E10 exercise the internal engines directly; E11 measures the
+// public Pipeline API's concurrent fan-out.
 package main
 
 import (
@@ -25,7 +28,7 @@ type experiment struct {
 }
 
 func main() {
-	which := flag.String("experiment", "all", "experiment id (E1..E10) or 'all'")
+	which := flag.String("experiment", "all", "experiment id (E1..E11) or 'all'")
 	flag.Parse()
 
 	exps := []experiment{
@@ -39,6 +42,7 @@ func main() {
 		{"E8", "accuracy: guaranteed vs measured error, all aggregates", runE8},
 		{"E9", "parallel speedup: throughput vs workers (depth bounds)", runE9},
 		{"E10", "substrates: intSort, buildHist, CSS (Thms 2.2/2.3, Lemma 2.1)", runE10},
+		{"E11", "multi-aggregate pipeline: concurrent fan-out vs sequential (public API)", runE11},
 	}
 
 	want := strings.ToUpper(*which)

@@ -130,18 +130,23 @@ func runHH(args []string) {
 	var report []streamagg.ItemCount
 	var total int64
 	if window > 0 {
-		e, err := streamagg.NewSlidingFreqEstimator(window, eps, streamagg.VariantWorkEfficient)
+		a, err := streamagg.New(streamagg.KindSlidingFreq,
+			streamagg.WithWindow(window),
+			streamagg.WithEpsilon(eps),
+			streamagg.WithVariant(streamagg.VariantWorkEfficient))
 		if err != nil {
 			fail(err)
 		}
+		e := a.(*streamagg.SlidingFreqEstimator)
 		tokens(batch, func(ts []string) { e.ProcessBatch(toIDs(ts)); total += int64(len(ts)) })
 		report = e.HeavyHitters(phi)
 		fmt.Printf("heavy hitters (phi=%g) over the last %d of %d tokens:\n", phi, window, total)
 	} else {
-		e, err := streamagg.NewFreqEstimator(eps)
+		a, err := streamagg.New(streamagg.KindFreq, streamagg.WithEpsilon(eps))
 		if err != nil {
 			fail(err)
 		}
+		e := a.(*streamagg.FreqEstimator)
 		tokens(batch, func(ts []string) { e.ProcessBatch(toIDs(ts)) })
 		total = e.StreamLen()
 		report = e.HeavyHitters(phi)
@@ -166,10 +171,12 @@ func runCount(args []string) {
 	window := f.int("window", 1_000_000)
 	eps := f.float("eps", 0.01)
 	batch := int(f.int("batch", 8192))
-	c, err := streamagg.NewBasicCounter(window, eps)
+	a, err := streamagg.New(streamagg.KindBasicCounter,
+		streamagg.WithWindow(window), streamagg.WithEpsilon(eps))
 	if err != nil {
 		fail(err)
 	}
+	c := a.(*streamagg.BasicCounter)
 	var total int64
 	tokens(batch, func(ts []string) {
 		bits := make([]bool, len(ts))
@@ -189,10 +196,12 @@ func runSum(args []string) {
 	maxV := uint64(f.int("max", 4095))
 	eps := f.float("eps", 0.01)
 	batch := int(f.int("batch", 8192))
-	s, err := streamagg.NewWindowSum(window, maxV, eps)
+	a, err := streamagg.New(streamagg.KindWindowSum,
+		streamagg.WithWindow(window), streamagg.WithMaxValue(maxV), streamagg.WithEpsilon(eps))
 	if err != nil {
 		fail(err)
 	}
+	s := a.(*streamagg.WindowSum)
 	var total int64
 	tokens(batch, func(ts []string) {
 		vals := make([]uint64, 0, len(ts))
@@ -220,10 +229,12 @@ func runQuantiles(args []string) {
 	if s, ok := f["q"]; ok {
 		qSpec = s
 	}
-	r, err := streamagg.NewCountMinRange(bits, 0.0005, 0.01, 1)
+	a, err := streamagg.New(streamagg.KindCountMinRange,
+		streamagg.WithUniverseBits(bits), streamagg.WithEpsilon(0.0005), streamagg.WithDelta(0.01))
 	if err != nil {
 		fail(err)
 	}
+	r := a.(*streamagg.CountMinRange)
 	tokens(batch, func(ts []string) {
 		vals := make([]uint64, 0, len(ts))
 		for _, t := range ts {

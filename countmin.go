@@ -1,18 +1,13 @@
 package streamagg
 
-import (
-	"fmt"
-	"sync"
-
-	"repro/internal/cms"
-)
+import "repro/internal/cms"
 
 // CountMin is the parallel count-min sketch (Theorem 6.1): point queries
 // satisfy f_e <= Query(e) <= f_e + εm with probability at least 1-δ, in
 // O(ε⁻¹ log(1/δ)) space. Minibatch ingestion costs
 // O(log(1/δ)·max(µ, 1/ε)) work with polylog depth.
 type CountMin struct {
-	mu   sync.RWMutex
+	gate
 	impl *cms.Sketch
 }
 
@@ -20,55 +15,62 @@ type CountMin struct {
 // probability delta in (0, 1). The seed selects the hash functions; two
 // sketches with equal parameters and seed are mergeable cell-wise.
 func NewCountMin(epsilon, delta float64, seed int64) (*CountMin, error) {
-	if epsilon <= 0 || epsilon > 1 {
-		return nil, fmt.Errorf("%w: epsilon %v", ErrBadParam, epsilon)
+	a, err := New(KindCountMin, WithEpsilon(epsilon), WithDelta(delta), WithSeed(seed))
+	if err != nil {
+		return nil, err
 	}
-	if delta <= 0 || delta >= 1 {
-		return nil, fmt.Errorf("%w: delta %v", ErrBadParam, delta)
-	}
-	return &CountMin{impl: cms.New(epsilon, delta, seed)}, nil
+	return a.(*CountMin), nil
 }
 
+// Kind returns KindCountMin.
+func (c *CountMin) Kind() Kind { return KindCountMin }
+
 // ProcessBatch ingests a minibatch of items with the parallel algorithm.
-func (c *CountMin) ProcessBatch(items []uint64) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	c.impl.ProcessBatch(items)
+// It never fails; the error is always nil (Aggregate interface).
+func (c *CountMin) ProcessBatch(items []uint64) error {
+	c.ingest(len(items), func() { c.impl.ProcessBatch(items) })
+	return nil
 }
 
 // Update adds count occurrences of item (sequential path; count may be
-// any non-negative weight).
+// any non-negative weight). It does not advance StreamLen.
 func (c *CountMin) Update(item uint64, count int64) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	c.impl.Update(item, count)
+	c.ingest(0, func() { c.impl.Update(item, count) })
 }
 
 // Query returns the point estimate for item.
-func (c *CountMin) Query(item uint64) int64 {
-	c.mu.RLock()
-	defer c.mu.RUnlock()
-	return c.impl.Query(item)
+func (c *CountMin) Query(item uint64) (est int64) {
+	c.read(func() { est = c.impl.Query(item) })
+	return est
 }
 
+// Estimate is Query under the name the PointEstimator interface (and the
+// Pipeline query surface) uses.
+func (c *CountMin) Estimate(item uint64) int64 { return c.Query(item) }
+
 // TotalCount returns m, the total ingested weight.
-func (c *CountMin) TotalCount() int64 {
-	c.mu.RLock()
-	defer c.mu.RUnlock()
-	return c.impl.TotalCount()
+func (c *CountMin) TotalCount() (m int64) {
+	c.read(func() { m = c.impl.TotalCount() })
+	return m
 }
 
 // Dims returns the sketch dimensions (d rows × w columns).
-func (c *CountMin) Dims() (d, w int) { return c.impl.Depth(), c.impl.Width() }
+func (c *CountMin) Dims() (d, w int) {
+	c.read(func() { d, w = c.impl.Depth(), c.impl.Width() })
+	return d, w
+}
 
 // SpaceWords reports the memory footprint in 64-bit words.
-func (c *CountMin) SpaceWords() int { return c.impl.SpaceWords() }
+func (c *CountMin) SpaceWords() (w int) {
+	c.read(func() { w = c.impl.SpaceWords() })
+	return w
+}
 
 // CountMinRange is a dyadic stack of count-min sketches supporting range
 // counts and approximate quantiles over a bounded integer universe — the
 // standard CM-sketch applications the paper cites.
 type CountMinRange struct {
-	mu   sync.RWMutex
+	gate
 	impl *cms.RangeSketch
 }
 
@@ -76,46 +78,45 @@ type CountMinRange struct {
 // (1 <= bits <= 63) with per-level error epsilon and failure probability
 // delta.
 func NewCountMinRange(bits int, epsilon, delta float64, seed int64) (*CountMinRange, error) {
-	if bits < 1 || bits > 63 {
-		return nil, fmt.Errorf("%w: bits %d", ErrBadParam, bits)
+	a, err := New(KindCountMinRange,
+		WithUniverseBits(bits), WithEpsilon(epsilon), WithDelta(delta), WithSeed(seed))
+	if err != nil {
+		return nil, err
 	}
-	if epsilon <= 0 || epsilon > 1 {
-		return nil, fmt.Errorf("%w: epsilon %v", ErrBadParam, epsilon)
-	}
-	if delta <= 0 || delta >= 1 {
-		return nil, fmt.Errorf("%w: delta %v", ErrBadParam, delta)
-	}
-	return &CountMinRange{impl: cms.NewRange(bits, epsilon, delta, seed)}, nil
+	return a.(*CountMinRange), nil
 }
 
-// ProcessBatch ingests a minibatch of items (each < 2^bits).
-func (c *CountMinRange) ProcessBatch(items []uint64) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	c.impl.ProcessBatch(items)
+// Kind returns KindCountMinRange.
+func (c *CountMinRange) Kind() Kind { return KindCountMinRange }
+
+// ProcessBatch ingests a minibatch of items (each < 2^bits). It never
+// fails; the error is always nil (Aggregate interface).
+func (c *CountMinRange) ProcessBatch(items []uint64) error {
+	c.ingest(len(items), func() { c.impl.ProcessBatch(items) })
+	return nil
 }
 
 // RangeCount estimates the number of items in [lo, hi] (inclusive); it
 // never undercounts.
-func (c *CountMinRange) RangeCount(lo, hi uint64) int64 {
-	c.mu.RLock()
-	defer c.mu.RUnlock()
-	return c.impl.RangeCount(lo, hi)
+func (c *CountMinRange) RangeCount(lo, hi uint64) (est int64) {
+	c.read(func() { est = c.impl.RangeCount(lo, hi) })
+	return est
 }
 
 // Quantile returns an approximate q-quantile of the ingested values.
-func (c *CountMinRange) Quantile(q float64) uint64 {
-	c.mu.RLock()
-	defer c.mu.RUnlock()
-	return c.impl.Quantile(q)
+func (c *CountMinRange) Quantile(q float64) (v uint64) {
+	c.read(func() { v = c.impl.Quantile(q) })
+	return v
 }
 
 // TotalCount returns the total ingested weight.
-func (c *CountMinRange) TotalCount() int64 {
-	c.mu.RLock()
-	defer c.mu.RUnlock()
-	return c.impl.TotalCount()
+func (c *CountMinRange) TotalCount() (m int64) {
+	c.read(func() { m = c.impl.TotalCount() })
+	return m
 }
 
 // SpaceWords reports the memory footprint in 64-bit words.
-func (c *CountMinRange) SpaceWords() int { return c.impl.SpaceWords() }
+func (c *CountMinRange) SpaceWords() (w int) {
+	c.read(func() { w = c.impl.SpaceWords() })
+	return w
+}

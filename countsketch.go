@@ -1,11 +1,6 @@
 package streamagg
 
-import (
-	"fmt"
-	"sync"
-
-	"repro/internal/countsketch"
-)
+import "repro/internal/countsketch"
 
 // CountSketch is the Count-Sketch of [CCFC02] (cited by the paper as the
 // other standard frequency sketch), ingested with the same parallel
@@ -13,7 +8,7 @@ import (
 // supports deletions (turnstile updates); point queries satisfy
 // |Query(e) - f_e| <= ε·‖f‖₂ with probability at least 1-δ.
 type CountSketch struct {
-	mu   sync.RWMutex
+	gate
 	impl *countsketch.Sketch
 }
 
@@ -21,46 +16,53 @@ type CountSketch struct {
 // to the L2 norm of the frequency vector) and failure probability delta
 // in (0, 1).
 func NewCountSketch(epsilon, delta float64, seed int64) (*CountSketch, error) {
-	if epsilon <= 0 || epsilon > 1 {
-		return nil, fmt.Errorf("%w: epsilon %v", ErrBadParam, epsilon)
+	a, err := New(KindCountSketch, WithEpsilon(epsilon), WithDelta(delta), WithSeed(seed))
+	if err != nil {
+		return nil, err
 	}
-	if delta <= 0 || delta >= 1 {
-		return nil, fmt.Errorf("%w: delta %v", ErrBadParam, delta)
-	}
-	return &CountSketch{impl: countsketch.New(epsilon, delta, seed)}, nil
+	return a.(*CountSketch), nil
 }
 
-// ProcessBatch ingests a minibatch of items in parallel.
-func (c *CountSketch) ProcessBatch(items []uint64) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	c.impl.ProcessBatch(items)
+// Kind returns KindCountSketch.
+func (c *CountSketch) Kind() Kind { return KindCountSketch }
+
+// ProcessBatch ingests a minibatch of items in parallel. It never fails;
+// the error is always nil (Aggregate interface).
+func (c *CountSketch) ProcessBatch(items []uint64) error {
+	c.ingest(len(items), func() { c.impl.ProcessBatch(items) })
+	return nil
 }
 
 // Update adds count occurrences of item; count may be negative
-// (turnstile deletions).
+// (turnstile deletions). It does not advance StreamLen.
 func (c *CountSketch) Update(item uint64, count int64) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	c.impl.Update(item, count)
+	c.ingest(0, func() { c.impl.Update(item, count) })
 }
 
 // Query returns the unbiased median-of-rows estimate for item.
-func (c *CountSketch) Query(item uint64) int64 {
-	c.mu.RLock()
-	defer c.mu.RUnlock()
-	return c.impl.Query(item)
+func (c *CountSketch) Query(item uint64) (est int64) {
+	c.read(func() { est = c.impl.Query(item) })
+	return est
 }
 
+// Estimate is Query under the name the PointEstimator interface (and the
+// Pipeline query surface) uses.
+func (c *CountSketch) Estimate(item uint64) int64 { return c.Query(item) }
+
 // TotalCount returns the net ingested weight.
-func (c *CountSketch) TotalCount() int64 {
-	c.mu.RLock()
-	defer c.mu.RUnlock()
-	return c.impl.TotalCount()
+func (c *CountSketch) TotalCount() (m int64) {
+	c.read(func() { m = c.impl.TotalCount() })
+	return m
 }
 
 // Dims returns the sketch dimensions (d rows × w columns).
-func (c *CountSketch) Dims() (d, w int) { return c.impl.Depth(), c.impl.Width() }
+func (c *CountSketch) Dims() (d, w int) {
+	c.read(func() { d, w = c.impl.Depth(), c.impl.Width() })
+	return d, w
+}
 
 // SpaceWords reports the memory footprint in 64-bit words.
-func (c *CountSketch) SpaceWords() int { return c.impl.SpaceWords() }
+func (c *CountSketch) SpaceWords() (w int) {
+	c.read(func() { w = c.impl.SpaceWords() })
+	return w
+}

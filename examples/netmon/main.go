@@ -22,10 +22,14 @@ const (
 )
 
 func main() {
-	sw, err := streamagg.NewSlidingFreqEstimator(windowPkts, epsilon, streamagg.VariantWorkEfficient)
+	a, err := streamagg.New(streamagg.KindSlidingFreq,
+		streamagg.WithWindow(windowPkts),
+		streamagg.WithEpsilon(epsilon),
+		streamagg.WithVariant(streamagg.VariantWorkEfficient))
 	if err != nil {
 		log.Fatal(err)
 	}
+	sw := a.(*streamagg.SlidingFreqEstimator)
 
 	// Phase 1: steady Zipf traffic. Phase 2: flow 0xBAD floods 30% of
 	// packets. Phase 3: steady traffic again — the flood must age out.

@@ -1,6 +1,7 @@
-// Quickstart: a 60-second tour of the streamagg public API — one of each
-// aggregate, fed minibatches of a synthetic stream, queried at batch
-// boundaries.
+// Quickstart: a 60-second tour of the streamagg public API — a Pipeline
+// fanning each minibatch out to the three frequency aggregates through
+// one keyed query surface, plus standalone windowed aggregates built
+// with the same functional-options constructor.
 package main
 
 import (
@@ -21,33 +22,40 @@ func main() {
 	rng := rand.New(rand.NewSource(1))
 	zipf := rand.NewZipf(rng, 1.2, 1, 1<<16)
 
+	// One pipeline, three aggregates over the same item stream: each
+	// minibatch fans out concurrently, queries go through names.
+	pipe := streamagg.NewPipeline()
+	mustAdd := func(name string, kind streamagg.Kind, opts ...streamagg.Option) {
+		if _, err := pipe.Add(name, kind, opts...); err != nil {
+			log.Fatal(err)
+		}
+	}
 	// Infinite-window frequency estimation (parallel Misra-Gries).
-	freq, err := streamagg.NewFreqEstimator(epsilon)
-	if err != nil {
-		log.Fatal(err)
-	}
+	mustAdd("trending", streamagg.KindFreq, streamagg.WithEpsilon(epsilon))
 	// Sliding-window frequency estimation (the work-efficient algorithm).
-	sw, err := streamagg.NewSlidingFreqEstimator(window, epsilon, streamagg.VariantWorkEfficient)
-	if err != nil {
-		log.Fatal(err)
-	}
+	mustAdd("recent", streamagg.KindSlidingFreq,
+		streamagg.WithWindow(window),
+		streamagg.WithEpsilon(epsilon),
+		streamagg.WithVariant(streamagg.VariantWorkEfficient))
 	// Count-min sketch for point queries.
-	cm, err := streamagg.NewCountMin(0.001, 0.01, 7)
+	mustAdd("sketch", streamagg.KindCountMin,
+		streamagg.WithEpsilon(0.001), streamagg.WithDelta(0.01), streamagg.WithSeed(7))
+
+	// Windowed aggregates over derived streams, built with the same
+	// options API: a bit stream ("is this item the hottest item 0?") and
+	// a bounded value stream (synthetic "bytes per packet").
+	a, err := streamagg.New(streamagg.KindBasicCounter,
+		streamagg.WithWindow(window), streamagg.WithEpsilon(epsilon))
 	if err != nil {
 		log.Fatal(err)
 	}
-	// Sliding-window basic counting over a derived bit stream ("is this
-	// item the hottest item 0?").
-	bc, err := streamagg.NewBasicCounter(window, epsilon)
+	bc := a.(*streamagg.BasicCounter)
+	a, err = streamagg.New(streamagg.KindWindowSum,
+		streamagg.WithWindow(window), streamagg.WithMaxValue(1500), streamagg.WithEpsilon(epsilon))
 	if err != nil {
 		log.Fatal(err)
 	}
-	// Sliding-window sum of a bounded value stream (synthetic "bytes per
-	// packet").
-	ws, err := streamagg.NewWindowSum(window, 1500, epsilon)
-	if err != nil {
-		log.Fatal(err)
-	}
+	ws := a.(*streamagg.WindowSum)
 
 	for b := 0; b < batches; b++ {
 		items := make([]uint64, batchSize)
@@ -58,36 +66,47 @@ func main() {
 			bits[i] = items[i] == 0
 			sizes[i] = 40 + uint64(rng.Intn(1460))
 		}
-		freq.ProcessBatch(items)
-		sw.ProcessBatch(items)
-		cm.ProcessBatch(items)
+		if err := pipe.ProcessBatch(items); err != nil {
+			log.Fatal(err)
+		}
 		bc.ProcessBits(bits)
 		if err := ws.ProcessBatch(sizes); err != nil {
 			log.Fatal(err)
 		}
 	}
 
-	fmt.Printf("stream length: %d items across %d minibatches\n\n",
-		freq.StreamLen(), batches)
+	fmt.Printf("stream length: %d items across %d minibatches into %d pipeline aggregates %v\n\n",
+		pipe.StreamLen(), batches, pipe.Len(), pipe.Names())
 
 	fmt.Println("top-5 items over the whole stream (Misra-Gries):")
-	for _, ic := range freq.TopK(5) {
+	top, err := pipe.TopK("trending", 5)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, ic := range top {
 		fmt.Printf("  item %-6d est. count %d\n", ic.Item, ic.Count)
 	}
 
 	fmt.Printf("\nheavy hitters (phi=0.05) in the last %d items:\n", window)
-	for _, ic := range sw.HeavyHitters(0.05) {
+	hh, err := pipe.HeavyHitters("recent", 0.05)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, ic := range hh {
 		fmt.Printf("  item %-6d est. window count %d\n", ic.Item, ic.Count)
 	}
 
-	fmt.Printf("\ncount-min point query for item 0: %d (true count tracked by sketch total m=%d)\n",
-		cm.Query(0), cm.TotalCount())
+	cm0, err := pipe.Estimate("sketch", 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\ncount-min point query for item 0: %d\n", cm0)
 
 	fmt.Printf("occurrences of item 0 in the last %d items (basic counting): %d\n",
 		window, bc.Estimate())
 	fmt.Printf("sum of packet sizes over the last %d packets: %d bytes (~%.0f avg)\n",
 		window, ws.Estimate(), float64(ws.Estimate())/float64(window))
 
-	fmt.Printf("\nspace: freq=%d, sliding=%d, count-min=%d, basic=%d, sum=%d words\n",
-		freq.SpaceWords(), sw.SpaceWords(), cm.SpaceWords(), bc.SpaceWords(), ws.SpaceWords())
+	fmt.Printf("\nspace: pipeline=%d, basic=%d, sum=%d words\n",
+		pipe.SpaceWords(), bc.SpaceWords(), ws.SpaceWords())
 }

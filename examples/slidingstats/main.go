@@ -1,7 +1,8 @@
 // slidingstats: sliding-window statistics over a bursty sensor feed (the
-// [DGIM02] motivation for basic counting) — an alarm-bit stream counted
-// with BasicCounter, the raw readings summed with WindowSum, and reading
-// quantiles tracked with a dyadic count-min range sketch.
+// [DGIM02] motivation for basic counting) — the raw readings fan out
+// through a Pipeline to a WindowSum ("load") and a dyadic count-min
+// range sketch ("dist"), while the alarm-bit stream is counted with a
+// standalone BasicCounter.
 package main
 
 import (
@@ -20,48 +21,71 @@ const (
 )
 
 func main() {
-	alarms, err := streamagg.NewBasicCounter(window, epsilon)
+	pipe := streamagg.NewPipeline()
+	if _, err := pipe.Add("load", streamagg.KindWindowSum,
+		streamagg.WithWindow(window),
+		streamagg.WithMaxValue(maxVal),
+		streamagg.WithEpsilon(epsilon)); err != nil {
+		log.Fatal(err)
+	}
+	if _, err := pipe.Add("dist", streamagg.KindCountMinRange,
+		streamagg.WithUniverseBits(12),
+		streamagg.WithEpsilon(0.001),
+		streamagg.WithDelta(0.01),
+		streamagg.WithSeed(5)); err != nil {
+		log.Fatal(err)
+	}
+	a, err := streamagg.New(streamagg.KindBasicCounter,
+		streamagg.WithWindow(window), streamagg.WithEpsilon(epsilon))
 	if err != nil {
 		log.Fatal(err)
 	}
-	load, err := streamagg.NewWindowSum(window, maxVal, epsilon)
-	if err != nil {
-		log.Fatal(err)
-	}
-	dist, err := streamagg.NewCountMinRange(12, 0.001, 0.01, 5)
-	if err != nil {
-		log.Fatal(err)
-	}
+	alarms := a.(*streamagg.BasicCounter)
 
 	// Sensor: skewed readings with occasional spikes; the alarm bit fires
 	// in bursts (correlated failures).
 	readings := workload.Values(1, 1<<18, maxVal, 3)
 	alarmBits := workload.BurstyBits(2, 1<<18, 5000, 0.001, 0.4)
 
+	query := func(f func() (uint64, error)) uint64 {
+		v, err := f()
+		if err != nil {
+			log.Fatal(err)
+		}
+		return v
+	}
+
 	vb := workload.Batches(readings, batchSize)
 	ab := workload.BitBatches(alarmBits, batchSize)
 	for i := range vb {
-		if err := load.ProcessBatch(vb[i]); err != nil {
+		if err := pipe.ProcessBatch(vb[i]); err != nil {
 			log.Fatal(err)
 		}
 		alarms.ProcessBits(ab[i])
-		dist.ProcessBatch(vb[i])
 
 		if (i+1)%32 == 0 {
+			load, err := pipe.Value("load")
+			if err != nil {
+				log.Fatal(err)
+			}
 			fmt.Printf("after %7d readings: alarms-in-window=%-6d window-load=%-9d p50=%-5d p99=%d\n",
 				(i+1)*batchSize,
 				alarms.Estimate(),
-				load.Estimate(),
-				dist.Quantile(0.5),
-				dist.Quantile(0.99))
+				load,
+				query(func() (uint64, error) { return pipe.Quantile("dist", 0.5) }),
+				query(func() (uint64, error) { return pipe.Quantile("dist", 0.99) }))
 		}
 	}
 
+	load, err := pipe.Value("load")
+	if err != nil {
+		log.Fatal(err)
+	}
 	fmt.Printf("\nfinal window of %d readings:\n", window)
 	fmt.Printf("  alarm count : %d (±%.0f%%)\n", alarms.Estimate(), epsilon*100)
-	fmt.Printf("  total load  : %d (±%.0f%%)\n", load.Estimate(), epsilon*100)
-	fmt.Printf("  median      : %d\n", dist.Quantile(0.5))
-	fmt.Printf("  p99         : %d\n", dist.Quantile(0.99))
-	fmt.Printf("  space       : alarms=%d, load=%d, dist=%d words\n",
-		alarms.SpaceWords(), load.SpaceWords(), dist.SpaceWords())
+	fmt.Printf("  total load  : %d (±%.0f%%)\n", load, epsilon*100)
+	fmt.Printf("  median      : %d\n", query(func() (uint64, error) { return pipe.Quantile("dist", 0.5) }))
+	fmt.Printf("  p99         : %d\n", query(func() (uint64, error) { return pipe.Quantile("dist", 0.99) }))
+	fmt.Printf("  space       : alarms=%d, pipeline=%d words\n",
+		alarms.SpaceWords(), pipe.SpaceWords())
 }

@@ -1,8 +1,11 @@
 // trending: infinite-window trending-topics scenario (the paper's
-// social-media monitoring motivation) — maintain the top-k hashtags over
-// an unbounded stream with the parallel Misra-Gries summary, and
-// cross-check point queries against a count-min sketch. String keys are
-// mapped to items with streamagg.HashString.
+// social-media monitoring motivation) — a Pipeline fans each minibatch
+// of posts out to the parallel Misra-Gries summary and a count-min
+// sketch, cross-checking the top-k estimates between them. Halfway
+// through, the whole pipeline is checkpointed and restored — the
+// Spark-style fault-tolerance drill — and the run continues on the
+// restored copy. String keys are mapped to items with
+// streamagg.HashString.
 package main
 
 import (
@@ -24,12 +27,15 @@ func main() {
 		batchSize = 5000
 		epsilon   = 0.001
 	)
-	trend, err := streamagg.NewFreqEstimator(epsilon)
-	if err != nil {
+	pipe := streamagg.NewPipeline()
+	if _, err := pipe.Add("trend", streamagg.KindFreq,
+		streamagg.WithEpsilon(epsilon)); err != nil {
 		log.Fatal(err)
 	}
-	sketch, err := streamagg.NewCountMin(0.0005, 0.001, 42)
-	if err != nil {
+	if _, err := pipe.Add("sketch", streamagg.KindCountMin,
+		streamagg.WithEpsilon(0.0005),
+		streamagg.WithDelta(0.001),
+		streamagg.WithSeed(42)); err != nil {
 		log.Fatal(err)
 	}
 
@@ -58,29 +64,57 @@ func main() {
 				batch[i] = 1<<48 + longTail.Uint64() // long-tail one-offs
 			}
 		}
-		trend.ProcessBatch(batch)
-		sketch.ProcessBatch(batch)
+		if err := pipe.ProcessBatch(batch); err != nil {
+			log.Fatal(err)
+		}
+
+		if b == batches/2 {
+			// Mid-stream fault-tolerance drill: checkpoint the whole
+			// pipeline atomically, then continue on the restored copy.
+			ckpt, err := pipe.MarshalBinary()
+			if err != nil {
+				log.Fatal(err)
+			}
+			restored := streamagg.NewPipeline()
+			if err := restored.UnmarshalBinary(ckpt); err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("checkpointed %d aggregates at post %d (%d bytes), continuing on restored pipeline\n\n",
+				restored.Len(), restored.StreamLen(), len(ckpt))
+			pipe = restored
+		}
 	}
 
+	top, err := pipe.TopK("trend", 8)
+	if err != nil {
+		log.Fatal(err)
+	}
 	fmt.Printf("processed %d posts\n\ntrending (top-8 of %d tracked):\n",
-		trend.StreamLen(), len(vocab))
-	for _, ic := range trend.TopK(8) {
+		pipe.StreamLen(), len(vocab))
+	for _, ic := range top {
 		name := names[ic.Item]
 		if name == "" {
 			name = fmt.Sprintf("tail-%x", ic.Item)
 		}
-		cmEst := sketch.Query(ic.Item)
+		cmEst, err := pipe.Estimate("sketch", ic.Item)
+		if err != nil {
+			log.Fatal(err)
+		}
 		fmt.Printf("  %-12s mg-estimate %8d   count-min %8d\n", name, ic.Count, cmEst)
 	}
 
 	fmt.Printf("\nheavy hitters above 5%% of all posts:\n")
-	for _, ic := range trend.HeavyHitters(0.05) {
+	hh, err := pipe.HeavyHitters("trend", 0.05)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, ic := range hh {
 		name := names[ic.Item]
 		if name == "" {
 			name = fmt.Sprintf("tail-%x", ic.Item)
 		}
 		fmt.Printf("  %-12s ~%d posts\n", name, ic.Count)
 	}
-	fmt.Printf("\nsummary space: %d words for a stream of %d posts\n",
-		trend.SpaceWords(), trend.StreamLen())
+	fmt.Printf("\npipeline space: %d words for a stream of %d posts\n",
+		pipe.SpaceWords(), pipe.StreamLen())
 }

@@ -1,9 +1,7 @@
 package streamagg
 
 import (
-	"fmt"
 	"sort"
-	"sync"
 
 	"repro/internal/mg"
 )
@@ -20,65 +18,63 @@ type ItemCount struct {
 // polylog depth. Estimates satisfy f_e - εm <= Estimate(e) <= f_e where m
 // is the stream length so far.
 type FreqEstimator struct {
-	mu   sync.RWMutex
+	gate
 	impl *mg.Summary
 }
 
 // NewFreqEstimator creates an estimator with error parameter epsilon in
 // (0, 1].
 func NewFreqEstimator(epsilon float64) (*FreqEstimator, error) {
-	if epsilon <= 0 || epsilon > 1 {
-		return nil, fmt.Errorf("%w: epsilon %v", ErrBadParam, epsilon)
+	a, err := New(KindFreq, WithEpsilon(epsilon))
+	if err != nil {
+		return nil, err
 	}
-	return &FreqEstimator{impl: mg.New(epsilon)}, nil
+	return a.(*FreqEstimator), nil
 }
 
-// ProcessBatch ingests a minibatch of items.
-func (f *FreqEstimator) ProcessBatch(items []uint64) {
-	f.mu.Lock()
-	defer f.mu.Unlock()
-	f.impl.ProcessBatch(items)
+// Kind returns KindFreq.
+func (f *FreqEstimator) Kind() Kind { return KindFreq }
+
+// ProcessBatch ingests a minibatch of items. It never fails; the error
+// is always nil (Aggregate interface).
+func (f *FreqEstimator) ProcessBatch(items []uint64) error {
+	f.ingest(len(items), func() { f.impl.ProcessBatch(items) })
+	return nil
 }
 
 // Estimate returns the frequency estimate for item:
 // f_e - εm <= Estimate(item) <= f_e.
-func (f *FreqEstimator) Estimate(item uint64) int64 {
-	f.mu.RLock()
-	defer f.mu.RUnlock()
-	return f.impl.Estimate(item)
-}
-
-// StreamLen returns the number of items observed so far.
-func (f *FreqEstimator) StreamLen() int64 {
-	f.mu.RLock()
-	defer f.mu.RUnlock()
-	return f.impl.StreamLen()
+func (f *FreqEstimator) Estimate(item uint64) (est int64) {
+	f.read(func() { est = f.impl.Estimate(item) })
+	return est
 }
 
 // HeavyHitters returns all items whose estimated frequency reaches
 // (phi-ε)·m: every item with true frequency >= phi·m is included, and no
 // item with true frequency < (phi-2ε)·m can appear.
-func (f *FreqEstimator) HeavyHitters(phi float64) []ItemCount {
-	f.mu.RLock()
-	defer f.mu.RUnlock()
-	var out []ItemCount
-	for _, item := range f.impl.HeavyHitters(phi) {
-		out = append(out, ItemCount{Item: item, Count: f.impl.Estimate(item)})
-	}
+func (f *FreqEstimator) HeavyHitters(phi float64) (out []ItemCount) {
+	f.read(func() {
+		for _, item := range f.impl.HeavyHitters(phi) {
+			out = append(out, ItemCount{Item: item, Count: f.impl.Estimate(item)})
+		}
+	})
 	sortByCountDesc(out)
 	return out
 }
 
 // TopK returns the k tracked items with the largest estimates.
-func (f *FreqEstimator) TopK(k int) []ItemCount {
-	f.mu.RLock()
-	defer f.mu.RUnlock()
-	entries := f.impl.Entries()
-	out := make([]ItemCount, 0, len(entries))
-	for _, e := range entries {
-		out = append(out, ItemCount{Item: e.Item, Count: e.Freq})
-	}
+func (f *FreqEstimator) TopK(k int) (out []ItemCount) {
+	f.read(func() {
+		entries := f.impl.Entries()
+		out = make([]ItemCount, 0, len(entries))
+		for _, e := range entries {
+			out = append(out, ItemCount{Item: e.Item, Count: e.Freq})
+		}
+	})
 	sortByCountDesc(out)
+	if k < 0 {
+		k = 0
+	}
 	if k < len(out) {
 		out = out[:k]
 	}
@@ -86,10 +82,9 @@ func (f *FreqEstimator) TopK(k int) []ItemCount {
 }
 
 // SpaceWords reports the memory footprint in 64-bit words.
-func (f *FreqEstimator) SpaceWords() int {
-	f.mu.RLock()
-	defer f.mu.RUnlock()
-	return f.impl.SpaceWords()
+func (f *FreqEstimator) SpaceWords() (w int) {
+	f.read(func() { w = f.impl.SpaceWords() })
+	return w
 }
 
 func sortByCountDesc(xs []ItemCount) {

@@ -1,0 +1,207 @@
+package streamagg
+
+// Functional-options construction. New(kind, opts...) is the single
+// entry point behind which all parameter validation lives; the legacy
+// positional constructors (NewFreqEstimator, NewCountMin, ...) are kept
+// as thin wrappers over it. Every validation failure wraps ErrBadParam:
+// out-of-range values are rejected by the option itself, options that do
+// not apply to the requested kind and missing required options are
+// rejected by New.
+
+import (
+	"fmt"
+
+	"repro/internal/bcount"
+	"repro/internal/cms"
+	"repro/internal/countsketch"
+	"repro/internal/mg"
+	"repro/internal/swfreq"
+	"repro/internal/wsum"
+)
+
+// config accumulates option values; set tracks which options appeared so
+// New can enforce per-kind applicability and requirements.
+type config struct {
+	window   int64
+	epsilon  float64
+	delta    float64
+	maxValue uint64
+	bits     int
+	seed     int64
+	variant  SlidingVariant
+	set      map[string]bool
+}
+
+func (c *config) mark(name string) {
+	if c.set == nil {
+		c.set = make(map[string]bool)
+	}
+	c.set[name] = true
+}
+
+// Option configures New. Options validate their own value ranges.
+type Option func(*config) error
+
+// WithWindow sets the sliding-window size n >= 1 (BasicCounter,
+// WindowSum, SlidingFreq; required for all three).
+func WithWindow(n int64) Option {
+	return func(c *config) error {
+		if n < 1 {
+			return fmt.Errorf("%w: window size %d (want >= 1)", ErrBadParam, n)
+		}
+		c.window = n
+		c.mark("WithWindow")
+		return nil
+	}
+}
+
+// WithEpsilon sets the error parameter in (0, 1] (all kinds;
+// default 0.01).
+func WithEpsilon(epsilon float64) Option {
+	return func(c *config) error {
+		if epsilon <= 0 || epsilon > 1 {
+			return fmt.Errorf("%w: epsilon %v (want in (0, 1])", ErrBadParam, epsilon)
+		}
+		c.epsilon = epsilon
+		c.mark("WithEpsilon")
+		return nil
+	}
+}
+
+// WithDelta sets the failure probability in (0, 1) (CountMin,
+// CountMinRange, CountSketch; default 0.01).
+func WithDelta(delta float64) Option {
+	return func(c *config) error {
+		if delta <= 0 || delta >= 1 {
+			return fmt.Errorf("%w: delta %v (want in (0, 1))", ErrBadParam, delta)
+		}
+		c.delta = delta
+		c.mark("WithDelta")
+		return nil
+	}
+}
+
+// WithMaxValue sets the per-value bound R (WindowSum; required).
+func WithMaxValue(r uint64) Option {
+	return func(c *config) error {
+		c.maxValue = r
+		c.mark("WithMaxValue")
+		return nil
+	}
+}
+
+// WithUniverseBits sets the item universe to [0, 2^bits), 1 <= bits <= 63
+// (CountMinRange; required).
+func WithUniverseBits(bits int) Option {
+	return func(c *config) error {
+		if bits < 1 || bits > 63 {
+			return fmt.Errorf("%w: universe bits %d (want in [1, 63])", ErrBadParam, bits)
+		}
+		c.bits = bits
+		c.mark("WithUniverseBits")
+		return nil
+	}
+}
+
+// WithSeed selects the hash functions (CountMin, CountMinRange,
+// CountSketch; default 1). Two sketches with equal parameters and seed
+// are mergeable cell-wise.
+func WithSeed(seed int64) Option {
+	return func(c *config) error {
+		c.seed = seed
+		c.mark("WithSeed")
+		return nil
+	}
+}
+
+// WithVariant selects the sliding-window algorithm (SlidingFreq;
+// default VariantWorkEfficient, the paper's headline algorithm).
+func WithVariant(v SlidingVariant) Option {
+	return func(c *config) error {
+		if v != VariantBasic && v != VariantSpaceEfficient && v != VariantWorkEfficient {
+			return fmt.Errorf("%w: variant %v", ErrBadParam, v)
+		}
+		c.variant = v
+		c.mark("WithVariant")
+		return nil
+	}
+}
+
+// kindUsage drives the centralized applicability/requirement checks.
+var kindUsage = map[Kind]struct {
+	allowed  map[string]bool
+	required []string
+}{
+	KindBasicCounter: {
+		allowed:  map[string]bool{"WithWindow": true, "WithEpsilon": true},
+		required: []string{"WithWindow"},
+	},
+	KindWindowSum: {
+		allowed:  map[string]bool{"WithWindow": true, "WithEpsilon": true, "WithMaxValue": true},
+		required: []string{"WithWindow", "WithMaxValue"},
+	},
+	KindFreq: {
+		allowed: map[string]bool{"WithEpsilon": true},
+	},
+	KindSlidingFreq: {
+		allowed:  map[string]bool{"WithWindow": true, "WithEpsilon": true, "WithVariant": true},
+		required: []string{"WithWindow"},
+	},
+	KindCountMin: {
+		allowed: map[string]bool{"WithEpsilon": true, "WithDelta": true, "WithSeed": true},
+	},
+	KindCountMinRange: {
+		allowed:  map[string]bool{"WithEpsilon": true, "WithDelta": true, "WithSeed": true, "WithUniverseBits": true},
+		required: []string{"WithUniverseBits"},
+	},
+	KindCountSketch: {
+		allowed: map[string]bool{"WithEpsilon": true, "WithDelta": true, "WithSeed": true},
+	},
+}
+
+// New constructs an aggregate of the given kind from functional options:
+//
+//	New(KindSlidingFreq, WithWindow(1<<20), WithEpsilon(0.01), WithVariant(VariantWorkEfficient))
+//
+// Unset options take documented defaults (epsilon 0.01, delta 0.01,
+// seed 1, variant VariantWorkEfficient). Every invalid, inapplicable, or
+// missing-required option yields an error wrapping ErrBadParam.
+func New(kind Kind, opts ...Option) (Aggregate, error) {
+	usage, ok := kindUsage[kind]
+	if !ok {
+		return nil, fmt.Errorf("%w: unknown aggregate kind %q", ErrBadParam, kind)
+	}
+	c := config{epsilon: 0.01, delta: 0.01, seed: 1, variant: VariantWorkEfficient}
+	for _, opt := range opts {
+		if err := opt(&c); err != nil {
+			return nil, err
+		}
+	}
+	for name := range c.set {
+		if !usage.allowed[name] {
+			return nil, fmt.Errorf("%w: option %s does not apply to %s", ErrBadParam, name, kind)
+		}
+	}
+	for _, name := range usage.required {
+		if !c.set[name] {
+			return nil, fmt.Errorf("%w: %s requires %s", ErrBadParam, kind, name)
+		}
+	}
+	switch kind {
+	case KindBasicCounter:
+		return &BasicCounter{impl: bcount.New(c.window, c.epsilon)}, nil
+	case KindWindowSum:
+		return &WindowSum{impl: wsum.New(c.window, c.maxValue, c.epsilon)}, nil
+	case KindFreq:
+		return &FreqEstimator{impl: mg.New(c.epsilon)}, nil
+	case KindSlidingFreq:
+		return &SlidingFreqEstimator{impl: swfreq.New(c.window, c.epsilon, c.variant)}, nil
+	case KindCountMin:
+		return &CountMin{impl: cms.New(c.epsilon, c.delta, c.seed)}, nil
+	case KindCountMinRange:
+		return &CountMinRange{impl: cms.NewRange(c.bits, c.epsilon, c.delta, c.seed)}, nil
+	case KindCountSketch:
+		return &CountSketch{impl: countsketch.New(c.epsilon, c.delta, c.seed)}, nil
+	}
+	panic("unreachable")
+}

@@ -1,0 +1,348 @@
+package streamagg
+
+// Pipeline runs many aggregates over one discretized stream — the
+// deployment shape the paper's model targets (and the one Spark-style
+// systems use in production): a single sequence of minibatches fans out
+// to every registered aggregate, each aggregate's internally-parallel
+// ingestion running in its own goroutine on the shared worker budget
+// (SetParallelism / internal/parallel), queries are answered through one
+// keyed surface, and the whole pipeline checkpoints atomically at a
+// minibatch boundary.
+//
+// Concurrency model. ProcessBatch calls are serialized with each other
+// and with MarshalBinary (so a checkpoint always captures all aggregates
+// at the same batch boundary), while queries interleave freely through
+// each aggregate's reader-writer gate.
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+// ErrNoSuchAggregate reports a query for a name with no registered
+// aggregate.
+var ErrNoSuchAggregate = errors.New("streamagg: no aggregate registered under that name")
+
+// ErrUnsupportedQuery reports a query the named aggregate's kind cannot
+// answer (e.g. HeavyHitters on a WindowSum).
+var ErrUnsupportedQuery = errors.New("streamagg: aggregate does not support this query")
+
+// Pipeline fans each incoming minibatch out to a set of named
+// aggregates and exposes a unified keyed query surface over them. The
+// zero value is an empty pipeline ready for use (and for
+// UnmarshalBinary).
+type Pipeline struct {
+	reg       sync.RWMutex // guards names/aggs (the registration table)
+	batch     sync.Mutex   // serializes ingestion and checkpointing
+	names     []string     // registration order, for deterministic iteration
+	aggs      map[string]Aggregate
+	streamLen atomic.Int64
+}
+
+// NewPipeline creates an empty pipeline.
+func NewPipeline() *Pipeline { return &Pipeline{} }
+
+// Register adds an existing aggregate under name. Names must be
+// non-empty and unique within the pipeline.
+func (p *Pipeline) Register(name string, agg Aggregate) error {
+	if name == "" {
+		return fmt.Errorf("%w: empty aggregate name", ErrBadParam)
+	}
+	if agg == nil {
+		return fmt.Errorf("%w: nil aggregate %q", ErrBadParam, name)
+	}
+	p.reg.Lock()
+	defer p.reg.Unlock()
+	if _, dup := p.aggs[name]; dup {
+		return fmt.Errorf("%w: aggregate %q already registered", ErrBadParam, name)
+	}
+	if p.aggs == nil {
+		p.aggs = make(map[string]Aggregate)
+	}
+	p.aggs[name] = agg
+	p.names = append(p.names, name)
+	return nil
+}
+
+// Add constructs an aggregate with New(kind, opts...) and registers it
+// under name, returning it for direct (typed) use.
+func (p *Pipeline) Add(name string, kind Kind, opts ...Option) (Aggregate, error) {
+	agg, err := New(kind, opts...)
+	if err != nil {
+		return nil, err
+	}
+	if err := p.Register(name, agg); err != nil {
+		return nil, err
+	}
+	return agg, nil
+}
+
+// Get returns the aggregate registered under name.
+func (p *Pipeline) Get(name string) (Aggregate, bool) {
+	p.reg.RLock()
+	defer p.reg.RUnlock()
+	agg, ok := p.aggs[name]
+	return agg, ok
+}
+
+// Names returns the registered names in registration order.
+func (p *Pipeline) Names() []string {
+	p.reg.RLock()
+	defer p.reg.RUnlock()
+	out := make([]string, len(p.names))
+	copy(out, p.names)
+	return out
+}
+
+// Len returns the number of registered aggregates.
+func (p *Pipeline) Len() int {
+	p.reg.RLock()
+	defer p.reg.RUnlock()
+	return len(p.names)
+}
+
+// snapshot copies the registration table so fan-out runs without
+// holding the table lock.
+func (p *Pipeline) snapshot() (names []string, aggs []Aggregate) {
+	p.reg.RLock()
+	defer p.reg.RUnlock()
+	names = make([]string, len(p.names))
+	copy(names, p.names)
+	aggs = make([]Aggregate, len(names))
+	for i, n := range names {
+		aggs[i] = p.aggs[n]
+	}
+	return names, aggs
+}
+
+// ProcessBatch fans the minibatch out to every registered aggregate
+// concurrently — one goroutine per aggregate, each running its own
+// internally-parallel ingestion on the shared worker budget — and
+// returns once all of them have absorbed it. Per-aggregate failures
+// (only WindowSum can fail, on an out-of-bound value) are joined into
+// one error, tagged with the aggregate's name; failed aggregates ingest
+// nothing while the others proceed.
+func (p *Pipeline) ProcessBatch(items []uint64) error {
+	p.batch.Lock()
+	defer p.batch.Unlock()
+	names, aggs := p.snapshot()
+	errs := make([]error, len(aggs))
+	var wg sync.WaitGroup
+	for i, agg := range aggs {
+		wg.Add(1)
+		go func(i int, agg Aggregate) {
+			defer wg.Done()
+			if err := agg.ProcessBatch(items); err != nil {
+				errs[i] = fmt.Errorf("%s: %w", names[i], err)
+			}
+		}(i, agg)
+	}
+	wg.Wait()
+	p.streamLen.Add(int64(len(items)))
+	return errors.Join(errs...)
+}
+
+// StreamLen reports the number of items fanned out so far.
+func (p *Pipeline) StreamLen() int64 { return p.streamLen.Load() }
+
+// SpaceWords reports the summed memory footprint of all registered
+// aggregates in 64-bit words.
+func (p *Pipeline) SpaceWords() int {
+	_, aggs := p.snapshot()
+	total := 0
+	for _, agg := range aggs {
+		total += agg.SpaceWords()
+	}
+	return total
+}
+
+// lookup resolves name to its aggregate or ErrNoSuchAggregate.
+func (p *Pipeline) lookup(name string) (Aggregate, error) {
+	agg, ok := p.Get(name)
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrNoSuchAggregate, name)
+	}
+	return agg, nil
+}
+
+func unsupported(name string, agg Aggregate, query string) error {
+	return fmt.Errorf("%w: %s on %q (%s)", ErrUnsupportedQuery, query, name, agg.Kind())
+}
+
+// Estimate returns the named aggregate's per-item frequency estimate
+// (FreqEstimator, SlidingFreqEstimator, CountMin, CountSketch).
+func (p *Pipeline) Estimate(name string, item uint64) (int64, error) {
+	agg, err := p.lookup(name)
+	if err != nil {
+		return 0, err
+	}
+	pe, ok := agg.(PointEstimator)
+	if !ok {
+		return 0, unsupported(name, agg, "Estimate")
+	}
+	return pe.Estimate(item), nil
+}
+
+// Value returns the named aggregate's scalar window estimate
+// (BasicCounter, WindowSum).
+func (p *Pipeline) Value(name string) (int64, error) {
+	agg, err := p.lookup(name)
+	if err != nil {
+		return 0, err
+	}
+	se, ok := agg.(ScalarEstimator)
+	if !ok {
+		return 0, unsupported(name, agg, "Value")
+	}
+	return se.Estimate(), nil
+}
+
+// HeavyHitters returns the named aggregate's items above phi
+// (FreqEstimator, SlidingFreqEstimator).
+func (p *Pipeline) HeavyHitters(name string, phi float64) ([]ItemCount, error) {
+	agg, err := p.lookup(name)
+	if err != nil {
+		return nil, err
+	}
+	hh, ok := agg.(HeavyHitterSource)
+	if !ok {
+		return nil, unsupported(name, agg, "HeavyHitters")
+	}
+	return hh.HeavyHitters(phi), nil
+}
+
+// TopK returns the named aggregate's k largest tracked items
+// (FreqEstimator, SlidingFreqEstimator).
+func (p *Pipeline) TopK(name string, k int) ([]ItemCount, error) {
+	agg, err := p.lookup(name)
+	if err != nil {
+		return nil, err
+	}
+	hh, ok := agg.(HeavyHitterSource)
+	if !ok {
+		return nil, unsupported(name, agg, "TopK")
+	}
+	return hh.TopK(k), nil
+}
+
+// RangeCount returns the named aggregate's estimate for [lo, hi]
+// (CountMinRange).
+func (p *Pipeline) RangeCount(name string, lo, hi uint64) (int64, error) {
+	agg, err := p.lookup(name)
+	if err != nil {
+		return 0, err
+	}
+	re, ok := agg.(RangeEstimator)
+	if !ok {
+		return 0, unsupported(name, agg, "RangeCount")
+	}
+	return re.RangeCount(lo, hi), nil
+}
+
+// Quantile returns the named aggregate's approximate q-quantile
+// (CountMinRange).
+func (p *Pipeline) Quantile(name string, q float64) (uint64, error) {
+	agg, err := p.lookup(name)
+	if err != nil {
+		return 0, err
+	}
+	re, ok := agg.(RangeEstimator)
+	if !ok {
+		return 0, unsupported(name, agg, "Quantile")
+	}
+	return re.Quantile(q), nil
+}
+
+// kindPipeline tags whole-pipeline checkpoints in the shared envelope
+// format.
+const kindPipeline Kind = "pipeline"
+
+// pipelineState is the body of a pipeline checkpoint: the registration
+// order plus each aggregate's own kind-tagged checkpoint.
+type pipelineState struct {
+	Names       []string
+	Kinds       []string
+	Checkpoints [][]byte
+}
+
+// MarshalBinary checkpoints the entire pipeline atomically: it waits for
+// the in-flight minibatch (if any) to finish, then captures every
+// aggregate at the same batch boundary in one envelope.
+func (p *Pipeline) MarshalBinary() ([]byte, error) {
+	p.batch.Lock()
+	defer p.batch.Unlock()
+	names, aggs := p.snapshot()
+	st := pipelineState{Names: names}
+	for i, agg := range aggs {
+		ckpt, err := agg.MarshalBinary()
+		if err != nil {
+			return nil, fmt.Errorf("streamagg: checkpointing pipeline aggregate %q: %w", names[i], err)
+		}
+		st.Kinds = append(st.Kinds, string(agg.Kind()))
+		st.Checkpoints = append(st.Checkpoints, ckpt)
+	}
+	return seal(kindPipeline, p.streamLen.Load(), st)
+}
+
+// UnmarshalBinary restores a checkpoint made by MarshalBinary,
+// rebuilding every registered aggregate (the receiver's previous
+// registrations, if any, are replaced). It is valid on a zero-value
+// Pipeline.
+func (p *Pipeline) UnmarshalBinary(data []byte) error {
+	var st pipelineState
+	env, err := open(kindPipeline, data, &st)
+	if err != nil {
+		return err
+	}
+	if len(st.Names) != len(st.Kinds) || len(st.Names) != len(st.Checkpoints) {
+		return fmt.Errorf("%w: pipeline checkpoint tables disagree", ErrBadParam)
+	}
+	aggs := make(map[string]Aggregate, len(st.Names))
+	names := make([]string, 0, len(st.Names))
+	for i, name := range st.Names {
+		agg, err := zeroAggregate(Kind(st.Kinds[i]))
+		if err != nil {
+			return fmt.Errorf("streamagg: restoring pipeline aggregate %q: %w", name, err)
+		}
+		if err := agg.UnmarshalBinary(st.Checkpoints[i]); err != nil {
+			return fmt.Errorf("streamagg: restoring pipeline aggregate %q: %w", name, err)
+		}
+		if _, dup := aggs[name]; dup {
+			return fmt.Errorf("%w: pipeline checkpoint repeats name %q", ErrBadParam, name)
+		}
+		aggs[name] = agg
+		names = append(names, name)
+	}
+	p.batch.Lock()
+	defer p.batch.Unlock()
+	p.reg.Lock()
+	defer p.reg.Unlock()
+	p.aggs = aggs
+	p.names = names
+	p.streamLen.Store(env.StreamLen)
+	return nil
+}
+
+// zeroAggregate returns an empty aggregate of the given kind, ready for
+// UnmarshalBinary.
+func zeroAggregate(kind Kind) (Aggregate, error) {
+	switch kind {
+	case KindBasicCounter:
+		return &BasicCounter{}, nil
+	case KindWindowSum:
+		return &WindowSum{}, nil
+	case KindFreq:
+		return &FreqEstimator{}, nil
+	case KindSlidingFreq:
+		return &SlidingFreqEstimator{}, nil
+	case KindCountMin:
+		return &CountMin{}, nil
+	case KindCountMinRange:
+		return &CountMinRange{}, nil
+	case KindCountSketch:
+		return &CountSketch{}, nil
+	}
+	return nil, fmt.Errorf("%w: unknown aggregate kind %q", ErrBadParam, kind)
+}

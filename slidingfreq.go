@@ -1,11 +1,6 @@
 package streamagg
 
-import (
-	"fmt"
-	"sync"
-
-	"repro/internal/swfreq"
-)
+import "repro/internal/swfreq"
 
 // SlidingVariant selects the sliding-window frequency algorithm.
 type SlidingVariant = swfreq.Variant
@@ -28,7 +23,7 @@ const (
 // f_e - εn <= Estimate(e) <= f_e where f_e is the item's frequency in
 // the window.
 type SlidingFreqEstimator struct {
-	mu   sync.RWMutex
+	gate
 	impl *swfreq.Estimator
 }
 
@@ -36,58 +31,57 @@ type SlidingFreqEstimator struct {
 // error epsilon in (0, 1], and the given algorithm variant
 // (VariantWorkEfficient is the paper's headline algorithm).
 func NewSlidingFreqEstimator(n int64, epsilon float64, v SlidingVariant) (*SlidingFreqEstimator, error) {
-	if n < 1 {
-		return nil, fmt.Errorf("%w: window size %d", ErrBadParam, n)
+	a, err := New(KindSlidingFreq, WithWindow(n), WithEpsilon(epsilon), WithVariant(v))
+	if err != nil {
+		return nil, err
 	}
-	if epsilon <= 0 || epsilon > 1 {
-		return nil, fmt.Errorf("%w: epsilon %v", ErrBadParam, epsilon)
-	}
-	if v != VariantBasic && v != VariantSpaceEfficient && v != VariantWorkEfficient {
-		return nil, fmt.Errorf("%w: variant %v", ErrBadParam, v)
-	}
-	return &SlidingFreqEstimator{impl: swfreq.New(n, epsilon, v)}, nil
+	return a.(*SlidingFreqEstimator), nil
 }
 
-// ProcessBatch ingests a minibatch of items.
-func (s *SlidingFreqEstimator) ProcessBatch(items []uint64) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.impl.ProcessBatch(items)
+// Kind returns KindSlidingFreq.
+func (s *SlidingFreqEstimator) Kind() Kind { return KindSlidingFreq }
+
+// ProcessBatch ingests a minibatch of items. It never fails; the error
+// is always nil (Aggregate interface).
+func (s *SlidingFreqEstimator) ProcessBatch(items []uint64) error {
+	s.ingest(len(items), func() { s.impl.ProcessBatch(items) })
+	return nil
 }
 
 // Estimate returns the estimate of item's frequency within the window.
-func (s *SlidingFreqEstimator) Estimate(item uint64) int64 {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return s.impl.Estimate(item)
+func (s *SlidingFreqEstimator) Estimate(item uint64) (est int64) {
+	s.read(func() { est = s.impl.Estimate(item) })
+	return est
 }
 
 // HeavyHitters returns items whose estimate reaches (phi-ε)·W, W being
 // the current window length: all items with window frequency >= phi·W
 // are included; none below (phi-2ε)·W can appear.
-func (s *SlidingFreqEstimator) HeavyHitters(phi float64) []ItemCount {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	var out []ItemCount
-	for _, item := range s.impl.HeavyHitters(phi) {
-		out = append(out, ItemCount{Item: item, Count: s.impl.Estimate(item)})
-	}
+func (s *SlidingFreqEstimator) HeavyHitters(phi float64) (out []ItemCount) {
+	s.read(func() {
+		for _, item := range s.impl.HeavyHitters(phi) {
+			out = append(out, ItemCount{Item: item, Count: s.impl.Estimate(item)})
+		}
+	})
 	sortByCountDesc(out)
 	return out
 }
 
 // TopK returns the k tracked items with the largest estimates within the
 // window.
-func (s *SlidingFreqEstimator) TopK(k int) []ItemCount {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	out := make([]ItemCount, 0, s.impl.NumCounters())
-	for _, item := range s.impl.TrackedItemIDs() {
-		if est := s.impl.Estimate(item); est > 0 {
-			out = append(out, ItemCount{Item: item, Count: est})
+func (s *SlidingFreqEstimator) TopK(k int) (out []ItemCount) {
+	s.read(func() {
+		out = make([]ItemCount, 0, s.impl.NumCounters())
+		for _, item := range s.impl.TrackedItemIDs() {
+			if est := s.impl.Estimate(item); est > 0 {
+				out = append(out, ItemCount{Item: item, Count: est})
+			}
 		}
-	}
+	})
 	sortByCountDesc(out)
+	if k < 0 {
+		k = 0
+	}
 	if k < len(out) {
 		out = out[:k]
 	}
@@ -95,29 +89,26 @@ func (s *SlidingFreqEstimator) TopK(k int) []ItemCount {
 }
 
 // WindowSize returns n.
-func (s *SlidingFreqEstimator) WindowSize() int64 { return s.impl.N() }
+func (s *SlidingFreqEstimator) WindowSize() (n int64) {
+	s.read(func() { n = s.impl.N() })
+	return n
+}
 
 // Variant returns the configured algorithm variant.
-func (s *SlidingFreqEstimator) Variant() SlidingVariant { return s.impl.VariantKind() }
-
-// StreamLen returns the number of items observed so far.
-func (s *SlidingFreqEstimator) StreamLen() int64 {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return s.impl.StreamLen()
+func (s *SlidingFreqEstimator) Variant() (v SlidingVariant) {
+	s.read(func() { v = s.impl.VariantKind() })
+	return v
 }
 
 // TrackedItems returns the number of live per-item counters (bounded by
 // O(1/ε) for the space- and work-efficient variants).
-func (s *SlidingFreqEstimator) TrackedItems() int {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return s.impl.NumCounters()
+func (s *SlidingFreqEstimator) TrackedItems() (n int) {
+	s.read(func() { n = s.impl.NumCounters() })
+	return n
 }
 
 // SpaceWords reports the memory footprint in 64-bit words.
-func (s *SlidingFreqEstimator) SpaceWords() int {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return s.impl.SpaceWords()
+func (s *SlidingFreqEstimator) SpaceWords() (w int) {
+	s.read(func() { w = s.impl.SpaceWords() })
+	return w
 }

@@ -22,6 +22,13 @@
 //     SpaceEfficient (Theorem 5.8), WorkEfficient (Theorem 5.4).
 //   - CountMin / CountMinRange — the parallel count-min sketch
 //     (Theorem 6.1) with point, range and quantile queries.
+//   - CountSketch — the unbiased turnstile sketch of [CCFC02].
+//
+// Every aggregate satisfies the Aggregate interface (plus narrower query
+// interfaces such as PointEstimator and HeavyHitterSource) and is built
+// with the functional-options constructor New(kind, opts...); Pipeline
+// fans one minibatch stream out to many named aggregates concurrently
+// and checkpoints them atomically.
 //
 // Concurrency model. Minibatch ingestion is internally parallel and
 // lock-free (fork-join phases with disjoint writes). Externally, each

@@ -2,7 +2,6 @@ package streamagg
 
 import (
 	"fmt"
-	"sync"
 
 	"repro/internal/wsum"
 )
@@ -12,7 +11,7 @@ import (
 // O(ε⁻¹ log n log R); a minibatch of µ values costs O((S+µ) log R) work
 // with polylog depth.
 type WindowSum struct {
-	mu   sync.RWMutex
+	gate
 	impl *wsum.Summer
 }
 
@@ -20,46 +19,52 @@ type WindowSum struct {
 // (n >= 1), each value at most maxValue, with relative error epsilon in
 // (0, 1].
 func NewWindowSum(n int64, maxValue uint64, epsilon float64) (*WindowSum, error) {
-	if n < 1 {
-		return nil, fmt.Errorf("%w: window size %d", ErrBadParam, n)
+	a, err := New(KindWindowSum, WithWindow(n), WithMaxValue(maxValue), WithEpsilon(epsilon))
+	if err != nil {
+		return nil, err
 	}
-	if epsilon <= 0 || epsilon > 1 {
-		return nil, fmt.Errorf("%w: epsilon %v", ErrBadParam, epsilon)
-	}
-	return &WindowSum{impl: wsum.New(n, maxValue, epsilon)}, nil
+	return a.(*WindowSum), nil
 }
+
+// Kind returns KindWindowSum.
+func (s *WindowSum) Kind() Kind { return KindWindowSum }
 
 // ProcessBatch ingests a minibatch of values. It returns an error (and
 // ingests nothing) if any value exceeds the configured bound.
 func (s *WindowSum) ProcessBatch(values []uint64) error {
-	for _, v := range values {
-		if v > s.impl.R() {
-			return fmt.Errorf("%w: value %d exceeds bound %d", ErrBadParam, v, s.impl.R())
+	return s.ingestErr(len(values), func() error {
+		r := s.impl.R()
+		for _, v := range values {
+			if v > r {
+				return fmt.Errorf("%w: value %d exceeds bound %d", ErrBadParam, v, r)
+			}
 		}
-	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.impl.Advance(values)
-	return nil
+		s.impl.Advance(values)
+		return nil
+	})
 }
 
 // Estimate returns the approximate window sum:
 // true <= Estimate() <= (1+ε)·true.
-func (s *WindowSum) Estimate() int64 {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return s.impl.Estimate()
+func (s *WindowSum) Estimate() (est int64) {
+	s.read(func() { est = s.impl.Estimate() })
+	return est
 }
 
 // WindowSize returns n.
-func (s *WindowSum) WindowSize() int64 { return s.impl.N() }
+func (s *WindowSum) WindowSize() (n int64) {
+	s.read(func() { n = s.impl.N() })
+	return n
+}
 
 // MaxValue returns R.
-func (s *WindowSum) MaxValue() uint64 { return s.impl.R() }
+func (s *WindowSum) MaxValue() (r uint64) {
+	s.read(func() { r = s.impl.R() })
+	return r
+}
 
 // SpaceWords reports the memory footprint in 64-bit words.
-func (s *WindowSum) SpaceWords() int {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return s.impl.SpaceWords()
+func (s *WindowSum) SpaceWords() (w int) {
+	s.read(func() { w = s.impl.SpaceWords() })
+	return w
 }
