@@ -83,6 +83,27 @@ type RangeEstimator interface {
 	Quantile(q float64) uint64
 }
 
+// Merger is the capability interface for aggregates that can absorb
+// another instance of the same kind — the mergeable-summaries property
+// [ACH+13] that sharded and distributed deployments build on. After
+// a.Merge(b), a summarizes the concatenation of both input streams:
+//
+//   - FreqEstimator merges with the Misra-Gries merge, preserving
+//     f_e - ε(m_a+m_b) <= Estimate(e) <= f_e;
+//   - CountMin and CountMinRange merge cell-wise (both operands must
+//     share parameters and seed), preserving the εm bound at the
+//     combined m;
+//   - CountSketch merges cell-wise, with merged error bounded by
+//     ε(‖f_a‖₂+‖f_b‖₂).
+//
+// Merge returns an error wrapping ErrIncompatibleMerge when the operands
+// differ in kind, parameters, or hash seed, or when an aggregate is
+// merged with itself; the receiver is unchanged on error. The argument
+// is read under its own query gate and is not modified.
+type Merger interface {
+	Merge(other Aggregate) error
+}
+
 // Compile-time conformance: every public aggregate is an Aggregate.
 var (
 	_ Aggregate = (*BasicCounter)(nil)
@@ -105,4 +126,17 @@ var (
 	_ HeavyHitterSource = (*FreqEstimator)(nil)
 	_ HeavyHitterSource = (*SlidingFreqEstimator)(nil)
 	_ RangeEstimator    = (*CountMinRange)(nil)
+)
+
+// Compile-time conformance: the mergeable kinds and the sharded wrapper.
+var (
+	_ Merger = (*FreqEstimator)(nil)
+	_ Merger = (*CountMin)(nil)
+	_ Merger = (*CountMinRange)(nil)
+	_ Merger = (*CountSketch)(nil)
+
+	_ Aggregate         = (*Sharded)(nil)
+	_ PointEstimator    = (*Sharded)(nil)
+	_ HeavyHitterSource = (*Sharded)(nil)
+	_ RangeEstimator    = (*Sharded)(nil)
 )

@@ -525,3 +525,68 @@ func runE11() {
 	}
 	fmt.Println("shape check: concurrent fan-out at least matches the sequential loop")
 }
+
+// ---------------------------------------------------------------- E12 --
+
+// runE12 measures the sharded ingestion axis: the same minibatch stream
+// through one shared structure (the paper's intra-minibatch parallelism
+// alone) vs the Sharded wrapper at increasing shard counts, which adds
+// coarse-grained parallelism across independent shards on top. Shards
+// help once the single structure's parallel phases stop scaling (their
+// sequential fractions — histogram merge, per-row bookkeeping — bound
+// intra-batch speedup); on a single core the sharded rows only show the
+// partitioning overhead.
+func runE12() {
+	const (
+		streamLen = 1 << 21
+		batchSize = 1 << 16
+	)
+	stream := workload.Zipf(67, streamLen, 1.1, 1<<20)
+	batches := workload.Batches(stream, batchSize)
+	fmt.Printf("GOMAXPROCS=%d workers=%d\n", runtime.GOMAXPROCS(0), parallel.Workers())
+
+	ingest := func(agg streamagg.Aggregate) float64 {
+		start := time.Now()
+		for _, b := range batches {
+			if err := agg.ProcessBatch(b); err != nil {
+				panic(err)
+			}
+		}
+		return time.Since(start).Seconds()
+	}
+
+	for _, cfg := range []struct {
+		name string
+		kind streamagg.Kind
+		opts []streamagg.Option
+	}{
+		{"count-min", streamagg.KindCountMin,
+			[]streamagg.Option{streamagg.WithEpsilon(1e-4), streamagg.WithDelta(1e-3), streamagg.WithSeed(7)}},
+		{"freq (misra-gries)", streamagg.KindFreq,
+			[]streamagg.Option{streamagg.WithEpsilon(1e-3)}},
+	} {
+		t := newTable("engine", "shards", "ns/item", "Mitem/s", "vs baseline")
+		base, err := streamagg.New(cfg.kind, cfg.opts...)
+		if err != nil {
+			panic(err)
+		}
+		baseSec := ingest(base)
+		t.add("single structure", 1,
+			fmt.Sprintf("%.1f", baseSec*1e9/streamLen),
+			fmt.Sprintf("%.1f", streamLen/baseSec/1e6), "1.00x")
+		for _, shards := range []int{2, 4, 8} {
+			s, err := streamagg.NewSharded(cfg.kind, shards, cfg.opts...)
+			if err != nil {
+				panic(err)
+			}
+			sec := ingest(s)
+			t.add("sharded", shards,
+				fmt.Sprintf("%.1f", sec*1e9/streamLen),
+				fmt.Sprintf("%.1f", streamLen/sec/1e6),
+				fmt.Sprintf("%.2fx", baseSec/sec))
+		}
+		fmt.Printf("\n%s:\n", cfg.name)
+		t.print()
+	}
+	fmt.Println("\nshape check: sharded throughput should scale with shard count on multicore hardware")
+}

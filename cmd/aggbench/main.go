@@ -28,7 +28,7 @@ type experiment struct {
 }
 
 func main() {
-	which := flag.String("experiment", "all", "experiment id (E1..E11) or 'all'")
+	which := flag.String("experiment", "all", "experiment id (E1..E12) or 'all'")
 	flag.Parse()
 
 	exps := []experiment{
@@ -43,6 +43,7 @@ func main() {
 		{"E9", "parallel speedup: throughput vs workers (depth bounds)", runE9},
 		{"E10", "substrates: intSort, buildHist, CSS (Thms 2.2/2.3, Lemma 2.1)", runE10},
 		{"E11", "multi-aggregate pipeline: concurrent fan-out vs sequential (public API)", runE11},
+		{"E12", "sharded ingestion: throughput vs shard count (mergeable summaries)", runE12},
 	}
 
 	want := strings.ToUpper(*which)

@@ -1,6 +1,10 @@
 package streamagg
 
-import "repro/internal/cms"
+import (
+	"fmt"
+
+	"repro/internal/cms"
+)
 
 // CountMin is the parallel count-min sketch (Theorem 6.1): point queries
 // satisfy f_e <= Query(e) <= f_e + εm with probability at least 1-δ, in
@@ -66,6 +70,33 @@ func (c *CountMin) SpaceWords() (w int) {
 	return w
 }
 
+// Merge folds another CountMin with equal dimensions and seed into c
+// cell-wise (Merger interface): afterwards c summarizes both streams
+// with the εm guarantee at the combined m. The other sketch is read
+// under its query gate and left unchanged.
+func (c *CountMin) Merge(other Aggregate) error {
+	o, ok := other.(*CountMin)
+	if !ok {
+		return fmt.Errorf("%w: cannot merge %s into %s", ErrIncompatibleMerge, other.Kind(), c.Kind())
+	}
+	if o == c {
+		return fmt.Errorf("%w: aggregate merged with itself", ErrIncompatibleMerge)
+	}
+	// Snapshot the other sketch under its own read lock first, then merge
+	// under c's write lock: never holding two gates at once rules out
+	// lock-order deadlocks between concurrent merges.
+	var clone *cms.Sketch
+	var olen int64
+	o.read(func() { clone, olen = o.impl.Clone(), o.streamLen })
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err := c.impl.Merge(clone); err != nil {
+		return fmt.Errorf("%w: %v", ErrIncompatibleMerge, err)
+	}
+	c.streamLen += olen
+	return nil
+}
+
 // CountMinRange is a dyadic stack of count-min sketches supporting range
 // counts and approximate quantiles over a bounded integer universe — the
 // standard CM-sketch applications the paper cites.
@@ -119,4 +150,26 @@ func (c *CountMinRange) TotalCount() (m int64) {
 func (c *CountMinRange) SpaceWords() (w int) {
 	c.read(func() { w = c.impl.SpaceWords() })
 	return w
+}
+
+// Merge folds another CountMinRange with equal universe, dimensions and
+// seed into c level-wise (Merger interface).
+func (c *CountMinRange) Merge(other Aggregate) error {
+	o, ok := other.(*CountMinRange)
+	if !ok {
+		return fmt.Errorf("%w: cannot merge %s into %s", ErrIncompatibleMerge, other.Kind(), c.Kind())
+	}
+	if o == c {
+		return fmt.Errorf("%w: aggregate merged with itself", ErrIncompatibleMerge)
+	}
+	var clone *cms.RangeSketch
+	var olen int64
+	o.read(func() { clone, olen = o.impl.Clone(), o.streamLen })
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err := c.impl.Merge(clone); err != nil {
+		return fmt.Errorf("%w: %v", ErrIncompatibleMerge, err)
+	}
+	c.streamLen += olen
+	return nil
 }

@@ -1,6 +1,10 @@
 package streamagg
 
-import "repro/internal/countsketch"
+import (
+	"fmt"
+
+	"repro/internal/countsketch"
+)
 
 // CountSketch is the Count-Sketch of [CCFC02] (cited by the paper as the
 // other standard frequency sketch), ingested with the same parallel
@@ -65,4 +69,28 @@ func (c *CountSketch) Dims() (d, w int) {
 func (c *CountSketch) SpaceWords() (w int) {
 	c.read(func() { w = c.impl.SpaceWords() })
 	return w
+}
+
+// Merge folds another CountSketch with equal dimensions and seed into c
+// cell-wise (Merger interface): count-sketch is a linear sketch, so the
+// merged state is exactly the sketch of the concatenated streams, with
+// error bounded by ε(‖f_a‖₂+‖f_b‖₂).
+func (c *CountSketch) Merge(other Aggregate) error {
+	o, ok := other.(*CountSketch)
+	if !ok {
+		return fmt.Errorf("%w: cannot merge %s into %s", ErrIncompatibleMerge, other.Kind(), c.Kind())
+	}
+	if o == c {
+		return fmt.Errorf("%w: aggregate merged with itself", ErrIncompatibleMerge)
+	}
+	var clone *countsketch.Sketch
+	var olen int64
+	o.read(func() { clone, olen = o.impl.Clone(), o.streamLen })
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err := c.impl.Merge(clone); err != nil {
+		return fmt.Errorf("%w: %v", ErrIncompatibleMerge, err)
+	}
+	c.streamLen += olen
+	return nil
 }

@@ -1,6 +1,7 @@
 package streamagg
 
 import (
+	"fmt"
 	"sort"
 
 	"repro/internal/mg"
@@ -85,6 +86,33 @@ func (f *FreqEstimator) TopK(k int) (out []ItemCount) {
 func (f *FreqEstimator) SpaceWords() (w int) {
 	f.read(func() { w = f.impl.SpaceWords() })
 	return w
+}
+
+// Merge folds another FreqEstimator with the same epsilon (summary
+// capacity) into f with the Misra-Gries merge of [ACH+13] (Merger
+// interface), preserving f_e - ε(m_f+m_o) <= Estimate(e) <= f_e. A
+// capacity mismatch is rejected: merging in a coarser summary would
+// silently import its larger undercount and break f's advertised bound.
+func (f *FreqEstimator) Merge(other Aggregate) error {
+	o, ok := other.(*FreqEstimator)
+	if !ok {
+		return fmt.Errorf("%w: cannot merge %s into %s", ErrIncompatibleMerge, other.Kind(), f.Kind())
+	}
+	if o == f {
+		return fmt.Errorf("%w: aggregate merged with itself", ErrIncompatibleMerge)
+	}
+	var clone *mg.Summary
+	var olen int64
+	o.read(func() { clone, olen = o.impl.Clone(), o.streamLen })
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.impl.Capacity() != clone.Capacity() {
+		return fmt.Errorf("%w: summary capacity mismatch (%d vs %d)",
+			ErrIncompatibleMerge, f.impl.Capacity(), clone.Capacity())
+	}
+	f.impl.Merge(clone)
+	f.streamLen += olen
+	return nil
 }
 
 func sortByCountDesc(xs []ItemCount) {

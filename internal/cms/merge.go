@@ -1,0 +1,77 @@
+package cms
+
+import (
+	"fmt"
+
+	"repro/internal/parallel"
+)
+
+// Merge folds another sketch into s cell-wise. Two count-min sketches
+// summarizing streams A and B with identical dimensions and hash
+// functions sum to the sketch of A ++ B exactly, so the merged sketch
+// keeps the εm guarantee with m = m_A + m_B — the mergeable-summaries
+// property [ACH+13] that sharded and distributed deployments rely on.
+// Merging sketches drawn with different dimensions or hash seeds would
+// silently corrupt estimates, so that is rejected.
+func (s *Sketch) Merge(o *Sketch) error {
+	if s.d != o.d || s.w != o.w {
+		return fmt.Errorf("cms: merge dimension mismatch (%dx%d vs %dx%d)", s.d, s.w, o.d, o.w)
+	}
+	if s.hashSeed != o.hashSeed {
+		return fmt.Errorf("cms: merge hash seed mismatch (%d vs %d)", s.hashSeed, o.hashSeed)
+	}
+	parallel.ForGrain(s.d, 1, func(i int) {
+		row, orow := s.rows[i], o.rows[i]
+		for j := range row {
+			row[j] += orow[j]
+		}
+	})
+	s.m += o.m
+	return nil
+}
+
+// Clone returns a deep copy of the sketch.
+func (s *Sketch) Clone() *Sketch {
+	c := NewWithDims(s.d, s.w, s.hashSeed)
+	c.m = s.m
+	c.seed = s.seed
+	for i := range s.rows {
+		copy(c.rows[i], s.rows[i])
+	}
+	return c
+}
+
+// Merge folds another range sketch into r level-wise. Both must cover
+// the same universe and use the same hash seed family.
+func (r *RangeSketch) Merge(o *RangeSketch) error {
+	if r.bits != o.bits {
+		return fmt.Errorf("cms: merge universe mismatch (2^%d vs 2^%d)", r.bits, o.bits)
+	}
+	if len(r.levels) != len(o.levels) {
+		return fmt.Errorf("cms: merge level count mismatch (%d vs %d)", len(r.levels), len(o.levels))
+	}
+	// Validate every level before mutating any, so a mismatch cannot
+	// leave the stack half-merged.
+	for l := range r.levels {
+		a, b := r.levels[l], o.levels[l]
+		if a.d != b.d || a.w != b.w || a.hashSeed != b.hashSeed {
+			return fmt.Errorf("cms: merge mismatch at level %d", l)
+		}
+	}
+	for l := range r.levels {
+		if err := r.levels[l].Merge(o.levels[l]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Clone returns a deep copy of the range sketch.
+func (r *RangeSketch) Clone() *RangeSketch {
+	c := &RangeSketch{bits: r.bits}
+	c.levels = make([]*Sketch, len(r.levels))
+	for l, s := range r.levels {
+		c.levels[l] = s.Clone()
+	}
+	return c
+}

@@ -21,13 +21,18 @@ func (s *Sketch) State() State {
 	return State{D: s.d, W: s.w, M: s.m, HashSeed: s.hashSeed, Seed: s.seed, Cells: cells}
 }
 
+// maxStateDim bounds each serialized dimension so the d·w product cannot
+// overflow int and the cells-length check below runs before any d·w-sized
+// allocation (a corrupted checkpoint must error, never panic or OOM).
+const maxStateDim = 1 << 28
+
 // FromState reconstructs a sketch, validating invariants.
 func FromState(st State) (*Sketch, error) {
-	if st.D < 1 || st.W < 1 {
+	if st.D < 1 || st.W < 1 || st.D > maxStateDim || st.W > maxStateDim {
 		return nil, fmt.Errorf("cms: bad state dims %dx%d", st.D, st.W)
 	}
-	if len(st.Cells) != st.D*st.W {
-		return nil, fmt.Errorf("cms: state has %d cells, want %d", len(st.Cells), st.D*st.W)
+	if int64(len(st.Cells)) != int64(st.D)*int64(st.W) {
+		return nil, fmt.Errorf("cms: state has %d cells, want %d", len(st.Cells), int64(st.D)*int64(st.W))
 	}
 	s := NewWithDims(st.D, st.W, st.HashSeed)
 	s.m = st.M

@@ -1,0 +1,42 @@
+package countsketch
+
+import (
+	"fmt"
+
+	"repro/internal/parallel"
+)
+
+// Merge folds another sketch into s cell-wise. Count-sketch is a linear
+// sketch: with identical dimensions and hash/sign functions, the cell
+// sums of two sketches form the sketch of the concatenated streams, so
+// the merged estimate keeps the ±ε‖f‖₂ guarantee for the combined
+// frequency vector (and ‖f_A + f_B‖₂ <= ‖f_A‖₂ + ‖f_B‖₂ bounds the
+// merged error by the sum of the parts). Mismatched dimensions or hash
+// seeds are rejected.
+func (s *Sketch) Merge(o *Sketch) error {
+	if s.d != o.d || s.w != o.w {
+		return fmt.Errorf("countsketch: merge dimension mismatch (%dx%d vs %dx%d)", s.d, s.w, o.d, o.w)
+	}
+	if s.hashSeed != o.hashSeed {
+		return fmt.Errorf("countsketch: merge hash seed mismatch (%d vs %d)", s.hashSeed, o.hashSeed)
+	}
+	parallel.ForGrain(s.d, 1, func(i int) {
+		row, orow := s.rows[i], o.rows[i]
+		for j := range row {
+			row[j] += orow[j]
+		}
+	})
+	s.m += o.m
+	return nil
+}
+
+// Clone returns a deep copy of the sketch.
+func (s *Sketch) Clone() *Sketch {
+	c := NewWithDims(s.d, s.w, s.hashSeed)
+	c.m = s.m
+	c.seed = s.seed
+	for i := range s.rows {
+		copy(c.rows[i], s.rows[i])
+	}
+	return c
+}

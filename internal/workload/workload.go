@@ -39,6 +39,49 @@ func Distinct(start uint64, n int) []uint64 {
 	return out
 }
 
+// SingleKey returns n copies of the same item — the degenerate
+// single-hot-key stream (everything concentrates in one counter/cell).
+func SingleKey(item uint64, n int) []uint64 {
+	out := make([]uint64, n)
+	for i := range out {
+		out[i] = item
+	}
+	return out
+}
+
+// Update is one turnstile update: Delta occurrences of Item added
+// (Delta < 0 deletes). Used by sketches that support deletions.
+type Update struct {
+	Item  uint64
+	Delta int64
+}
+
+// Turnstile returns a deletion-heavy turnstile sequence: inserts draw
+// Zipf(s)-distributed items over [0, imax] with small positive weights,
+// and with probability delFrac each step instead fully retracts one
+// earlier insert, so net counts never go negative. Deterministic given
+// the seed.
+func Turnstile(seed int64, n int, s float64, imax uint64, delFrac float64) []Update {
+	rng := rand.New(rand.NewSource(seed))
+	z := rand.NewZipf(rng, s, 1, imax)
+	out := make([]Update, 0, n)
+	var live []Update // inserts not yet retracted
+	for len(out) < n {
+		if len(live) > 0 && rng.Float64() < delFrac {
+			i := rng.Intn(len(live))
+			u := live[i]
+			live[i] = live[len(live)-1]
+			live = live[:len(live)-1]
+			out = append(out, Update{Item: u.Item, Delta: -u.Delta})
+			continue
+		}
+		u := Update{Item: z.Uint64(), Delta: 1 + int64(rng.Intn(3))}
+		live = append(live, u)
+		out = append(out, u)
+	}
+	return out
+}
+
 // HeavyMix returns n items where each of the given heavy items appears
 // with its probability and the rest of the mass is uniform noise over a
 // large universe. Probabilities must sum to < 1.

@@ -29,6 +29,7 @@ type config struct {
 	bits     int
 	seed     int64
 	variant  SlidingVariant
+	shards   int
 	set      map[string]bool
 }
 
@@ -127,6 +128,22 @@ func WithVariant(v SlidingVariant) Option {
 	}
 }
 
+// WithShards hash-partitions the aggregate's keyspace across s
+// independent shard instances (1 <= s <= 4096), ingested concurrently
+// and queried through the Sharded wrapper. Applies to the mergeable,
+// infinite-window kinds only: KindFreq, KindCountMin, KindCountSketch,
+// KindCountMinRange. New (and Pipeline.Add) then return a *Sharded.
+func WithShards(s int) Option {
+	return func(c *config) error {
+		if s < 1 || s > maxShards {
+			return fmt.Errorf("%w: shard count %d (want in [1, %d])", ErrBadParam, s, maxShards)
+		}
+		c.shards = s
+		c.mark("WithShards")
+		return nil
+	}
+}
+
 // kindUsage drives the centralized applicability/requirement checks.
 var kindUsage = map[Kind]struct {
 	allowed  map[string]bool
@@ -141,21 +158,21 @@ var kindUsage = map[Kind]struct {
 		required: []string{"WithWindow", "WithMaxValue"},
 	},
 	KindFreq: {
-		allowed: map[string]bool{"WithEpsilon": true},
+		allowed: map[string]bool{"WithEpsilon": true, "WithShards": true},
 	},
 	KindSlidingFreq: {
 		allowed:  map[string]bool{"WithWindow": true, "WithEpsilon": true, "WithVariant": true},
 		required: []string{"WithWindow"},
 	},
 	KindCountMin: {
-		allowed: map[string]bool{"WithEpsilon": true, "WithDelta": true, "WithSeed": true},
+		allowed: map[string]bool{"WithEpsilon": true, "WithDelta": true, "WithSeed": true, "WithShards": true},
 	},
 	KindCountMinRange: {
-		allowed:  map[string]bool{"WithEpsilon": true, "WithDelta": true, "WithSeed": true, "WithUniverseBits": true},
+		allowed:  map[string]bool{"WithEpsilon": true, "WithDelta": true, "WithSeed": true, "WithUniverseBits": true, "WithShards": true},
 		required: []string{"WithUniverseBits"},
 	},
 	KindCountSketch: {
-		allowed: map[string]bool{"WithEpsilon": true, "WithDelta": true, "WithSeed": true},
+		allowed: map[string]bool{"WithEpsilon": true, "WithDelta": true, "WithSeed": true, "WithShards": true},
 	},
 }
 
@@ -187,21 +204,29 @@ func New(kind Kind, opts ...Option) (Aggregate, error) {
 			return nil, fmt.Errorf("%w: %s requires %s", ErrBadParam, kind, name)
 		}
 	}
-	switch kind {
-	case KindBasicCounter:
-		return &BasicCounter{impl: bcount.New(c.window, c.epsilon)}, nil
-	case KindWindowSum:
-		return &WindowSum{impl: wsum.New(c.window, c.maxValue, c.epsilon)}, nil
-	case KindFreq:
-		return &FreqEstimator{impl: mg.New(c.epsilon)}, nil
-	case KindSlidingFreq:
-		return &SlidingFreqEstimator{impl: swfreq.New(c.window, c.epsilon, c.variant)}, nil
-	case KindCountMin:
-		return &CountMin{impl: cms.New(c.epsilon, c.delta, c.seed)}, nil
-	case KindCountMinRange:
-		return &CountMinRange{impl: cms.NewRange(c.bits, c.epsilon, c.delta, c.seed)}, nil
-	case KindCountSketch:
-		return &CountSketch{impl: countsketch.New(c.epsilon, c.delta, c.seed)}, nil
+	mk := func() Aggregate {
+		switch kind {
+		case KindBasicCounter:
+			return &BasicCounter{impl: bcount.New(c.window, c.epsilon)}
+		case KindWindowSum:
+			return &WindowSum{impl: wsum.New(c.window, c.maxValue, c.epsilon)}
+		case KindFreq:
+			return &FreqEstimator{impl: mg.New(c.epsilon)}
+		case KindSlidingFreq:
+			return &SlidingFreqEstimator{impl: swfreq.New(c.window, c.epsilon, c.variant)}
+		case KindCountMin:
+			return &CountMin{impl: cms.New(c.epsilon, c.delta, c.seed)}
+		case KindCountMinRange:
+			return &CountMinRange{impl: cms.NewRange(c.bits, c.epsilon, c.delta, c.seed)}
+		case KindCountSketch:
+			return &CountSketch{impl: countsketch.New(c.epsilon, c.delta, c.seed)}
+		}
+		panic("unreachable")
 	}
-	panic("unreachable")
+	if c.set["WithShards"] {
+		// Every shard is built from the identical validated config — same
+		// hash seed — which keeps the shard set mergeable.
+		return newSharded(kind, c.shards, mk), nil
+	}
+	return mk(), nil
 }

@@ -343,6 +343,8 @@ func zeroAggregate(kind Kind) (Aggregate, error) {
 		return &CountMinRange{}, nil
 	case KindCountSketch:
 		return &CountSketch{}, nil
+	case KindSharded:
+		return &Sharded{}, nil
 	}
 	return nil, fmt.Errorf("%w: unknown aggregate kind %q", ErrBadParam, kind)
 }

@@ -229,6 +229,42 @@ func TestPipelineRegistrationErrors(t *testing.T) {
 	}
 }
 
+// TestPipelineUnknownNameSentinel: every keyed query method on an
+// unregistered name must return the named sentinel ErrNoSuchAggregate
+// (callers dispatch on it to distinguish "no such key" from "key exists
+// but cannot answer this query"), on empty and populated pipelines alike.
+func TestPipelineUnknownNameSentinel(t *testing.T) {
+	queries := map[string]func(p *Pipeline) error{
+		"Estimate":     func(p *Pipeline) error { _, err := p.Estimate("nope", 1); return err },
+		"Value":        func(p *Pipeline) error { _, err := p.Value("nope"); return err },
+		"HeavyHitters": func(p *Pipeline) error { _, err := p.HeavyHitters("nope", 0.1); return err },
+		"TopK":         func(p *Pipeline) error { _, err := p.TopK("nope", 3); return err },
+		"RangeCount":   func(p *Pipeline) error { _, err := p.RangeCount("nope", 0, 10); return err },
+		"Quantile":     func(p *Pipeline) error { _, err := p.Quantile("nope", 0.5); return err },
+	}
+	for _, tc := range []struct {
+		name string
+		p    *Pipeline
+	}{
+		{"empty", NewPipeline()},
+		{"populated", buildFullPipeline(t)},
+	} {
+		for method, q := range queries {
+			err := q(tc.p)
+			if !errors.Is(err, ErrNoSuchAggregate) {
+				t.Fatalf("%s pipeline: %s on unknown name returned %v, want ErrNoSuchAggregate", tc.name, method, err)
+			}
+			if !strings.Contains(err.Error(), "nope") {
+				t.Fatalf("%s pipeline: %s error does not name the missing key: %v", tc.name, method, err)
+			}
+			// The sentinel must not be conflated with the other sentinels.
+			if errors.Is(err, ErrUnsupportedQuery) || errors.Is(err, ErrBadParam) {
+				t.Fatalf("%s pipeline: %s error matches the wrong sentinel: %v", tc.name, method, err)
+			}
+		}
+	}
+}
+
 func TestPipelineQueryErrors(t *testing.T) {
 	p := buildFullPipeline(t)
 	if _, err := p.Estimate("nope", 1); !errors.Is(err, ErrNoSuchAggregate) {

@@ -1,0 +1,381 @@
+package streamagg
+
+// Sharded keyspace partitioning — the scaling axis orthogonal to the
+// paper's intra-minibatch parallelism. A Sharded aggregate hash-splits
+// every minibatch across S independent instances of one mergeable kind
+// (disjoint keyspaces, no shared cells), ingests the shards concurrently
+// on the shared worker budget, and answers queries either by routing /
+// summing per shard or through an on-demand merged snapshot built with
+// the Merger interface — the classic mergeable-summaries route [ACH+13].
+//
+// Only the infinite-window, keyspace-partitionable kinds can be sharded:
+// KindFreq, KindCountMin, KindCountSketch, and KindCountMinRange. The
+// sliding-window aggregates (BasicCounter, WindowSum, SlidingFreq) are
+// excluded on principle, not implementation laziness: their count-based
+// window is a property of the whole stream order, so a shard that sees
+// only a hashed subsequence cannot reconstruct "the last n elements".
+//
+// Error bounds. Point queries route to the item's owner shard, whose
+// sub-stream length m_i <= m, so every per-kind guarantee stated against
+// εm holds verbatim. Merged snapshots inherit the mergeable-summaries
+// bounds documented on Merger.
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/parallel"
+)
+
+// KindSharded tags Sharded wrappers (and their checkpoint envelopes).
+const KindSharded Kind = "sharded"
+
+// maxShards bounds the shard count; beyond this the per-shard batches
+// are too small to amortize anything.
+const maxShards = 4096
+
+// shardable lists the kinds whose keyspace can be hash-partitioned
+// across independent shards; all of them implement Merger.
+var shardable = map[Kind]bool{
+	KindFreq:          true,
+	KindCountMin:      true,
+	KindCountSketch:   true,
+	KindCountMinRange: true,
+}
+
+// Sharded hash-partitions one logical aggregate across S independent
+// shard instances of a mergeable kind. It satisfies Aggregate plus every
+// query interface its shard kind supports; querying a capability the
+// shard kind lacks returns zero values (the Pipeline's keyed surface
+// cannot distinguish capabilities through the wrapper). The zero value
+// is ready for UnmarshalBinary only.
+type Sharded struct {
+	gate
+	inner  Kind
+	shards []Aggregate
+}
+
+// NewSharded creates a sharded aggregate: shards independent instances
+// of kind (1 <= shards <= 4096), all built from the same options — and
+// therefore the same hash seed, which keeps them mergeable.
+func NewSharded(kind Kind, shards int, opts ...Option) (*Sharded, error) {
+	a, err := New(kind, append(append([]Option{}, opts...), WithShards(shards))...)
+	if err != nil {
+		return nil, err
+	}
+	return a.(*Sharded), nil
+}
+
+// newSharded wraps s instances produced by mk. The caller (New) has
+// already validated kind and s.
+func newSharded(kind Kind, s int, mk func() Aggregate) *Sharded {
+	shards := make([]Aggregate, s)
+	for i := range shards {
+		shards[i] = mk()
+	}
+	return &Sharded{inner: kind, shards: shards}
+}
+
+// Kind returns KindSharded. InnerKind reports what the shards are.
+func (s *Sharded) Kind() Kind { return KindSharded }
+
+// InnerKind returns the kind of the shard instances.
+func (s *Sharded) InnerKind() (k Kind) {
+	s.read(func() { k = s.inner })
+	return k
+}
+
+// NumShards returns the shard count.
+func (s *Sharded) NumShards() (n int) {
+	s.read(func() { n = len(s.shards) })
+	return n
+}
+
+// shardIndex maps an item to its owner shard with a splitmix64-style
+// finalizer — fixed (not seeded) so the partition survives
+// checkpoint/restore and is independent of the shards' sketch hashes.
+func shardIndex(item uint64, shards int) int {
+	x := item
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return int(x % uint64(shards))
+}
+
+// partitionByShard splits items into per-shard sub-batches, preserving
+// stream order within each shard (a stable counting-sort scatter:
+// per-chunk counts, prefix offsets, parallel scatter).
+func partitionByShard(items []uint64, shards int) [][]uint64 {
+	n := len(items)
+	if shards == 1 {
+		return [][]uint64{items}
+	}
+	chunks := parallel.Workers()
+	if max := (n + 4095) / 4096; chunks > max {
+		chunks = max
+	}
+	if chunks < 1 {
+		chunks = 1
+	}
+	ids := make([]uint16, n)
+	counts := make([][]int, chunks)
+	bounds := func(c int) (lo, hi int) { return c * n / chunks, (c + 1) * n / chunks }
+	parallel.ForGrain(chunks, 1, func(c int) {
+		cnt := make([]int, shards)
+		lo, hi := bounds(c)
+		for i := lo; i < hi; i++ {
+			id := shardIndex(items[i], shards)
+			ids[i] = uint16(id)
+			cnt[id]++
+		}
+		counts[c] = cnt
+	})
+	// offsets[c][j]: where chunk c starts writing within shard j's batch.
+	totals := make([]int, shards)
+	offsets := make([][]int, chunks)
+	for c := 0; c < chunks; c++ {
+		off := make([]int, shards)
+		for j := 0; j < shards; j++ {
+			off[j] = totals[j]
+			totals[j] += counts[c][j]
+		}
+		offsets[c] = off
+	}
+	out := make([][]uint64, shards)
+	for j := range out {
+		out[j] = make([]uint64, totals[j])
+	}
+	parallel.ForGrain(chunks, 1, func(c int) {
+		off := offsets[c]
+		lo, hi := bounds(c)
+		for i := lo; i < hi; i++ {
+			j := ids[i]
+			out[j][off[j]] = items[i]
+			off[j]++
+		}
+	})
+	return out
+}
+
+// ProcessBatch hash-partitions the minibatch and ingests every shard's
+// sub-batch concurrently, each shard running its own internally-parallel
+// ingestion on the shared worker budget. It returns once all shards have
+// absorbed their share.
+func (s *Sharded) ProcessBatch(items []uint64) error {
+	return s.ingestErr(len(items), func() error {
+		if len(s.shards) == 0 {
+			return fmt.Errorf("%w: empty sharded aggregate", ErrBadParam)
+		}
+		if len(items) == 0 {
+			return nil
+		}
+		parts := partitionByShard(items, len(s.shards))
+		errs := make([]error, len(parts))
+		parallel.ForGrain(len(parts), 1, func(i int) {
+			if len(parts[i]) == 0 {
+				return
+			}
+			if err := s.shards[i].ProcessBatch(parts[i]); err != nil {
+				errs[i] = fmt.Errorf("shard %d: %w", i, err)
+			}
+		})
+		return errors.Join(errs...)
+	})
+}
+
+// SpaceWords reports the summed footprint of all shards in 64-bit words.
+func (s *Sharded) SpaceWords() (w int) {
+	s.read(func() {
+		for _, sh := range s.shards {
+			w += sh.SpaceWords()
+		}
+	})
+	return w
+}
+
+// Estimate routes the point query to the item's owner shard — no merge
+// needed: with disjoint keyspaces all of the item's mass lives there,
+// and the shard's shorter sub-stream only tightens the εm bound.
+func (s *Sharded) Estimate(item uint64) (est int64) {
+	s.read(func() {
+		if len(s.shards) == 0 {
+			return
+		}
+		if pe, ok := s.shards[shardIndex(item, len(s.shards))].(PointEstimator); ok {
+			est = pe.Estimate(item)
+		}
+	})
+	return est
+}
+
+// TopK unions the shards' per-shard top k and keeps the k largest:
+// exact relative to the shard summaries, because every item's counter
+// lives in exactly one shard.
+func (s *Sharded) TopK(k int) (out []ItemCount) {
+	s.read(func() {
+		for _, sh := range s.shards {
+			if hh, ok := sh.(HeavyHitterSource); ok {
+				out = append(out, hh.TopK(k)...)
+			}
+		}
+	})
+	sortByCountDesc(out)
+	if k < 0 {
+		k = 0
+	}
+	if k < len(out) {
+		out = out[:k]
+	}
+	return out
+}
+
+// HeavyHitters answers through an on-demand merged snapshot: the φ
+// threshold is relative to the global stream length, which only the
+// merged summary knows.
+func (s *Sharded) HeavyHitters(phi float64) []ItemCount {
+	merged, err := s.Snapshot()
+	if err != nil {
+		return nil
+	}
+	if hh, ok := merged.(HeavyHitterSource); ok {
+		return hh.HeavyHitters(phi)
+	}
+	return nil
+}
+
+// RangeCount sums the shards' range counts: the shards partition the
+// stream, every level sketch only overcounts, so the sum keeps the
+// one-sided guarantee at the global m.
+func (s *Sharded) RangeCount(lo, hi uint64) (total int64) {
+	s.read(func() {
+		for _, sh := range s.shards {
+			if re, ok := sh.(RangeEstimator); ok {
+				total += re.RangeCount(lo, hi)
+			}
+		}
+	})
+	return total
+}
+
+// Quantile answers through a merged snapshot, whose binary search needs
+// the global prefix counts.
+func (s *Sharded) Quantile(q float64) uint64 {
+	merged, err := s.Snapshot()
+	if err != nil {
+		return 0
+	}
+	if re, ok := merged.(RangeEstimator); ok {
+		return re.Quantile(q)
+	}
+	return 0
+}
+
+// cloneMergeable deep-copies one of the mergeable kinds under its read
+// lock — the cheap memcpy path Snapshot uses for shard 0, avoiding a
+// gob round trip per query.
+func cloneMergeable(agg Aggregate) (Aggregate, bool) {
+	switch a := agg.(type) {
+	case *FreqEstimator:
+		out := &FreqEstimator{}
+		a.read(func() { out.impl, out.streamLen = a.impl.Clone(), a.streamLen })
+		return out, true
+	case *CountMin:
+		out := &CountMin{}
+		a.read(func() { out.impl, out.streamLen = a.impl.Clone(), a.streamLen })
+		return out, true
+	case *CountMinRange:
+		out := &CountMinRange{}
+		a.read(func() { out.impl, out.streamLen = a.impl.Clone(), a.streamLen })
+		return out, true
+	case *CountSketch:
+		out := &CountSketch{}
+		a.read(func() { out.impl, out.streamLen = a.impl.Clone(), a.streamLen })
+		return out, true
+	}
+	return nil, false
+}
+
+// Snapshot merges all shards into one standalone aggregate of the inner
+// kind — a consistent global summary as of the last minibatch boundary,
+// built by cloning shard 0 and folding the rest in with Merge. The
+// snapshot is detached: it shares no state with the shards and the
+// caller may query or mutate it freely.
+func (s *Sharded) Snapshot() (Aggregate, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if len(s.shards) == 0 {
+		return nil, fmt.Errorf("%w: empty sharded aggregate", ErrBadParam)
+	}
+	merged, ok := cloneMergeable(s.shards[0])
+	if !ok {
+		return nil, fmt.Errorf("%w: %s does not support merging", ErrBadParam, s.inner)
+	}
+	m := merged.(Merger) // every cloneMergeable kind is a Merger
+	for i, sh := range s.shards[1:] {
+		if err := m.Merge(sh); err != nil {
+			return nil, fmt.Errorf("streamagg: merging shard %d: %w", i+1, err)
+		}
+	}
+	return merged, nil
+}
+
+// shardedState is the body of a sharded checkpoint: the inner kind plus
+// each shard's own kind-tagged checkpoint, in shard order.
+type shardedState struct {
+	Inner       string
+	Checkpoints [][]byte
+}
+
+// MarshalBinary checkpoints the whole shard set atomically: taken under
+// the wrapper's gate, it captures every shard at the same minibatch
+// boundary in one envelope.
+func (s *Sharded) MarshalBinary() ([]byte, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	st := shardedState{Inner: string(s.inner)}
+	for i, sh := range s.shards {
+		ckpt, err := sh.MarshalBinary()
+		if err != nil {
+			return nil, fmt.Errorf("streamagg: checkpointing shard %d: %w", i, err)
+		}
+		st.Checkpoints = append(st.Checkpoints, ckpt)
+	}
+	return seal(KindSharded, s.streamLen, st)
+}
+
+// UnmarshalBinary restores a checkpoint made by MarshalBinary,
+// rebuilding every shard. It is valid on a zero-value Sharded.
+func (s *Sharded) UnmarshalBinary(data []byte) error {
+	var st shardedState
+	env, err := open(KindSharded, data, &st)
+	if err != nil {
+		return err
+	}
+	inner := Kind(st.Inner)
+	if !shardable[inner] {
+		return fmt.Errorf("%w: kind %q is not shardable", ErrBadParam, st.Inner)
+	}
+	if len(st.Checkpoints) < 1 || len(st.Checkpoints) > maxShards {
+		return fmt.Errorf("%w: sharded checkpoint has %d shards (want 1..%d)",
+			ErrBadParam, len(st.Checkpoints), maxShards)
+	}
+	shards := make([]Aggregate, len(st.Checkpoints))
+	for i, ckpt := range st.Checkpoints {
+		agg, err := zeroAggregate(inner)
+		if err != nil {
+			return err
+		}
+		if err := agg.UnmarshalBinary(ckpt); err != nil {
+			return fmt.Errorf("streamagg: restoring shard %d: %w", i, err)
+		}
+		shards[i] = agg
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.inner = inner
+	s.shards = shards
+	s.streamLen = env.StreamLen
+	return nil
+}

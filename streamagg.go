@@ -28,7 +28,12 @@
 // interfaces such as PointEstimator and HeavyHitterSource) and is built
 // with the functional-options constructor New(kind, opts...); Pipeline
 // fans one minibatch stream out to many named aggregates concurrently
-// and checkpoints them atomically.
+// and checkpoints them atomically. The mergeable kinds (FreqEstimator,
+// CountMin, CountMinRange, CountSketch) additionally implement Merger
+// and can be hash-partitioned across independent shards with
+// WithShards / NewSharded — the Sharded wrapper ingests shards
+// concurrently and answers queries per-shard or through an on-demand
+// merged snapshot.
 //
 // Concurrency model. Minibatch ingestion is internally parallel and
 // lock-free (fork-join phases with disjoint writes). Externally, each
@@ -48,6 +53,11 @@ import (
 
 // ErrBadParam reports an invalid constructor parameter.
 var ErrBadParam = errors.New("streamagg: invalid parameter")
+
+// ErrIncompatibleMerge reports a Merge between aggregates that cannot be
+// combined: different kinds, different dimensions/parameters, different
+// hash seeds, or an aggregate merged with itself.
+var ErrIncompatibleMerge = errors.New("streamagg: incompatible merge")
 
 // SetParallelism overrides the number of workers used by all parallel
 // primitives in this library (default: GOMAXPROCS). p <= 0 restores the
