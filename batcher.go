@@ -1,0 +1,529 @@
+package streamagg
+
+// The serving layer's front door. The paper's performance story rests on
+// ingesting *minibatches*: the parallel update algorithms are linear-work
+// and polylog-depth per batch, so per-item overhead amortizes only when
+// batches are well-sized. A real deployment, however, receives an
+// unbounded stream of single updates and small request-sized batches.
+// Ingestor closes that gap: it is an asynchronous minibatcher that
+// accepts updates from any number of producers (MPSC), coalesces them in
+// a bounded queue, and flushes adaptive minibatches into a sink — on a
+// size threshold under load, on a max-latency timer when traffic is
+// light, whichever fires first. Under bursts the flushed batches grow
+// beyond the threshold (everything queued goes out in one ProcessBatch
+// call), which is exactly the work-efficient regime the paper's cost
+// model rewards.
+//
+// Backpressure is selectable: block producers until space frees (the
+// default, lossless), reject with ErrOverloaded (shed load at the edge,
+// let the client retry), or drop with a counter (bounded staleness for
+// metrics-grade streams). Flush and Close implement the drain protocol;
+// Checkpoint and Restore quiesce the batcher around the sink's
+// MarshalBinary/UnmarshalBinary so a checkpoint always captures a clean
+// minibatch boundary that includes everything enqueued before the call.
+
+import (
+	"context"
+	"encoding"
+	"errors"
+	"fmt"
+	"math/bits"
+	"sync"
+	"time"
+)
+
+// ErrOverloaded reports an ingest refused because the queue is full and
+// the backpressure policy is BackpressureReject.
+var ErrOverloaded = errors.New("streamagg: ingest queue full")
+
+// ErrClosed reports an operation on a closed Ingestor.
+var ErrClosed = errors.New("streamagg: ingestor closed")
+
+// BatchProcessor is the sink side of the Ingestor: anything that ingests
+// minibatches. Every Aggregate satisfies it, and so does *Pipeline.
+type BatchProcessor interface {
+	ProcessBatch(items []uint64) error
+}
+
+// Backpressure selects what PutBatch does when the queue is full.
+type Backpressure int
+
+const (
+	// BackpressureBlock parks the producer until the worker frees
+	// space. Lossless; converts overload into producer latency.
+	BackpressureBlock Backpressure = iota
+	// BackpressureReject refuses the whole batch with ErrOverloaded,
+	// leaving the queue unchanged. The caller decides to retry or shed.
+	BackpressureReject
+	// BackpressureDrop accepts what fits and silently discards the
+	// rest, counting discards in Stats().Dropped.
+	BackpressureDrop
+)
+
+// String returns the flag-friendly name ("block", "reject", "drop").
+func (b Backpressure) String() string {
+	switch b {
+	case BackpressureBlock:
+		return "block"
+	case BackpressureReject:
+		return "reject"
+	case BackpressureDrop:
+		return "drop"
+	}
+	return fmt.Sprintf("Backpressure(%d)", int(b))
+}
+
+// ParseBackpressure maps "block", "reject", or "drop" to the policy.
+func ParseBackpressure(s string) (Backpressure, error) {
+	switch s {
+	case "block":
+		return BackpressureBlock, nil
+	case "reject":
+		return BackpressureReject, nil
+	case "drop":
+		return BackpressureDrop, nil
+	}
+	return 0, fmt.Errorf("%w: backpressure policy %q (want block, reject, or drop)", ErrBadParam, s)
+}
+
+// Ingestor defaults, used when the corresponding option is not given.
+const (
+	DefaultBatchSize  = 8192
+	DefaultMaxLatency = 5 * time.Millisecond
+)
+
+// IngestorStats is a point-in-time snapshot of the batcher's counters.
+// Enqueued counts items accepted into the queue; Processed counts items
+// flushed into the sink; QueueDepth = Enqueued - Processed is what is
+// still buffered (including an in-flight batch). SizeFlushes,
+// TimerFlushes, and DrainFlushes split Batches by what triggered them.
+// BatchSizeLog2[i] counts flushed batches whose size has bit length i,
+// i.e. falls in [2^(i-1), 2^i).
+type IngestorStats struct {
+	Enqueued      int64   `json:"enqueued"`
+	Processed     int64   `json:"processed"`
+	Dropped       int64   `json:"dropped"`
+	Rejected      int64   `json:"rejected"`
+	QueueDepth    int64   `json:"queue_depth"`
+	Batches       int64   `json:"batches"`
+	SizeFlushes   int64   `json:"size_flushes"`
+	TimerFlushes  int64   `json:"timer_flushes"`
+	DrainFlushes  int64   `json:"drain_flushes"`
+	FailedBatches int64   `json:"failed_batches"`
+	MaxBatch      int     `json:"max_batch"`
+	BatchSizeLog2 []int64 `json:"batch_size_log2"`
+}
+
+// Ingestor wraps a BatchProcessor behind an asynchronous bounded MPSC
+// queue. Producers call Put/PutBatch from any number of goroutines; a
+// single worker goroutine coalesces the queue into minibatches and feeds
+// the sink, so the sink itself never sees concurrent ProcessBatch calls
+// from this Ingestor. Construct with NewIngestor; the zero value is not
+// usable.
+type Ingestor struct {
+	sink       BatchProcessor
+	batchSize  int
+	maxLatency time.Duration
+	queueCap   int
+	policy     Backpressure
+
+	mu   sync.Mutex
+	cond *sync.Cond    // broadcast: space freed, batch processed, worker exit
+	wake chan struct{} // worker wakeup, capacity 1
+
+	buf     []uint64  // pending items, appended by producers
+	spare   []uint64  // recycled buffer for the next fill
+	firstAt time.Time // arrival of the oldest buffered item
+
+	enqueued  int64
+	processed int64
+	dropped   int64
+	rejected  int64
+	inFlight  int // items in the batch currently inside the sink
+
+	batches       int64
+	sizeFlushes   int64
+	timerFlushes  int64
+	drainFlushes  int64
+	failedBatches int64
+	maxBatch      int
+	hist          [33]int64 // batch-size histogram by bit length
+
+	flushReq int64 // drain until processed reaches this enqueue mark
+	paused   int   // quiesce depth: worker must not start new batches
+	closed   bool
+	done     bool // worker has drained and exited
+	doneCh   chan struct{}
+	err      error // first sink failure, sticky
+}
+
+// ingestorOptions is the Option applicability set for NewIngestor,
+// mirroring kindUsage for the aggregate kinds.
+var ingestorOptions = map[string]bool{
+	"WithBatchSize":    true,
+	"WithMaxLatency":   true,
+	"WithBackpressure": true,
+	"WithQueueCap":     true,
+}
+
+// NewIngestor wraps sink in an asynchronous minibatcher. It accepts the
+// batching subset of the library's functional options — WithBatchSize
+// (default 8192), WithMaxLatency (default 5ms), WithBackpressure
+// (default BackpressureBlock), WithQueueCap (default 4x the batch size)
+// — and rejects aggregate-construction options with ErrBadParam, the
+// same centralized validation New applies in reverse.
+func NewIngestor(sink BatchProcessor, opts ...Option) (*Ingestor, error) {
+	if sink == nil {
+		return nil, fmt.Errorf("%w: nil ingest sink", ErrBadParam)
+	}
+	c := config{
+		batchSize:    DefaultBatchSize,
+		maxLatency:   DefaultMaxLatency,
+		backpressure: BackpressureBlock,
+	}
+	for _, opt := range opts {
+		if err := opt(&c); err != nil {
+			return nil, err
+		}
+	}
+	for name := range c.set {
+		if !ingestorOptions[name] {
+			return nil, fmt.Errorf("%w: option %s does not apply to Ingestor", ErrBadParam, name)
+		}
+	}
+	if c.queueCap == 0 {
+		c.queueCap = 4 * c.batchSize
+	}
+	if c.queueCap < c.batchSize {
+		return nil, fmt.Errorf("%w: queue capacity %d below batch size %d",
+			ErrBadParam, c.queueCap, c.batchSize)
+	}
+	in := &Ingestor{
+		sink:       sink,
+		batchSize:  c.batchSize,
+		maxLatency: c.maxLatency,
+		queueCap:   c.queueCap,
+		policy:     c.backpressure,
+		wake:       make(chan struct{}, 1),
+		doneCh:     make(chan struct{}),
+	}
+	in.cond = sync.NewCond(&in.mu)
+	go in.worker()
+	return in, nil
+}
+
+// signal wakes the worker if it is parked (non-blocking; a pending token
+// already guarantees a wakeup).
+func (in *Ingestor) signal() {
+	select {
+	case in.wake <- struct{}{}:
+	default:
+	}
+}
+
+// appendLocked accepts items into the queue. Caller holds mu and has
+// verified they fit.
+func (in *Ingestor) appendLocked(items []uint64) {
+	if len(in.buf) == 0 {
+		in.firstAt = time.Now()
+	}
+	in.buf = append(in.buf, items...)
+	in.enqueued += int64(len(items))
+	in.signal()
+}
+
+// Put enqueues a single update. See PutBatch.
+func (in *Ingestor) Put(item uint64) error {
+	_, err := in.PutBatch([]uint64{item})
+	return err
+}
+
+// PutBatch enqueues a batch of updates, coalescing it with whatever else
+// is queued; the items slice is copied and may be reused by the caller.
+// It returns how many items were accepted. When the queue lacks space
+// the configured Backpressure policy decides: block until the worker
+// frees space (accepts everything), reject everything with ErrOverloaded
+// (a batch larger than the whole queue capacity is always rejected under
+// that policy), or accept what fits and drop the rest. After Close,
+// PutBatch returns ErrClosed (under BackpressureBlock a producer parked
+// at close time may have had a prefix of its batch accepted and drained
+// before the error; the count reports it).
+func (in *Ingestor) PutBatch(items []uint64) (int, error) {
+	return in.PutBatchContext(context.Background(), items)
+}
+
+// PutBatchContext is PutBatch with cancellation: a producer parked by
+// BackpressureBlock unparks with the context's error when ctx is
+// canceled (the count reports any prefix already accepted, which the
+// worker will still flush). Serving handlers use this so a disconnected
+// client does not leave its goroutine parked on a full queue.
+func (in *Ingestor) PutBatchContext(ctx context.Context, items []uint64) (int, error) {
+	if len(items) == 0 {
+		return 0, nil
+	}
+	// Registered lazily, only when this producer is actually about to
+	// park — the common has-space path pays nothing for cancellation.
+	var stopWatch func() bool
+	defer func() {
+		if stopWatch != nil {
+			stopWatch()
+		}
+	}()
+	accepted := 0
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	for {
+		if in.closed {
+			return accepted, ErrClosed
+		}
+		if err := ctx.Err(); err != nil {
+			return accepted, err
+		}
+		// The in-flight batch still counts against the cap: WithQueueCap
+		// bounds accepted-but-unapplied items, not just the resting buffer.
+		free := in.queueCap - len(in.buf) - in.inFlight
+		if len(items) <= free {
+			in.appendLocked(items)
+			return accepted + len(items), nil
+		}
+		switch in.policy {
+		case BackpressureReject:
+			in.rejected += int64(len(items))
+			return accepted, ErrOverloaded
+		case BackpressureDrop:
+			if free > 0 {
+				in.appendLocked(items[:free])
+			}
+			in.dropped += int64(len(items) - free)
+			return accepted + free, nil
+		default: // BackpressureBlock
+			if free > 0 {
+				in.appendLocked(items[:free])
+				items = items[free:]
+				accepted += free
+			}
+			if stopWatch == nil && ctx.Done() != nil {
+				stopWatch = context.AfterFunc(ctx, func() {
+					in.mu.Lock()
+					in.cond.Broadcast()
+					in.mu.Unlock()
+				})
+			}
+			in.cond.Wait()
+		}
+	}
+}
+
+// worker is the single consumer: it waits for work, decides when the
+// queued items form a minibatch (size threshold, latency deadline, drain
+// request, or shutdown), and feeds the sink.
+func (in *Ingestor) worker() {
+	// One reusable timer for the latency wait (Go 1.23+ semantics: Stop
+	// and Reset need no channel drain).
+	timer := time.NewTimer(time.Hour)
+	timer.Stop()
+	for {
+		in.mu.Lock()
+		if in.paused > 0 {
+			in.mu.Unlock()
+			<-in.wake
+			continue
+		}
+		n := len(in.buf)
+		if n == 0 {
+			if in.closed {
+				in.done = true
+				in.cond.Broadcast()
+				in.mu.Unlock()
+				close(in.doneCh)
+				return
+			}
+			in.mu.Unlock()
+			<-in.wake
+			continue
+		}
+		var cause *int64
+		switch {
+		case n >= in.batchSize:
+			cause = &in.sizeFlushes
+		case in.closed || in.flushReq > in.processed:
+			cause = &in.drainFlushes
+		default:
+			wait := in.maxLatency - time.Since(in.firstAt)
+			if wait > 0 {
+				in.mu.Unlock()
+				timer.Reset(wait)
+				select {
+				case <-in.wake:
+					timer.Stop()
+				case <-timer.C:
+				}
+				continue
+			}
+			cause = &in.timerFlushes
+		}
+		batch := in.buf
+		in.buf = in.spare[:0]
+		in.spare = nil
+		in.inFlight = len(batch)
+		*cause++
+		in.cond.Broadcast() // space freed: unpark blocked producers
+		in.mu.Unlock()
+
+		err := in.sink.ProcessBatch(batch)
+
+		in.mu.Lock()
+		in.processed += int64(len(batch))
+		in.inFlight = 0
+		in.batches++
+		if len(batch) > in.maxBatch {
+			in.maxBatch = len(batch)
+		}
+		if idx := bits.Len(uint(len(batch))); idx < len(in.hist) {
+			in.hist[idx]++
+		} else {
+			in.hist[len(in.hist)-1]++
+		}
+		if err != nil {
+			in.failedBatches++
+			if in.err == nil {
+				in.err = err
+			}
+		}
+		in.spare = batch[:0]
+		in.cond.Broadcast() // batch done: unpark Flush/quiesce waiters
+		in.mu.Unlock()
+	}
+}
+
+// drainLocked requests a flush of everything enqueued so far and waits
+// until the worker has pushed it into the sink. Caller holds mu.
+func (in *Ingestor) drainLocked() {
+	target := in.enqueued
+	if target > in.flushReq {
+		in.flushReq = target
+	}
+	in.signal()
+	for in.processed < target && !in.done {
+		in.cond.Wait()
+	}
+}
+
+// Flush drains: every item enqueued before the call is processed into
+// the sink before Flush returns (items arriving during the drain may or
+// may not be included). It returns the first sink error seen so far, if
+// any (sticky; also returned by Close).
+func (in *Ingestor) Flush() error {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.drainLocked()
+	return in.err
+}
+
+// Close drains the queue, stops the worker, and releases any blocked
+// producers (their remaining items are refused with ErrClosed). It is
+// idempotent and returns the first sink error seen over the Ingestor's
+// lifetime.
+func (in *Ingestor) Close() error {
+	in.mu.Lock()
+	if !in.closed {
+		in.closed = true
+		in.cond.Broadcast()
+		in.signal()
+	}
+	in.mu.Unlock()
+	<-in.doneCh
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.err
+}
+
+// quiesce drains the queue and pauses the worker so the sink is at a
+// stable minibatch boundary: no batch is in flight and none will start
+// until resume. Every quiesce must be paired with resume.
+func (in *Ingestor) quiesce() {
+	in.mu.Lock()
+	in.drainLocked()
+	in.paused++
+	for in.inFlight > 0 {
+		in.cond.Wait()
+	}
+	in.mu.Unlock()
+}
+
+func (in *Ingestor) resume() {
+	in.mu.Lock()
+	in.paused--
+	in.mu.Unlock()
+	in.signal()
+}
+
+// Checkpoint drains everything enqueued before the call into the sink,
+// then captures the sink's MarshalBinary at that quiesced minibatch
+// boundary. Producers may keep enqueueing during the checkpoint; their
+// items stay queued until it completes. The sink must implement
+// encoding.BinaryMarshaler (every Aggregate and *Pipeline does).
+func (in *Ingestor) Checkpoint() ([]byte, error) {
+	m, ok := in.sink.(encoding.BinaryMarshaler)
+	if !ok {
+		return nil, fmt.Errorf("%w: ingest sink %T cannot checkpoint", ErrBadParam, in.sink)
+	}
+	in.quiesce()
+	defer in.resume()
+	return m.MarshalBinary()
+}
+
+// Restore drains the queue into the (about-to-be-replaced) sink state,
+// then atomically restores the sink from a checkpoint while the worker
+// is quiesced. Items enqueued after Restore begins are applied on top of
+// the restored state. A successful restore also clears the sticky sink
+// error — the sink is back at known-good state, so earlier batch
+// failures stop poisoning Flush/Close. The sink must implement
+// encoding.BinaryUnmarshaler.
+func (in *Ingestor) Restore(data []byte) error {
+	u, ok := in.sink.(encoding.BinaryUnmarshaler)
+	if !ok {
+		return fmt.Errorf("%w: ingest sink %T cannot restore", ErrBadParam, in.sink)
+	}
+	in.quiesce()
+	defer in.resume()
+	if err := u.UnmarshalBinary(data); err != nil {
+		return err
+	}
+	in.mu.Lock()
+	in.err = nil
+	in.mu.Unlock()
+	return nil
+}
+
+// Stats returns a snapshot of the batcher's counters.
+func (in *Ingestor) Stats() IngestorStats {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	s := IngestorStats{
+		Enqueued:      in.enqueued,
+		Processed:     in.processed,
+		Dropped:       in.dropped,
+		Rejected:      in.rejected,
+		QueueDepth:    in.enqueued - in.processed,
+		Batches:       in.batches,
+		SizeFlushes:   in.sizeFlushes,
+		TimerFlushes:  in.timerFlushes,
+		DrainFlushes:  in.drainFlushes,
+		FailedBatches: in.failedBatches,
+		MaxBatch:      in.maxBatch,
+	}
+	top := len(in.hist)
+	for top > 0 && in.hist[top-1] == 0 {
+		top--
+	}
+	s.BatchSizeLog2 = append([]int64(nil), in.hist[:top]...)
+	return s
+}
+
+// QueueDepth reports the items accepted but not yet in the sink.
+func (in *Ingestor) QueueDepth() int64 {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.enqueued - in.processed
+}

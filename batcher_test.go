@@ -1,0 +1,611 @@
+package streamagg
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/workload"
+)
+
+// recordSink records every minibatch the Ingestor flushes.
+type recordSink struct {
+	mu      sync.Mutex
+	batches [][]uint64
+	items   []uint64
+	failOn  uint64 // batches containing this item fail (0 = never)
+}
+
+func (r *recordSink) ProcessBatch(items []uint64) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	cp := append([]uint64(nil), items...)
+	if r.failOn != 0 {
+		for _, it := range cp {
+			if it == r.failOn {
+				return fmt.Errorf("%w: poisoned item %d", ErrBadParam, it)
+			}
+		}
+	}
+	r.batches = append(r.batches, cp)
+	r.items = append(r.items, cp...)
+	return nil
+}
+
+func (r *recordSink) snapshot() (batches [][]uint64, items []uint64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([][]uint64(nil), r.batches...), append([]uint64(nil), r.items...)
+}
+
+// gateSink hands each incoming batch to the test and stalls until
+// released, so tests can hold the worker inside the sink deterministically.
+type gateSink struct {
+	entered chan []uint64
+	release chan struct{}
+}
+
+func newGateSink() *gateSink {
+	return &gateSink{entered: make(chan []uint64, 16), release: make(chan struct{}, 16)}
+}
+
+func (g *gateSink) ProcessBatch(items []uint64) error {
+	g.entered <- append([]uint64(nil), items...)
+	<-g.release
+	return nil
+}
+
+func TestIngestorOptionValidation(t *testing.T) {
+	sink := &recordSink{}
+	if _, err := NewIngestor(nil); !errors.Is(err, ErrBadParam) {
+		t.Fatalf("nil sink: %v", err)
+	}
+	if _, err := NewIngestor(sink, WithBatchSize(0)); !errors.Is(err, ErrBadParam) {
+		t.Fatalf("zero batch size: %v", err)
+	}
+	if _, err := NewIngestor(sink, WithMaxLatency(-time.Second)); !errors.Is(err, ErrBadParam) {
+		t.Fatalf("negative latency: %v", err)
+	}
+	if _, err := NewIngestor(sink, WithQueueCap(0)); !errors.Is(err, ErrBadParam) {
+		t.Fatalf("zero queue cap: %v", err)
+	}
+	if _, err := NewIngestor(sink, WithBatchSize(128), WithQueueCap(64)); !errors.Is(err, ErrBadParam) {
+		t.Fatalf("queue smaller than batch: %v", err)
+	}
+	if _, err := NewIngestor(sink, WithBackpressure(Backpressure(42))); !errors.Is(err, ErrBadParam) {
+		t.Fatalf("bogus policy: %v", err)
+	}
+	// Aggregate options do not apply to the Ingestor, and vice versa.
+	if _, err := NewIngestor(sink, WithEpsilon(0.1)); !errors.Is(err, ErrBadParam) {
+		t.Fatalf("aggregate option on ingestor: %v", err)
+	}
+	if _, err := New(KindCountMin, WithBatchSize(64)); !errors.Is(err, ErrBadParam) {
+		t.Fatalf("ingestor option on aggregate: %v", err)
+	}
+	if _, err := ParseBackpressure("nope"); !errors.Is(err, ErrBadParam) {
+		t.Fatal("bad policy name parsed")
+	}
+	for _, p := range []Backpressure{BackpressureBlock, BackpressureReject, BackpressureDrop} {
+		got, err := ParseBackpressure(p.String())
+		if err != nil || got != p {
+			t.Fatalf("ParseBackpressure(%q) = %v, %v", p.String(), got, err)
+		}
+	}
+}
+
+// Single producer, explicit drain: everything arrives, in order, and the
+// drain protocol accounts for every item.
+func TestIngestorOrderAndDrain(t *testing.T) {
+	sink := &recordSink{}
+	in, err := NewIngestor(sink, WithBatchSize(64), WithMaxLatency(time.Hour))
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 1000
+	for i := uint64(0); i < n; i++ {
+		if err := in.Put(i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := in.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	_, items := sink.snapshot()
+	if len(items) != n {
+		t.Fatalf("sink saw %d items, want %d", len(items), n)
+	}
+	for i, it := range items {
+		if it != uint64(i) {
+			t.Fatalf("order broken at %d: got %d", i, it)
+		}
+	}
+	st := in.Stats()
+	if st.Enqueued != n || st.Processed != n || st.QueueDepth != 0 {
+		t.Fatalf("stats after drain: %+v", st)
+	}
+	if st.Batches == 0 || st.SizeFlushes == 0 {
+		t.Fatalf("expected size-triggered flushes: %+v", st)
+	}
+	if err := in.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := in.Put(1); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Put after Close: %v", err)
+	}
+	if err := in.Close(); err != nil {
+		t.Fatalf("Close not idempotent: %v", err)
+	}
+}
+
+// With a huge size threshold, the max-latency timer must flush a partial
+// minibatch on its own.
+func TestIngestorTimerFlush(t *testing.T) {
+	sink := &recordSink{}
+	in, err := NewIngestor(sink, WithBatchSize(1<<20), WithMaxLatency(10*time.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer in.Close()
+	if _, err := in.PutBatch([]uint64{1, 2, 3, 4, 5}); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		st := in.Stats()
+		if st.TimerFlushes >= 1 && st.Processed == 5 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("timer flush never fired: %+v", st)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if batches, _ := sink.snapshot(); len(batches) != 1 || len(batches[0]) != 5 {
+		t.Fatalf("sink batches: %v", batches)
+	}
+}
+
+func TestIngestorBackpressureReject(t *testing.T) {
+	sink := newGateSink()
+	in, err := NewIngestor(sink,
+		WithBatchSize(4), WithQueueCap(8), WithMaxLatency(time.Hour),
+		WithBackpressure(BackpressureReject))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// First batch reaches the threshold; the worker takes it and stalls
+	// inside the sink. The in-flight batch still counts against the cap.
+	if _, err := in.PutBatch([]uint64{1, 2, 3, 4}); err != nil {
+		t.Fatal(err)
+	}
+	<-sink.entered
+	// 4 slots remain (4 of the 8 are in flight); fill them.
+	if _, err := in.PutBatch([]uint64{5, 6, 7, 8}); err != nil {
+		t.Fatal(err)
+	}
+	// Now the queue is full: everything else must be rejected whole.
+	if err := in.Put(9); !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("overfull Put: %v", err)
+	}
+	if n, err := in.PutBatch([]uint64{10, 11}); !errors.Is(err, ErrOverloaded) || n != 0 {
+		t.Fatalf("overfull PutBatch accepted %d, %v", n, err)
+	}
+	// A batch larger than the whole queue can never fit.
+	if _, err := in.PutBatch(make([]uint64, 9)); !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("oversized PutBatch: %v", err)
+	}
+	sink.release <- struct{}{}
+	<-sink.entered
+	sink.release <- struct{}{}
+	if err := in.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	st := in.Stats()
+	if st.Processed != 8 || st.Rejected != 12 || st.Dropped != 0 {
+		t.Fatalf("stats: %+v", st)
+	}
+	// Unblock the worker's final (empty-queue) state and shut down.
+	if err := in.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIngestorBackpressureDrop(t *testing.T) {
+	sink := newGateSink()
+	in, err := NewIngestor(sink,
+		WithBatchSize(4), WithQueueCap(8), WithMaxLatency(time.Hour),
+		WithBackpressure(BackpressureDrop))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := in.PutBatch([]uint64{1, 2, 3, 4}); err != nil {
+		t.Fatal(err)
+	}
+	<-sink.entered
+	// 6 items into 4 free slots (4 in flight): 4 accepted, 2 dropped,
+	// no error.
+	if n, err := in.PutBatch([]uint64{5, 6, 7, 8, 9, 10}); err != nil || n != 4 {
+		t.Fatalf("drop PutBatch accepted %d, %v; want 4, nil", n, err)
+	}
+	sink.release <- struct{}{}
+	<-sink.entered
+	sink.release <- struct{}{}
+	if err := in.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	st := in.Stats()
+	if st.Processed != 8 || st.Dropped != 2 || st.Rejected != 0 {
+		t.Fatalf("stats: %+v", st)
+	}
+	if err := in.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// BackpressureBlock parks the producer until the worker frees space;
+// nothing is lost.
+func TestIngestorBackpressureBlock(t *testing.T) {
+	sink := newGateSink()
+	in, err := NewIngestor(sink,
+		WithBatchSize(4), WithQueueCap(8), WithMaxLatency(time.Hour),
+		WithBackpressure(BackpressureBlock))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := in.PutBatch([]uint64{1, 2, 3, 4}); err != nil {
+		t.Fatal(err)
+	}
+	<-sink.entered
+	if _, err := in.PutBatch([]uint64{5, 6, 7, 8}); err != nil {
+		t.Fatal(err)
+	}
+	unblocked := make(chan error, 1)
+	go func() {
+		n, err := in.PutBatch([]uint64{9, 10, 11})
+		if err == nil && n != 3 {
+			err = fmt.Errorf("blocked producer accepted %d of 3", n)
+		}
+		unblocked <- err
+	}()
+	select {
+	case err := <-unblocked:
+		t.Fatalf("producer did not block on a full queue: %v", err)
+	case <-time.After(50 * time.Millisecond):
+	}
+	// Free the sink: the worker drains and the producer completes. The
+	// tail may ride in the second batch or need a third plus an explicit
+	// drain (the timer is an hour out), so release whatever arrives
+	// until Flush reports everything in.
+	sink.release <- struct{}{}
+	if err := <-unblocked; err != nil {
+		t.Fatal(err)
+	}
+	flushed := make(chan error, 1)
+	go func() { flushed <- in.Flush() }()
+	for done := false; !done; {
+		select {
+		case <-sink.entered:
+			sink.release <- struct{}{}
+		case err := <-flushed:
+			if err != nil {
+				t.Fatal(err)
+			}
+			done = true
+		}
+	}
+	if st := in.Stats(); st.Processed != 11 || st.Dropped != 0 || st.Rejected != 0 {
+		t.Fatalf("stats: %+v", st)
+	}
+	if err := in.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// A canceled context unparks a producer blocked on a full queue,
+// reporting the prefix it already got in.
+func TestIngestorPutBatchContextCancel(t *testing.T) {
+	sink := newGateSink()
+	in, err := NewIngestor(sink,
+		WithBatchSize(4), WithQueueCap(8), WithMaxLatency(time.Hour),
+		WithBackpressure(BackpressureBlock))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := in.PutBatch([]uint64{1, 2, 3, 4}); err != nil {
+		t.Fatal(err)
+	}
+	<-sink.entered // worker stalled in the sink; its 4 items still count
+	ctx, cancel := context.WithCancel(context.Background())
+	type result struct {
+		n   int
+		err error
+	}
+	done := make(chan result, 1)
+	go func() {
+		// 4 fit the remaining slots, 2 overflow and park.
+		n, err := in.PutBatchContext(ctx, []uint64{5, 6, 7, 8, 9, 10})
+		done <- result{n, err}
+	}()
+	select {
+	case r := <-done:
+		t.Fatalf("producer did not block: %+v", r)
+	case <-time.After(50 * time.Millisecond):
+	}
+	cancel()
+	r := <-done
+	if !errors.Is(r.err, context.Canceled) || r.n != 4 {
+		t.Fatalf("canceled producer: accepted %d, %v; want 4, context.Canceled", r.n, r.err)
+	}
+	sink.release <- struct{}{}
+	<-sink.entered
+	sink.release <- struct{}{}
+	if err := in.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if st := in.Stats(); st.Processed != 8 {
+		t.Fatalf("stats: %+v", st)
+	}
+	if err := in.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// A sink failure is counted, sticky, and surfaced by Flush and Close.
+func TestIngestorSinkErrorSticky(t *testing.T) {
+	sink := &recordSink{failOn: 99}
+	in, err := NewIngestor(sink, WithBatchSize(4), WithMaxLatency(time.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := in.PutBatch([]uint64{1, 2, 99, 4}); err != nil {
+		t.Fatal(err)
+	}
+	if err := in.Flush(); !errors.Is(err, ErrBadParam) {
+		t.Fatalf("Flush did not surface the sink error: %v", err)
+	}
+	if st := in.Stats(); st.FailedBatches != 1 {
+		t.Fatalf("stats: %+v", st)
+	}
+	if err := in.Close(); !errors.Is(err, ErrBadParam) {
+		t.Fatalf("Close did not surface the sink error: %v", err)
+	}
+}
+
+// Restoring the sink to known-good state clears the sticky error, so a
+// server can recover from a poisoned batch without a restart.
+func TestIngestorRestoreClearsStickyError(t *testing.T) {
+	pipe := NewPipeline()
+	if _, err := pipe.Add("sum", KindWindowSum, WithWindow(100), WithMaxValue(10)); err != nil {
+		t.Fatal(err)
+	}
+	in, err := NewIngestor(pipe, WithBatchSize(4), WithMaxLatency(time.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer in.Close()
+	cleanCkpt, err := in.Checkpoint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := in.PutBatch([]uint64{1, 2, 999}); err != nil { // 999 > bound 10
+		t.Fatal(err)
+	}
+	if err := in.Flush(); !errors.Is(err, ErrBadParam) {
+		t.Fatalf("Flush did not surface the sink error: %v", err)
+	}
+	if err := in.Restore(cleanCkpt); err != nil {
+		t.Fatal(err)
+	}
+	if err := in.Flush(); err != nil {
+		t.Fatalf("sticky error survived a successful restore: %v", err)
+	}
+	if _, err := in.PutBatch([]uint64{3, 4}); err != nil {
+		t.Fatal(err)
+	}
+	if err := in.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if v, err := pipe.Value("sum"); err != nil || v != 7 {
+		t.Fatalf("post-recovery value = %d, %v; want 7", v, err)
+	}
+}
+
+// Linearity cross-check: a count-min fed through the Ingestor (whatever
+// coalescing happens) answers exactly like one fed the whole stream
+// directly — the sketch is batching-independent.
+func TestIngestorEquivalenceLinearSketch(t *testing.T) {
+	stream := workload.Zipf(41, 50000, 1.2, 1<<14)
+	direct, err := New(KindCountMin, WithEpsilon(1e-3), WithDelta(0.01), WithSeed(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := direct.ProcessBatch(stream); err != nil {
+		t.Fatal(err)
+	}
+	batched, err := New(KindCountMin, WithEpsilon(1e-3), WithDelta(0.01), WithSeed(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	in, err := NewIngestor(batched, WithBatchSize(512), WithMaxLatency(time.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, b := range workload.Batches(stream, 237) { // deliberately unaligned
+		if _, err := in.PutBatch(b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := in.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := batched.StreamLen(), direct.StreamLen(); got != want {
+		t.Fatalf("StreamLen %d, want %d", got, want)
+	}
+	for _, probe := range []uint64{0, 1, 5, 100, 1000, 16000} {
+		got := batched.(PointEstimator).Estimate(probe)
+		want := direct.(PointEstimator).Estimate(probe)
+		if got != want {
+			t.Fatalf("estimate(%d) = %d via ingestor, %d direct", probe, got, want)
+		}
+	}
+}
+
+// Checkpoint captures everything enqueued before the call; Restore
+// rewinds, and items queued afterwards land on the restored state.
+func TestIngestorCheckpointRestore(t *testing.T) {
+	mk := func() *Pipeline {
+		p := NewPipeline()
+		if _, err := p.Add("cm", KindCountMin, WithEpsilon(1e-3), WithSeed(7)); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := p.Add("dist", KindCountMinRange, WithUniverseBits(14), WithSeed(3)); err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+	pipe := mk()
+	in, err := NewIngestor(pipe, WithBatchSize(256), WithMaxLatency(time.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	stream := workload.Zipf(43, 20000, 1.2, 1<<14)
+	half := len(stream) / 2
+	if _, err := in.PutBatch(stream[:half]); err != nil {
+		t.Fatal(err)
+	}
+	ckpt, err := in.Checkpoint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := pipe.StreamLen(); got != int64(half) {
+		t.Fatalf("checkpoint did not drain: StreamLen %d, want %d", got, half)
+	}
+	if _, err := in.PutBatch(stream[half:]); err != nil {
+		t.Fatal(err)
+	}
+	if err := in.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if got := pipe.StreamLen(); got != int64(len(stream)) {
+		t.Fatalf("StreamLen %d, want %d", got, len(stream))
+	}
+
+	// Restore rewinds the sink to the checkpoint boundary...
+	if err := in.Restore(ckpt); err != nil {
+		t.Fatal(err)
+	}
+	if got := pipe.StreamLen(); got != int64(half) {
+		t.Fatalf("after restore: StreamLen %d, want %d", got, half)
+	}
+	// ...and the restored pipeline answers exactly like a fresh one fed
+	// the prefix (linear kinds, so batching does not matter).
+	ref := mk()
+	if err := ref.ProcessBatch(stream[:half]); err != nil {
+		t.Fatal(err)
+	}
+	for _, probe := range []uint64{1, 7, 100, 5000} {
+		got, err := pipe.Estimate("cm", probe)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := ref.Estimate("cm", probe)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Fatalf("estimate(%d) after restore = %d, want %d", probe, got, want)
+		}
+	}
+	// New items land on top of the restored state.
+	if _, err := in.PutBatch(stream[half:]); err != nil {
+		t.Fatal(err)
+	}
+	if err := in.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if got := pipe.StreamLen(); got != int64(len(stream)) {
+		t.Fatalf("after restore + suffix: StreamLen %d, want %d", got, len(stream))
+	}
+
+	// A sink without checkpoint support is rejected cleanly.
+	plain, err := NewIngestor(&recordSink{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer plain.Close()
+	if _, err := plain.Checkpoint(); !errors.Is(err, ErrBadParam) {
+		t.Fatalf("checkpoint on plain sink: %v", err)
+	}
+	if err := plain.Restore(ckpt); !errors.Is(err, ErrBadParam) {
+		t.Fatalf("restore on plain sink: %v", err)
+	}
+}
+
+// TestIngestorConcurrentCheckpointStress hammers the Ingestor with
+// concurrent producers while checkpoints are taken mid-stream (run under
+// -race in CI): the blocking policy must lose nothing, every checkpoint
+// must be restorable, and the final drain must account for every item.
+func TestIngestorConcurrentCheckpointStress(t *testing.T) {
+	pipe := NewPipeline()
+	if _, err := pipe.Add("cm", KindCountMin, WithEpsilon(1e-3), WithSeed(7)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := pipe.Add("freq", KindFreq, WithEpsilon(0.005)); err != nil {
+		t.Fatal(err)
+	}
+	in, err := NewIngestor(pipe,
+		WithBatchSize(1024), WithMaxLatency(time.Millisecond), WithQueueCap(8192))
+	if err != nil {
+		t.Fatal(err)
+	}
+	const producers = 8
+	perProducer := 40000
+	if testing.Short() {
+		perProducer = 10000
+	}
+	var wg sync.WaitGroup
+	for p := 0; p < producers; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			stream := workload.Zipf(int64(100+p), perProducer, 1.1, 1<<16)
+			for _, b := range workload.Batches(stream, 97) {
+				if _, err := in.PutBatch(b); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(p)
+	}
+	for i := 0; i < 5; i++ {
+		ckpt, err := in.Checkpoint()
+		if err != nil {
+			t.Fatal(err)
+		}
+		restored := NewPipeline()
+		if err := restored.UnmarshalBinary(ckpt); err != nil {
+			t.Fatalf("checkpoint %d not restorable: %v", i, err)
+		}
+		if restored.StreamLen() > int64(producers*perProducer) {
+			t.Fatalf("checkpoint %d stream length %d exceeds total", i, restored.StreamLen())
+		}
+	}
+	wg.Wait()
+	if err := in.Close(); err != nil {
+		t.Fatal(err)
+	}
+	total := int64(producers * perProducer)
+	if got := pipe.StreamLen(); got != total {
+		t.Fatalf("StreamLen %d, want %d", got, total)
+	}
+	st := in.Stats()
+	if st.Enqueued != total || st.Processed != total || st.Dropped != 0 || st.Rejected != 0 {
+		t.Fatalf("stats: %+v", st)
+	}
+	if st.QueueDepth != 0 {
+		t.Fatalf("queue not drained: %+v", st)
+	}
+}

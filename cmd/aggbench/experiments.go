@@ -496,6 +496,8 @@ func runE11() {
 		t.add("sequential loop", len(aggs),
 			fmt.Sprintf("%.1f", float64(el.Nanoseconds())/float64(streamLen)),
 			fmt.Sprintf("%.1f", float64(streamLen)/el.Seconds()/1e6))
+		record("E11", "sequential loop", map[string]any{"aggregates": len(aggs), "batch": batchSize},
+			float64(el.Nanoseconds())/float64(streamLen), float64(streamLen)/el.Seconds())
 	}
 	{
 		p := streamagg.NewPipeline()
@@ -514,6 +516,8 @@ func runE11() {
 		t.add("pipeline (concurrent)", p.Len(),
 			fmt.Sprintf("%.1f", float64(el.Nanoseconds())/float64(streamLen)),
 			fmt.Sprintf("%.1f", float64(streamLen)/el.Seconds()/1e6))
+		record("E11", "pipeline (concurrent)", map[string]any{"aggregates": p.Len(), "batch": batchSize},
+			float64(el.Nanoseconds())/float64(streamLen), float64(streamLen)/el.Seconds())
 
 		ckpt, err := p.MarshalBinary()
 		if err != nil {
@@ -574,6 +578,8 @@ func runE12() {
 		t.add("single structure", 1,
 			fmt.Sprintf("%.1f", baseSec*1e9/streamLen),
 			fmt.Sprintf("%.1f", streamLen/baseSec/1e6), "1.00x")
+		record("E12", cfg.name, map[string]any{"shards": 1, "batch": batchSize},
+			baseSec*1e9/streamLen, streamLen/baseSec)
 		for _, shards := range []int{2, 4, 8} {
 			s, err := streamagg.NewSharded(cfg.kind, shards, cfg.opts...)
 			if err != nil {
@@ -584,9 +590,91 @@ func runE12() {
 				fmt.Sprintf("%.1f", sec*1e9/streamLen),
 				fmt.Sprintf("%.1f", streamLen/sec/1e6),
 				fmt.Sprintf("%.2fx", baseSec/sec))
+			record("E12", cfg.name, map[string]any{"shards": shards, "batch": batchSize},
+				sec*1e9/streamLen, streamLen/sec)
 		}
 		fmt.Printf("\n%s:\n", cfg.name)
 		t.print()
 	}
 	fmt.Println("\nshape check: sharded throughput should scale with shard count on multicore hardware")
+}
+
+// ---------------------------------------------------------------- E13 --
+
+// runE13 measures the serving layer's async minibatcher: the same stream
+// arriving as request-sized PutBatch calls, coalesced by the Ingestor at
+// different flush thresholds and latency budgets, against the direct
+// synchronous baseline. The threshold sweep traces the paper's minibatch
+// cost model — per-item cost falls as batches grow and the parallel
+// update's fixed overhead amortizes — while the latency column shows
+// what the timer costs when traffic is too light to fill a batch.
+func runE13() {
+	const (
+		streamLen = 1 << 21
+		chunk     = 256 // request-sized producer batches
+	)
+	stream := workload.Zipf(79, streamLen, 1.1, 1<<18)
+	chunks := workload.Batches(stream, chunk)
+	mkSink := func() streamagg.Aggregate {
+		agg, err := streamagg.New(streamagg.KindCountMin,
+			streamagg.WithEpsilon(1e-4), streamagg.WithDelta(1e-3), streamagg.WithSeed(7))
+		if err != nil {
+			panic(err)
+		}
+		return agg
+	}
+
+	t := newTable("mode", "batch", "latency", "ns/item", "Mitem/s", "sink batches", "mean batch")
+	{
+		agg := mkSink()
+		start := time.Now()
+		for _, c := range chunks {
+			if err := agg.ProcessBatch(c); err != nil {
+				panic(err)
+			}
+		}
+		sec := time.Since(start).Seconds()
+		t.add("direct sync", chunk, "-",
+			fmt.Sprintf("%.1f", sec*1e9/streamLen),
+			fmt.Sprintf("%.1f", streamLen/sec/1e6),
+			len(chunks), chunk)
+		record("E13", "direct sync", map[string]any{"chunk": chunk},
+			sec*1e9/streamLen, streamLen/sec)
+	}
+	for _, batchSize := range []int{1024, 8192, 65536} {
+		for _, latency := range []time.Duration{100 * time.Microsecond, 5 * time.Millisecond} {
+			in, err := streamagg.NewIngestor(mkSink(),
+				streamagg.WithBatchSize(batchSize),
+				streamagg.WithMaxLatency(latency),
+				streamagg.WithQueueCap(4*batchSize+chunk))
+			if err != nil {
+				panic(err)
+			}
+			start := time.Now()
+			for _, c := range chunks {
+				if _, err := in.PutBatch(c); err != nil {
+					panic(err)
+				}
+			}
+			if err := in.Close(); err != nil {
+				panic(err)
+			}
+			sec := time.Since(start).Seconds()
+			st := in.Stats()
+			mean := 0
+			if st.Batches > 0 {
+				mean = int(st.Processed / st.Batches)
+			}
+			t.add("ingestor", batchSize, latency.String(),
+				fmt.Sprintf("%.1f", sec*1e9/streamLen),
+				fmt.Sprintf("%.1f", streamLen/sec/1e6),
+				st.Batches, mean)
+			record("E13", "ingestor",
+				map[string]any{"batch": batchSize, "latency": latency.String(), "chunk": chunk},
+				sec*1e9/streamLen, streamLen/sec)
+		}
+	}
+	t.print()
+	fmt.Println("shape check: ns/item falls as the flush threshold grows (minibatch amortization);")
+	fmt.Println("the latency budget only matters when the size threshold is rarely reached")
 }

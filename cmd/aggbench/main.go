@@ -11,7 +11,10 @@
 //	aggbench -experiment all      # everything (a few minutes)
 //
 // E1–E10 exercise the internal engines directly; E11 measures the
-// public Pipeline API's concurrent fan-out.
+// public Pipeline API's concurrent fan-out; E12 the sharded ingestion
+// axis; E13 the serving layer's async minibatcher. With -json, the
+// perf-trajectory experiments (E11–E13) also write
+// BENCH_<experiment>.json files with machine-readable measurements.
 package main
 
 import (
@@ -28,7 +31,8 @@ type experiment struct {
 }
 
 func main() {
-	which := flag.String("experiment", "all", "experiment id (E1..E12) or 'all'")
+	which := flag.String("experiment", "all", "experiment id (E1..E13) or 'all'")
+	flag.BoolVar(&jsonOut, "json", false, "also write BENCH_<experiment>.json measurement files")
 	flag.Parse()
 
 	exps := []experiment{
@@ -44,6 +48,7 @@ func main() {
 		{"E10", "substrates: intSort, buildHist, CSS (Thms 2.2/2.3, Lemma 2.1)", runE10},
 		{"E11", "multi-aggregate pipeline: concurrent fan-out vs sequential (public API)", runE11},
 		{"E12", "sharded ingestion: throughput vs shard count (mergeable summaries)", runE12},
+		{"E13", "serving layer: Ingestor throughput vs batch size and max latency", runE13},
 	}
 
 	want := strings.ToUpper(*which)
@@ -59,6 +64,7 @@ func main() {
 		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *which)
 		os.Exit(2)
 	}
+	writeJSONReports()
 }
 
 // table is a tiny fixed-width table printer.

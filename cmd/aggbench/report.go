@@ -1,0 +1,58 @@
+package main
+
+// Machine-trackable benchmark output. With -json, every experiment that
+// calls record() also writes BENCH_<experiment>.json next to the table
+// it prints, so the perf trajectory can be diffed across PRs without
+// scraping stdout.
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// benchRecord is one measured configuration of one experiment.
+type benchRecord struct {
+	Experiment  string         `json:"experiment"`
+	Label       string         `json:"label"`
+	Params      map[string]any `json:"params,omitempty"`
+	NsPerItem   float64        `json:"ns_per_item"`
+	ItemsPerSec float64        `json:"items_per_sec"`
+}
+
+var (
+	jsonOut bool
+	records = map[string][]benchRecord{}
+)
+
+// record registers one measurement; a no-op unless -json is set.
+func record(exp, label string, params map[string]any, nsPerItem, itemsPerSec float64) {
+	if !jsonOut {
+		return
+	}
+	records[exp] = append(records[exp], benchRecord{
+		Experiment:  exp,
+		Label:       label,
+		Params:      params,
+		NsPerItem:   nsPerItem,
+		ItemsPerSec: itemsPerSec,
+	})
+}
+
+// writeJSONReports dumps every recorded experiment to
+// BENCH_<experiment>.json in the working directory.
+func writeJSONReports() {
+	for exp, recs := range records {
+		path := fmt.Sprintf("BENCH_%s.json", exp)
+		data, err := json.MarshalIndent(recs, "", "  ")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "aggbench: encoding %s: %v\n", path, err)
+			continue
+		}
+		if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "aggbench: writing %s: %v\n", path, err)
+			continue
+		}
+		fmt.Printf("wrote %s (%d records)\n", path, len(recs))
+	}
+}

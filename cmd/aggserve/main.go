@@ -1,0 +1,67 @@
+// aggserve serves a streamagg Pipeline over HTTP: updates POSTed to
+// /v1/ingest are coalesced into minibatches by the async Ingestor
+// (batch-size threshold or max-latency timer, whichever first) and
+// fanned out to every configured aggregate; the six query verbs, stats,
+// and atomic checkpoint/restore ride alongside. SIGINT/SIGTERM shut the
+// server down gracefully, draining the ingest queue first.
+//
+// Usage:
+//
+//	aggserve [-addr :8080] [-agg name=kind,opt=val...]...
+//	         [-batch 8192] [-latency 5ms] [-queue N] [-backpressure block|reject|drop]
+//	         [-parallelism N]
+//
+// Aggregate specs use the same options as the library constructors:
+//
+//	aggserve -agg hot=freq,eps=0.001 \
+//	         -agg sketch=count-min,eps=1e-4,seed=7,shards=4 \
+//	         -agg dist=count-min-range,bits=20
+//
+// Without -agg flags a demo trio (hot=freq, sketch=count-min,
+// dist=count-min-range,bits=20) is served.
+package main
+
+import (
+	"context"
+	"flag"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+
+	streamagg "repro"
+	"repro/server"
+)
+
+func main() {
+	var specs []string
+	flag.Func("agg", "aggregate spec name=kind[,opt=value]... (repeatable)", func(s string) error {
+		specs = append(specs, s)
+		return nil
+	})
+	addr := flag.String("addr", ":8080", "listen address")
+	batch := flag.Int("batch", 0, "minibatch flush threshold (default 8192)")
+	latency := flag.Duration("latency", -1, "max time a queued update may wait (default 5ms; 0 = flush immediately)")
+	queue := flag.Int("queue", 0, "ingest queue capacity in items (default 4x batch)")
+	policy := flag.String("backpressure", "block", "full-queue policy: block, reject, or drop")
+	par := flag.Int("parallelism", 0, "worker budget for parallel ingestion (default GOMAXPROCS)")
+	flag.Parse()
+
+	if *par > 0 {
+		streamagg.SetParallelism(*par)
+	}
+	if len(specs) == 0 {
+		specs = []string{
+			"hot=freq,eps=0.001",
+			"sketch=count-min,eps=1e-4,seed=7",
+			"dist=count-min-range,bits=20",
+		}
+		log.Printf("no -agg flags; serving demo aggregates %v", specs)
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := server.Run(ctx, *addr, specs, *batch, *latency, *queue, *policy, log.Printf); err != nil {
+		log.Fatal(err)
+	}
+}

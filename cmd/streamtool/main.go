@@ -17,16 +17,27 @@
 //
 //	streamtool quantiles [-bits 20] [-q 0.5,0.9,0.99] < integers
 //	    Streaming quantiles via the dyadic count-min structure.
+//
+//	streamtool serve [-addr :8080] [-agg "spec1;spec2"] [-batch 8192]
+//	                 [-latency 5ms] [-queue N] [-backpressure block]
+//	    HTTP ingest/query server over a pipeline of aggregates (the
+//	    server package; see cmd/aggserve for the standalone binary).
 package main
 
 import (
 	"bufio"
+	"context"
 	"fmt"
+	"log"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
+	"syscall"
+	"time"
 
 	streamagg "repro"
+	"repro/server"
 )
 
 func main() {
@@ -43,13 +54,23 @@ func main() {
 		runSum(args)
 	case "quantiles":
 		runQuantiles(args)
+	case "serve":
+		runServe(args)
 	default:
 		usage()
 	}
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: streamtool {hh|count|sum|quantiles} [flags] < input")
+	fmt.Fprint(os.Stderr, `usage: streamtool <subcommand> [flags]
+
+subcommands:
+  hh         heavy hitters / top-k over stdin tokens (sliding with -window)
+  count      sliding-window count of nonzero stdin tokens
+  sum        sliding-window sum of non-negative stdin integers
+  quantiles  streaming quantiles over stdin integers
+  serve      HTTP ingest/query server over a pipeline of aggregates
+`)
 	os.Exit(2)
 }
 
@@ -86,6 +107,43 @@ func (f flags) float(name string, def float64) float64 {
 
 func (f flags) int(name string, def int64) int64 {
 	return int64(f.float(name, float64(def)))
+}
+
+func (f flags) str(name, def string) string {
+	if s, ok := f[name]; ok {
+		return s
+	}
+	return def
+}
+
+// runServe starts the HTTP serving layer (server.Run, shared with
+// cmd/aggserve) over a pipeline described by the -agg flag:
+// semicolon-separated specs in the same name=kind,opt=value syntax.
+func runServe(args []string) {
+	f := parseFlags(args)
+	addr := f.str("addr", ":8080")
+	specList := f.str("agg", "hot=freq,eps=0.001;sketch=count-min,eps=1e-4,seed=7;dist=count-min-range,bits=20")
+	latency := time.Duration(-1) // unset; 0 is a meaningful value
+	if s, ok := f["latency"]; ok {
+		d, err := time.ParseDuration(s)
+		if err != nil {
+			fail(err)
+		}
+		latency = d
+	}
+	var specs []string
+	for _, spec := range strings.Split(specList, ";") {
+		if spec = strings.TrimSpace(spec); spec != "" {
+			specs = append(specs, spec)
+		}
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := server.Run(ctx, addr, specs,
+		int(f.int("batch", 0)), latency, int(f.int("queue", 0)), f.str("backpressure", ""),
+		log.Printf); err != nil {
+		fail(err)
+	}
 }
 
 // tokens streams whitespace-separated fields from stdin in batches.

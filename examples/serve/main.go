@@ -1,0 +1,122 @@
+// Serving-layer walkthrough: start the HTTP server on a loopback port,
+// ingest a burst of updates through POST /v1/ingest (coalesced into
+// minibatches by the async Ingestor), query the six verbs, take an
+// atomic checkpoint, and shut down gracefully.
+//
+// Run with: go run ./examples/serve
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log"
+	"math/rand"
+	"net"
+	"net/http"
+	"time"
+
+	streamagg "repro"
+	"repro/server"
+)
+
+func main() {
+	// One pipeline, three aggregates: trending keys, a point-frequency
+	// sketch, and a value distribution for quantiles.
+	pipe := streamagg.NewPipeline()
+	must(pipe.Add("hot", streamagg.KindFreq, streamagg.WithEpsilon(0.001)))
+	must(pipe.Add("sketch", streamagg.KindCountMin,
+		streamagg.WithEpsilon(1e-4), streamagg.WithSeed(7)))
+	must(pipe.Add("dist", streamagg.KindCountMinRange, streamagg.WithUniverseBits(16)))
+
+	// The server wraps the pipeline in an Ingestor: flush at 4096 items
+	// or after 2ms, whichever comes first; block producers when the
+	// queue fills (lossless backpressure).
+	srv, err := server.New(pipe,
+		streamagg.WithBatchSize(4096),
+		streamagg.WithMaxLatency(2*time.Millisecond),
+		streamagg.WithBackpressure(streamagg.BackpressureBlock))
+	if err != nil {
+		log.Fatal(err)
+	}
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	go func() {
+		if err := srv.Serve(l); err != nil {
+			log.Fatal(err)
+		}
+	}()
+	base := "http://" + l.Addr().String()
+	fmt.Println("serving on", base)
+
+	// Ingest 100k zipf-ish updates in request-sized chunks; the last
+	// request sets "sync" so queries see everything.
+	rng := rand.New(rand.NewSource(42))
+	zipf := rand.NewZipf(rng, 1.2, 1, 1<<16-1)
+	chunk := make([]uint64, 0, 1000)
+	for i := 0; i < 100_000; i++ {
+		chunk = append(chunk, zipf.Uint64())
+		if len(chunk) == cap(chunk) || i == 99_999 {
+			body, _ := json.Marshal(map[string]any{"items": chunk, "sync": i == 99_999})
+			postJSON(base+"/v1/ingest", body)
+			chunk = chunk[:0]
+		}
+	}
+
+	fmt.Println("top keys:       ", getBody(base+"/v1/hot/topk?k=3"))
+	fmt.Println("estimate item 1:", getBody(base+"/v1/sketch/estimate?item=1"))
+	fmt.Println("median:         ", getBody(base+"/v1/dist/quantile?q=0.5"))
+	fmt.Println("p99:            ", getBody(base+"/v1/dist/quantile?q=0.99"))
+
+	// Atomic checkpoint: drains the ingest queue, then captures every
+	// aggregate at one minibatch boundary.
+	resp, err := http.Post(base+"/v1/checkpoint", "application/octet-stream", nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ckpt, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	fmt.Printf("checkpoint:      %d bytes\n", len(ckpt))
+
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		log.Fatal(err)
+	}
+	st := srv.Ingestor().Stats()
+	fmt.Printf("drained:         %d items in %d minibatches (max %d)\n",
+		st.Processed, st.Batches, st.MaxBatch)
+}
+
+func must(_ streamagg.Aggregate, err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}
+
+func postJSON(url string, body []byte) {
+	resp, err := http.Post(url, "application/json", bytes.NewReader(body))
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(resp.Body)
+		log.Fatalf("POST %s: %d %s", url, resp.StatusCode, msg)
+	}
+	io.Copy(io.Discard, resp.Body)
+}
+
+func getBody(url string) string {
+	resp, err := http.Get(url)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	return string(bytes.TrimSpace(body))
+}

@@ -10,6 +10,7 @@ package streamagg
 
 import (
 	"fmt"
+	"time"
 
 	"repro/internal/bcount"
 	"repro/internal/cms"
@@ -30,7 +31,15 @@ type config struct {
 	seed     int64
 	variant  SlidingVariant
 	shards   int
-	set      map[string]bool
+
+	// Ingestor (serving-layer) knobs; rejected by New, consumed by
+	// NewIngestor.
+	batchSize    int
+	maxLatency   time.Duration
+	queueCap     int
+	backpressure Backpressure
+
+	set map[string]bool
 }
 
 func (c *config) mark(name string) {
@@ -140,6 +149,65 @@ func WithShards(s int) Option {
 		}
 		c.shards = s
 		c.mark("WithShards")
+		return nil
+	}
+}
+
+// WithBatchSize sets the Ingestor's flush threshold: queued items are
+// flushed into the sink as one minibatch once at least n >= 1 are
+// buffered (default 8192). Larger batches amortize per-batch parallel
+// overhead (the paper's work-efficiency argument); smaller ones bound
+// staleness. Ingestor only.
+func WithBatchSize(n int) Option {
+	return func(c *config) error {
+		if n < 1 {
+			return fmt.Errorf("%w: batch size %d (want >= 1)", ErrBadParam, n)
+		}
+		c.batchSize = n
+		c.mark("WithBatchSize")
+		return nil
+	}
+}
+
+// WithMaxLatency bounds how long a queued item may wait before the
+// Ingestor flushes a partial minibatch (default 5ms). Zero flushes as
+// fast as the worker can turn around. Ingestor only.
+func WithMaxLatency(d time.Duration) Option {
+	return func(c *config) error {
+		if d < 0 {
+			return fmt.Errorf("%w: max latency %v (want >= 0)", ErrBadParam, d)
+		}
+		c.maxLatency = d
+		c.mark("WithMaxLatency")
+		return nil
+	}
+}
+
+// WithQueueCap bounds the Ingestor's accepted-but-unapplied items —
+// the resting queue plus any batch in flight at the sink (default 4x
+// the batch size; must be at least the batch size, and should exceed it
+// so producers can keep filling while the sink processes). A full queue
+// engages the backpressure policy. Ingestor only.
+func WithQueueCap(n int) Option {
+	return func(c *config) error {
+		if n < 1 {
+			return fmt.Errorf("%w: queue capacity %d (want >= 1)", ErrBadParam, n)
+		}
+		c.queueCap = n
+		c.mark("WithQueueCap")
+		return nil
+	}
+}
+
+// WithBackpressure selects what the Ingestor does when its queue is full
+// (default BackpressureBlock). Ingestor only.
+func WithBackpressure(p Backpressure) Option {
+	return func(c *config) error {
+		if p != BackpressureBlock && p != BackpressureReject && p != BackpressureDrop {
+			return fmt.Errorf("%w: backpressure policy %d", ErrBadParam, int(p))
+		}
+		c.backpressure = p
+		c.mark("WithBackpressure")
 		return nil
 	}
 }

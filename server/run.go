@@ -1,0 +1,59 @@
+package server
+
+// Run is the shared serve loop behind cmd/aggserve and the streamtool
+// serve subcommand: build a pipeline from aggregate specs, wrap it in a
+// Server with the given batching knobs, serve until ctx is canceled (or
+// the listener fails), then shut down gracefully — in-flight requests
+// finish and the ingest queue drains into the aggregates.
+
+import (
+	"context"
+	"time"
+
+	streamagg "repro"
+)
+
+// drainTimeout bounds graceful shutdown once ctx is canceled.
+const drainTimeout = 15 * time.Second
+
+// Run blocks until ctx is canceled or serving fails. logf receives
+// progress lines (pass log.Printf); nil silences them.
+func Run(ctx context.Context, addr string, specs []string,
+	batchSize int, maxLatency time.Duration, queueCap int, policy string,
+	logf func(format string, args ...any)) error {
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	pipe := streamagg.NewPipeline()
+	if err := AddSpecs(pipe, specs); err != nil {
+		return err
+	}
+	opts, err := IngestOptions(batchSize, maxLatency, queueCap, policy)
+	if err != nil {
+		return err
+	}
+	srv, err := New(pipe, opts...)
+	if err != nil {
+		return err
+	}
+
+	errCh := make(chan error, 1)
+	go func() {
+		logf("serving on %s (%d aggregates)", addr, pipe.Len())
+		errCh <- srv.ListenAndServe(addr)
+	}()
+	select {
+	case err := <-errCh:
+		return err
+	case <-ctx.Done():
+		logf("shutting down: draining ingest queue")
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), drainTimeout)
+		defer cancel()
+		if err := srv.Shutdown(shutdownCtx); err != nil {
+			return err
+		}
+		st := srv.Ingestor().Stats()
+		logf("drained %d items in %d batches", st.Processed, st.Batches)
+		return nil
+	}
+}

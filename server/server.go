@@ -1,0 +1,434 @@
+// Package server exposes a streamagg Pipeline over HTTP/JSON — the
+// serving layer in front of the paper's minibatch compute backend.
+// Incoming updates are routed through an Ingestor (the asynchronous
+// minibatcher with backpressure), so arbitrarily small ingest requests
+// still reach the aggregates as well-sized minibatches; queries are
+// answered at minibatch boundaries through the Pipeline's keyed surface.
+//
+// Endpoints (all JSON unless noted):
+//
+//	POST /v1/ingest           {"items":[..],"strings":[..],"sync":bool} or a bare array
+//	POST /v1/flush            drain the ingest queue into the aggregates
+//	GET  /v1/{agg}/estimate   ?item=N | ?key=S (hashed)
+//	GET  /v1/{agg}/value
+//	GET  /v1/{agg}/heavyhitters  ?phi=F
+//	GET  /v1/{agg}/topk       ?k=N
+//	GET  /v1/{agg}/rangecount ?lo=N&hi=N
+//	GET  /v1/{agg}/quantile   ?q=F
+//	GET  /v1/stats            pipeline + ingest counters
+//	POST /v1/checkpoint       drained, atomic; returns the envelope (octet-stream)
+//	POST /v1/restore          body = a checkpoint envelope
+//	GET  /healthz
+//
+// Unknown aggregate names map to 404, unsupported queries and bad
+// parameters to 400, a full queue under BackpressureReject to 429, and a
+// closed ingestor to 503.
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"strconv"
+	"time"
+
+	streamagg "repro"
+)
+
+// Request-body caps: ingest requests are bounded to keep one client from
+// ballooning the heap; checkpoint envelopes are sketches and summaries,
+// small by construction, but sharded pipelines multiply them.
+const (
+	maxIngestBody     = 64 << 20
+	maxCheckpointBody = 256 << 20
+)
+
+// Server serves one Pipeline over HTTP, with all ingestion funneled
+// through a single Ingestor.
+type Server struct {
+	pipe  *streamagg.Pipeline
+	ing   *streamagg.Ingestor
+	mux   *http.ServeMux
+	hs    *http.Server
+	start time.Time
+}
+
+// New builds a Server over pipe. Options are the Ingestor's batching
+// subset (WithBatchSize, WithMaxLatency, WithQueueCap, WithBackpressure);
+// anything else is rejected with streamagg.ErrBadParam.
+func New(pipe *streamagg.Pipeline, opts ...streamagg.Option) (*Server, error) {
+	if pipe == nil {
+		return nil, fmt.Errorf("%w: nil pipeline", streamagg.ErrBadParam)
+	}
+	ing, err := streamagg.NewIngestor(pipe, opts...)
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{pipe: pipe, ing: ing, mux: http.NewServeMux(), start: time.Now()}
+	s.mux.HandleFunc("POST /v1/ingest", s.handleIngest)
+	s.mux.HandleFunc("POST /v1/flush", s.handleFlush)
+	s.mux.HandleFunc("POST /v1/checkpoint", s.handleCheckpoint)
+	s.mux.HandleFunc("POST /v1/restore", s.handleRestore)
+	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /v1/{agg}/{verb}", s.handleQuery)
+	s.hs = &http.Server{Handler: s.mux, ReadHeaderTimeout: 10 * time.Second}
+	return s, nil
+}
+
+// Handler returns the route table, for mounting under httptest or an
+// outer mux.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Pipeline returns the served pipeline.
+func (s *Server) Pipeline() *streamagg.Pipeline { return s.pipe }
+
+// Ingestor returns the serving-side minibatcher.
+func (s *Server) Ingestor() *streamagg.Ingestor { return s.ing }
+
+// ListenAndServe binds addr and serves until Shutdown. The nil error on
+// graceful shutdown follows http.ErrServerClosed semantics, already
+// translated.
+func (s *Server) ListenAndServe(addr string) error {
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	return s.Serve(l)
+}
+
+// Serve serves on an existing listener until Shutdown.
+func (s *Server) Serve(l net.Listener) error {
+	err := s.hs.Serve(l)
+	if errors.Is(err, http.ErrServerClosed) {
+		return nil
+	}
+	return err
+}
+
+// Shutdown gracefully stops the HTTP listener (waiting for in-flight
+// requests up to the context's deadline), then drains and closes the
+// Ingestor so nothing accepted is lost. The drain also honors ctx: on
+// expiry Shutdown returns the context error while the drain keeps
+// running in the background — the caller's kill window, not the queue
+// depth, bounds how long shutdown takes.
+func (s *Server) Shutdown(ctx context.Context) error {
+	httpErr := s.hs.Shutdown(ctx)
+	drained := make(chan error, 1)
+	go func() { drained <- s.ing.Close() }()
+	var ingErr error
+	select {
+	case ingErr = <-drained:
+	case <-ctx.Done():
+		ingErr = fmt.Errorf("draining ingest queue: %w", ctx.Err())
+	}
+	if httpErr != nil {
+		return httpErr
+	}
+	return ingErr
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, code int, err error) {
+	writeJSON(w, code, map[string]string{"error": err.Error()})
+}
+
+// ingestRequest is the rich form of the ingest body; a bare JSON array
+// is accepted as {"items": [...]}.
+type ingestRequest struct {
+	Items   []uint64 `json:"items"`
+	Strings []string `json:"strings"`
+	Sync    bool     `json:"sync"`
+}
+
+// readBody reads a capped request body, mapping only actual cap hits to
+// 413 (other read failures — resets, timeouts — are the client's 400).
+func readBody(w http.ResponseWriter, r *http.Request, limit int64) ([]byte, bool) {
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, limit))
+	if err == nil {
+		return body, true
+	}
+	var tooBig *http.MaxBytesError
+	if errors.As(err, &tooBig) {
+		writeError(w, http.StatusRequestEntityTooLarge, err)
+	} else {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("reading request body: %w", err))
+	}
+	return nil, false
+}
+
+func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
+	body, ok := readBody(w, r, maxIngestBody)
+	if !ok {
+		return
+	}
+	var req ingestRequest
+	var err error
+	if trimmed := bytes.TrimLeft(body, " \t\r\n"); len(trimmed) > 0 && trimmed[0] == '[' {
+		err = json.Unmarshal(trimmed, &req.Items)
+	} else {
+		err = json.Unmarshal(body, &req)
+	}
+	if err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("malformed ingest body: %w", err))
+		return
+	}
+	items := req.Items
+	if len(req.Strings) > 0 {
+		merged := make([]uint64, 0, len(items)+len(req.Strings))
+		merged = append(merged, items...)
+		for _, key := range req.Strings {
+			merged = append(merged, streamagg.HashString(key))
+		}
+		items = merged
+	}
+	// Context-aware: a client that disconnects while parked on a full
+	// queue (BackpressureBlock) unblocks instead of leaking the handler.
+	accepted, err := s.ing.PutBatchContext(r.Context(), items)
+	if err != nil {
+		code := http.StatusInternalServerError
+		switch {
+		case errors.Is(err, streamagg.ErrOverloaded):
+			code = http.StatusTooManyRequests
+		case errors.Is(err, streamagg.ErrClosed):
+			code = http.StatusServiceUnavailable
+		case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+			code = http.StatusRequestTimeout
+		}
+		// A blocked producer may have had a prefix accepted (and it will
+		// still be flushed); report it so retries don't double-ingest.
+		writeJSON(w, code, map[string]any{
+			"error":    err.Error(),
+			"accepted": accepted,
+			"dropped":  0,
+		})
+		return
+	}
+	if req.Sync {
+		if err := s.ing.Flush(); err != nil {
+			writeError(w, http.StatusInternalServerError, err)
+			return
+		}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"accepted":    accepted,
+		"dropped":     len(items) - accepted,
+		"queue_depth": s.ing.QueueDepth(),
+	})
+}
+
+func (s *Server) handleFlush(w http.ResponseWriter, r *http.Request) {
+	if err := s.ing.Flush(); err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"stream_len": s.pipe.StreamLen()})
+}
+
+func (s *Server) handleCheckpoint(w http.ResponseWriter, r *http.Request) {
+	ckpt, err := s.ing.Checkpoint()
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	_, _ = w.Write(ckpt)
+}
+
+func (s *Server) handleRestore(w http.ResponseWriter, r *http.Request) {
+	body, ok := readBody(w, r, maxCheckpointBody)
+	if !ok {
+		return
+	}
+	if err := s.ing.Restore(body); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"stream_len": s.pipe.StreamLen()})
+}
+
+// aggInfo is one pipeline member in the stats response.
+type aggInfo struct {
+	Name       string `json:"name"`
+	Kind       string `json:"kind"`
+	StreamLen  int64  `json:"stream_len"`
+	SpaceWords int    `json:"space_words"`
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	names := s.pipe.Names()
+	aggs := make([]aggInfo, 0, len(names))
+	for _, name := range names {
+		agg, ok := s.pipe.Get(name)
+		if !ok {
+			continue
+		}
+		aggs = append(aggs, aggInfo{
+			Name:       name,
+			Kind:       string(agg.Kind()),
+			StreamLen:  agg.StreamLen(),
+			SpaceWords: agg.SpaceWords(),
+		})
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"uptime_seconds": time.Since(s.start).Seconds(),
+		"stream_len":     s.pipe.StreamLen(),
+		"space_words":    s.pipe.SpaceWords(),
+		"aggregates":     aggs,
+		"ingest":         s.ing.Stats(),
+	})
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+// param helpers: every malformed value is a 400 with the offending name.
+func floatParam(r *http.Request, name string, def float64) (float64, error) {
+	s := r.URL.Query().Get(name)
+	if s == "" {
+		return def, nil
+	}
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad query parameter %s=%q", name, s)
+	}
+	return v, nil
+}
+
+func uintParam(r *http.Request, name string, def uint64) (uint64, error) {
+	s := r.URL.Query().Get(name)
+	if s == "" {
+		return def, nil
+	}
+	v, err := strconv.ParseUint(s, 10, 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad query parameter %s=%q", name, s)
+	}
+	return v, nil
+}
+
+func intParam(r *http.Request, name string, def int) (int, error) {
+	s := r.URL.Query().Get(name)
+	if s == "" {
+		return def, nil
+	}
+	v, err := strconv.Atoi(s)
+	if err != nil {
+		return 0, fmt.Errorf("bad query parameter %s=%q", name, s)
+	}
+	return v, nil
+}
+
+// handleQuery dispatches the six query verbs through the Pipeline's
+// keyed surface. Queries see the state as of the last flushed minibatch
+// boundary; clients that need read-your-writes POST /v1/flush (or ingest
+// with "sync":true) first.
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("agg")
+	verb := r.PathValue("verb")
+	var result any
+	var err error
+	switch verb {
+	case "estimate":
+		var item uint64
+		switch {
+		case r.URL.Query().Get("key") != "":
+			item = streamagg.HashString(r.URL.Query().Get("key"))
+		case r.URL.Query().Get("item") != "":
+			if item, err = uintParam(r, "item", 0); err != nil {
+				writeError(w, http.StatusBadRequest, err)
+				return
+			}
+		default:
+			writeError(w, http.StatusBadRequest, errors.New("estimate needs ?item=N or ?key=S"))
+			return
+		}
+		var est int64
+		est, err = s.pipe.Estimate(name, item)
+		result = map[string]any{"item": item, "estimate": est}
+	case "value":
+		var v int64
+		v, err = s.pipe.Value(name)
+		result = map[string]any{"value": v}
+	case "heavyhitters":
+		var phi float64
+		if phi, err = floatParam(r, "phi", 0.01); err != nil {
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+		var items []streamagg.ItemCount
+		items, err = s.pipe.HeavyHitters(name, phi)
+		result = map[string]any{"phi": phi, "items": itemCounts(items)}
+	case "topk":
+		var k int
+		if k, err = intParam(r, "k", 10); err != nil {
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+		var items []streamagg.ItemCount
+		items, err = s.pipe.TopK(name, k)
+		result = map[string]any{"k": k, "items": itemCounts(items)}
+	case "rangecount":
+		var lo, hi uint64
+		if lo, err = uintParam(r, "lo", 0); err != nil {
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+		if hi, err = uintParam(r, "hi", 0); err != nil {
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+		var count int64
+		count, err = s.pipe.RangeCount(name, lo, hi)
+		result = map[string]any{"lo": lo, "hi": hi, "count": count}
+	case "quantile":
+		var q float64
+		if q, err = floatParam(r, "q", 0.5); err != nil {
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+		var v uint64
+		v, err = s.pipe.Quantile(name, q)
+		result = map[string]any{"q": q, "quantile": v}
+	default:
+		writeError(w, http.StatusNotFound, fmt.Errorf("unknown query verb %q", verb))
+		return
+	}
+	if err != nil {
+		switch {
+		case errors.Is(err, streamagg.ErrNoSuchAggregate):
+			writeError(w, http.StatusNotFound, err)
+		case errors.Is(err, streamagg.ErrUnsupportedQuery):
+			writeError(w, http.StatusBadRequest, err)
+		default:
+			writeError(w, http.StatusInternalServerError, err)
+		}
+		return
+	}
+	writeJSON(w, http.StatusOK, result)
+}
+
+// itemCount mirrors streamagg.ItemCount with JSON tags.
+type itemCount struct {
+	Item  uint64 `json:"item"`
+	Count int64  `json:"count"`
+}
+
+func itemCounts(in []streamagg.ItemCount) []itemCount {
+	out := make([]itemCount, len(in))
+	for i, ic := range in {
+		out[i] = itemCount{Item: ic.Item, Count: ic.Count}
+	}
+	return out
+}

@@ -23,6 +23,7 @@ package streamagg
 import (
 	"errors"
 	"fmt"
+	"sync"
 
 	"repro/internal/parallel"
 )
@@ -53,6 +54,17 @@ type Sharded struct {
 	gate
 	inner  Kind
 	shards []Aggregate
+
+	// Cached merged view of all shards, for the queries that need a
+	// global summary (HeavyHitters, Quantile, Snapshot). Built lazily on
+	// first use and reused until the next ingest or restore invalidates
+	// it, so back-to-back global queries under read-heavy serving
+	// traffic pay the S-way merge once instead of per call. snapMu
+	// guards snap and is only acquired while gate.mu is held (read or
+	// write), so invalidation (under the write lock) never races a
+	// rebuild (under a read lock).
+	snapMu sync.Mutex
+	snap   Aggregate // nil when stale
 }
 
 // NewSharded creates a sharded aggregate: shards independent instances
@@ -171,6 +183,7 @@ func (s *Sharded) ProcessBatch(items []uint64) error {
 		if len(items) == 0 {
 			return nil
 		}
+		s.invalidateSnap() // even a partial failure mutates some shards
 		parts := partitionByShard(items, len(s.shards))
 		errs := make([]error, len(parts))
 		parallel.ForGrain(len(parts), 1, func(i int) {
@@ -231,18 +244,20 @@ func (s *Sharded) TopK(k int) (out []ItemCount) {
 	return out
 }
 
-// HeavyHitters answers through an on-demand merged snapshot: the φ
-// threshold is relative to the global stream length, which only the
-// merged summary knows.
-func (s *Sharded) HeavyHitters(phi float64) []ItemCount {
-	merged, err := s.Snapshot()
-	if err != nil {
-		return nil
-	}
-	if hh, ok := merged.(HeavyHitterSource); ok {
-		return hh.HeavyHitters(phi)
-	}
-	return nil
+// HeavyHitters answers through the cached merged view: the φ threshold
+// is relative to the global stream length, which only the merged summary
+// knows.
+func (s *Sharded) HeavyHitters(phi float64) (out []ItemCount) {
+	s.read(func() {
+		merged, err := s.mergedView()
+		if err != nil {
+			return
+		}
+		if hh, ok := merged.(HeavyHitterSource); ok {
+			out = hh.HeavyHitters(phi)
+		}
+	})
+	return out
 }
 
 // RangeCount sums the shards' range counts: the shards partition the
@@ -259,17 +274,19 @@ func (s *Sharded) RangeCount(lo, hi uint64) (total int64) {
 	return total
 }
 
-// Quantile answers through a merged snapshot, whose binary search needs
-// the global prefix counts.
-func (s *Sharded) Quantile(q float64) uint64 {
-	merged, err := s.Snapshot()
-	if err != nil {
-		return 0
-	}
-	if re, ok := merged.(RangeEstimator); ok {
-		return re.Quantile(q)
-	}
-	return 0
+// Quantile answers through the cached merged view, whose binary search
+// needs the global prefix counts.
+func (s *Sharded) Quantile(q float64) (out uint64) {
+	s.read(func() {
+		merged, err := s.mergedView()
+		if err != nil {
+			return
+		}
+		if re, ok := merged.(RangeEstimator); ok {
+			out = re.Quantile(q)
+		}
+	})
+	return out
 }
 
 // cloneMergeable deep-copies one of the mergeable kinds under its read
@@ -297,14 +314,35 @@ func cloneMergeable(agg Aggregate) (Aggregate, bool) {
 	return nil, false
 }
 
-// Snapshot merges all shards into one standalone aggregate of the inner
-// kind — a consistent global summary as of the last minibatch boundary,
-// built by cloning shard 0 and folding the rest in with Merge. The
-// snapshot is detached: it shares no state with the shards and the
-// caller may query or mutate it freely.
-func (s *Sharded) Snapshot() (Aggregate, error) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
+// invalidateSnap marks the cached merged view stale. Callers hold the
+// gate's write lock, so no reader can be rebuilding concurrently.
+func (s *Sharded) invalidateSnap() {
+	s.snapMu.Lock()
+	s.snap = nil
+	s.snapMu.Unlock()
+}
+
+// mergedView returns the cached merge of all shards, rebuilding it if an
+// ingest invalidated it. Callers hold the gate's read (or write) lock;
+// the returned aggregate is shared and must be treated as read-only —
+// Snapshot clones it before handing it out.
+func (s *Sharded) mergedView() (Aggregate, error) {
+	s.snapMu.Lock()
+	defer s.snapMu.Unlock()
+	if s.snap != nil {
+		return s.snap, nil
+	}
+	merged, err := s.mergeShards()
+	if err != nil {
+		return nil, err
+	}
+	s.snap = merged
+	return merged, nil
+}
+
+// mergeShards clones shard 0 and folds the rest in with Merge. Callers
+// hold the gate's read (or write) lock.
+func (s *Sharded) mergeShards() (Aggregate, error) {
 	if len(s.shards) == 0 {
 		return nil, fmt.Errorf("%w: empty sharded aggregate", ErrBadParam)
 	}
@@ -319,6 +357,25 @@ func (s *Sharded) Snapshot() (Aggregate, error) {
 		}
 	}
 	return merged, nil
+}
+
+// Snapshot merges all shards into one standalone aggregate of the inner
+// kind — a consistent global summary as of the last minibatch boundary.
+// The merge is served from the query cache when it is still valid; the
+// returned snapshot is always detached: it shares no state with the
+// shards (or the cache) and the caller may query or mutate it freely.
+func (s *Sharded) Snapshot() (Aggregate, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	merged, err := s.mergedView()
+	if err != nil {
+		return nil, err
+	}
+	snap, ok := cloneMergeable(merged)
+	if !ok {
+		return nil, fmt.Errorf("%w: %s does not support merging", ErrBadParam, s.inner)
+	}
+	return snap, nil
 }
 
 // shardedState is the body of a sharded checkpoint: the inner kind plus
@@ -374,6 +431,7 @@ func (s *Sharded) UnmarshalBinary(data []byte) error {
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	s.invalidateSnap()
 	s.inner = inner
 	s.shards = shards
 	s.streamLen = env.StreamLen

@@ -415,3 +415,107 @@ func TestShardedCheckpointRejectsBadEnvelopes(t *testing.T) {
 		t.Fatalf("zero-value Sharded ingested: %v", err)
 	}
 }
+
+// TestShardedSnapshotCacheInvalidation guards the cached merged view
+// (run under -race in CI): global queries between ingests are served
+// from one merge, every ingest and restore invalidates it, and
+// concurrent global queries during ingestion stay consistent with a
+// shadow single-structure run.
+func TestShardedSnapshotCacheInvalidation(t *testing.T) {
+	s, err := NewSharded(KindFreq, 4, WithEpsilon(0.001))
+	if err != nil {
+		t.Fatal(err)
+	}
+	shadow, err := New(KindFreq, WithEpsilon(0.001))
+	if err != nil {
+		t.Fatal(err)
+	}
+	check := func(stage string) {
+		t.Helper()
+		want := shadow.(HeavyHitterSource).HeavyHitters(0.1)
+		for i := 0; i < 3; i++ { // repeated queries hit the cache
+			got := s.HeavyHitters(0.1)
+			if len(got) != len(want) {
+				t.Fatalf("%s query %d: %d heavy hitters, want %d", stage, i, len(got), len(want))
+			}
+			for j := range want {
+				if got[j] != want[j] {
+					t.Fatalf("%s query %d: hh[%d] = %+v, want %+v", stage, i, j, got[j], want[j])
+				}
+			}
+		}
+	}
+	feed := func(batch []uint64) {
+		t.Helper()
+		if err := s.ProcessBatch(batch); err != nil {
+			t.Fatal(err)
+		}
+		if err := shadow.ProcessBatch(batch); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	feed(workload.SingleKey(7, 1000))
+	check("after first ingest")
+	// The second ingest shifts the heavy-hitter set; a stale cache would
+	// keep answering with item 7 alone.
+	feed(workload.SingleKey(9, 3000))
+	check("after second ingest")
+
+	// Restore invalidates too: rewind to a checkpoint taken now, ingest
+	// through the restored value, and the cache must follow.
+	ckpt, err := s.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	feed(workload.SingleKey(11, 9000))
+	check("after third ingest")
+	if err := s.UnmarshalBinary(ckpt); err != nil {
+		t.Fatal(err)
+	}
+	if hh := s.HeavyHitters(0.3); len(hh) != 1 || hh[0].Item != 9 {
+		t.Fatalf("after restore: heavy hitters %+v, want item 9 only", hh)
+	}
+
+	// Concurrent global queries during ingestion: quantile and
+	// heavy-hitter readers race the writer; every answer must reflect
+	// some batch boundary (the race detector is the real assertion).
+	r, err := NewSharded(KindCountMinRange, 3, WithUniverseBits(12), WithEpsilon(0.01))
+	if err != nil {
+		t.Fatal(err)
+	}
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for q := 0; q < 4; q++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+					_ = r.Quantile(0.5)
+					_ = s.HeavyHitters(0.05)
+					if _, err := s.Snapshot(); err != nil {
+						t.Error(err)
+						return
+					}
+				}
+			}
+		}()
+	}
+	for _, b := range workload.Batches(workload.Uniform(29, 40000, 4096), 2048) {
+		if err := r.ProcessBatch(b); err != nil {
+			t.Fatal(err)
+		}
+		if err := s.ProcessBatch(b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	close(stop)
+	wg.Wait()
+	if got, want := r.Quantile(0.5), uint64(2048); got < want/2 || got > want*2 {
+		t.Fatalf("final quantile %d implausible (uniform over 4096)", got)
+	}
+}

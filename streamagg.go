@@ -35,6 +35,12 @@
 // concurrently and answers queries per-shard or through an on-demand
 // merged snapshot.
 //
+// For serving, Ingestor turns an unbounded stream of single updates
+// into well-sized minibatches behind an asynchronous bounded queue with
+// selectable backpressure (WithBatchSize, WithMaxLatency, WithQueueCap,
+// WithBackpressure), and the repro/server package exposes a Pipeline
+// over HTTP/JSON with atomic checkpoint/restore.
+//
 // Concurrency model. Minibatch ingestion is internally parallel and
 // lock-free (fork-join phases with disjoint writes). Externally, each
 // structure serializes updates against queries with a reader-writer
