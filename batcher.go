@@ -30,6 +30,8 @@ import (
 	"math/bits"
 	"sync"
 	"time"
+
+	"repro/persist"
 )
 
 // ErrOverloaded reports an ingest refused because the queue is full and
@@ -155,15 +157,28 @@ type Ingestor struct {
 	done     bool // worker has drained and exited
 	doneCh   chan struct{}
 	err      error // first sink failure, sticky
+
+	// Durability (WithDataDir): every flushed minibatch is appended to
+	// the WAL before it is applied, and a background snapshotter bounds
+	// the log. Nil without WithDataDir.
+	store    *persist.Store
+	snapMu   sync.Mutex // serializes (capture, WriteSnapshot) pairs: snapshotter vs Restore vs Close
+	snapStop chan struct{}
+	snapDone chan struct{}
+	durOnce  sync.Once
+	durErr   error // store teardown error, reported by Close
 }
 
 // ingestorOptions is the Option applicability set for NewIngestor,
 // mirroring kindUsage for the aggregate kinds.
 var ingestorOptions = map[string]bool{
-	"WithBatchSize":    true,
-	"WithMaxLatency":   true,
-	"WithBackpressure": true,
-	"WithQueueCap":     true,
+	"WithBatchSize":     true,
+	"WithMaxLatency":    true,
+	"WithBackpressure":  true,
+	"WithQueueCap":      true,
+	"WithDataDir":       true,
+	"WithFsync":         true,
+	"WithSnapshotEvery": true,
 }
 
 // NewIngestor wraps sink in an asynchronous minibatcher. It accepts the
@@ -198,6 +213,9 @@ func NewIngestor(sink BatchProcessor, opts ...Option) (*Ingestor, error) {
 		return nil, fmt.Errorf("%w: queue capacity %d below batch size %d",
 			ErrBadParam, c.queueCap, c.batchSize)
 	}
+	if c.dataDir == "" && (c.set["WithFsync"] || c.set["WithSnapshotEvery"]) {
+		return nil, fmt.Errorf("%w: WithFsync and WithSnapshotEvery require WithDataDir", ErrBadParam)
+	}
 	in := &Ingestor{
 		sink:       sink,
 		batchSize:  c.batchSize,
@@ -208,8 +226,57 @@ func NewIngestor(sink BatchProcessor, opts ...Option) (*Ingestor, error) {
 		doneCh:     make(chan struct{}),
 	}
 	in.cond = sync.NewCond(&in.mu)
+	if c.dataDir != "" {
+		if err := in.openDurable(c); err != nil {
+			return nil, err
+		}
+	}
 	go in.worker()
+	if in.store != nil {
+		in.snapStop = make(chan struct{})
+		in.snapDone = make(chan struct{})
+		go in.snapshotLoop()
+	}
 	return in, nil
+}
+
+// openDurable opens the data directory and recovers the sink's state —
+// newest valid snapshot, then WAL tail replay at the original minibatch
+// boundaries — before the worker starts accepting live traffic.
+func (in *Ingestor) openDurable(c config) error {
+	u, uok := in.sink.(encoding.BinaryUnmarshaler)
+	if _, mok := in.sink.(encoding.BinaryMarshaler); !mok || !uok {
+		return fmt.Errorf("%w: durable ingest sink %T must support checkpointing", ErrBadParam, in.sink)
+	}
+	st, err := persist.Open(c.dataDir, persist.Options{
+		Fsync:           c.fsync,
+		SnapshotRecords: int64(c.snapshotEvery),
+	})
+	if err != nil {
+		return err
+	}
+	if snap, ok := st.RecoveredSnapshot(); ok {
+		if err := u.UnmarshalBinary(snap); err != nil {
+			st.Close()
+			return fmt.Errorf("streamagg: restoring snapshot from %s: %w", c.dataDir, err)
+		}
+	}
+	if err := st.Replay(func(items []uint64) error {
+		// Mirror the live path exactly: a batch whose apply fails was
+		// logged, partially applied (Pipeline fan-out), and recorded as
+		// the sticky error before the crash — deterministic replay
+		// reproduces that state. Failing recovery instead would turn
+		// one bad batch into a permanent startup crash loop.
+		if err := in.sink.ProcessBatch(items); err != nil && in.err == nil {
+			in.err = err
+		}
+		return nil
+	}); err != nil {
+		st.Close()
+		return err
+	}
+	in.store = st
+	return nil
 }
 
 // signal wakes the worker if it is parked (non-blocking; a pending token
@@ -370,7 +437,7 @@ func (in *Ingestor) worker() {
 		in.cond.Broadcast() // space freed: unpark blocked producers
 		in.mu.Unlock()
 
-		err := in.sink.ProcessBatch(batch)
+		err := in.commit(batch)
 
 		in.mu.Lock()
 		in.processed += int64(len(batch))
@@ -393,6 +460,51 @@ func (in *Ingestor) worker() {
 		in.spare = batch[:0]
 		in.cond.Broadcast() // batch done: unpark Flush/quiesce waiters
 		in.mu.Unlock()
+	}
+}
+
+// commit is the worker's apply step: with durability, the minibatch is
+// WAL-appended (and, under FsyncAlways, on stable storage) before the
+// sink sees it — a batch whose effects are queryable is always
+// recoverable. An append failure leaves the batch unapplied rather than
+// applied-but-unlogged.
+func (in *Ingestor) commit(batch []uint64) error {
+	if in.store != nil {
+		if _, err := in.store.Append(batch); err != nil {
+			return err
+		}
+	}
+	return in.sink.ProcessBatch(batch)
+}
+
+// snapshotLoop is the background snapshotter: when the store has
+// accumulated enough WAL since the last snapshot, capture the sink at a
+// quiesced minibatch boundary and install it, letting the store reclaim
+// the sealed segments behind it.
+func (in *Ingestor) snapshotLoop() {
+	defer close(in.snapDone)
+	for {
+		select {
+		case <-in.snapStop:
+			return
+		case <-in.store.SnapshotTrigger():
+			// snapMu keeps the (capture, write) pair atomic against a
+			// concurrent Restore: without it, a pre-restore capture
+			// could be installed over the restore's own snapshot at the
+			// same WAL position, silently undoing the restore on the
+			// next recovery.
+			in.snapMu.Lock()
+			data, seq, err := in.DurableCheckpoint()
+			if err == nil {
+				err = in.store.WriteSnapshot(data, seq)
+			}
+			in.snapMu.Unlock()
+			if err != nil {
+				// Best-effort: the WAL still holds everything; surface
+				// through Stats and retry at the next trigger.
+				in.store.NoteSnapshotFailure(err)
+			}
+		}
 	}
 }
 
@@ -421,9 +533,11 @@ func (in *Ingestor) Flush() error {
 }
 
 // Close drains the queue, stops the worker, and releases any blocked
-// producers (their remaining items are refused with ErrClosed). It is
+// producers (their remaining items are refused with ErrClosed). With
+// durability it then writes a final snapshot at the drained boundary —
+// so a clean restart replays nothing — and closes the store. It is
 // idempotent and returns the first sink error seen over the Ingestor's
-// lifetime.
+// lifetime (joined with any store teardown error).
 func (in *Ingestor) Close() error {
 	in.mu.Lock()
 	if !in.closed {
@@ -433,9 +547,32 @@ func (in *Ingestor) Close() error {
 	}
 	in.mu.Unlock()
 	<-in.doneCh
+	if in.store != nil {
+		in.durOnce.Do(in.closeDurable)
+	}
 	in.mu.Lock()
 	defer in.mu.Unlock()
-	return in.err
+	return errors.Join(in.err, in.durErr)
+}
+
+// closeDurable stops the snapshotter, writes the shutdown snapshot
+// (best-effort: on failure the WAL already holds everything the snapshot
+// would), and closes the store.
+func (in *Ingestor) closeDurable() {
+	close(in.snapStop)
+	<-in.snapDone
+	in.snapMu.Lock()
+	defer in.snapMu.Unlock()
+	if m, ok := in.sink.(encoding.BinaryMarshaler); ok {
+		data, err := m.MarshalBinary()
+		if err == nil {
+			err = in.store.WriteSnapshot(data, in.store.Position())
+		}
+		if err != nil {
+			in.store.NoteSnapshotFailure(err)
+		}
+	}
+	in.durErr = in.store.Close()
 }
 
 // quiesce drains the queue and pauses the worker so the sink is at a
@@ -473,6 +610,35 @@ func (in *Ingestor) Checkpoint() ([]byte, error) {
 	return m.MarshalBinary()
 }
 
+// DurableCheckpoint is Checkpoint for a durable Ingestor: it captures
+// the sink at a quiesced minibatch boundary together with the WAL
+// position covering exactly that state — the consistent (envelope, seq)
+// pair the snapshot store requires. The background snapshotter uses it;
+// it is exported so operators can force a snapshot externally.
+func (in *Ingestor) DurableCheckpoint() ([]byte, uint64, error) {
+	if in.store == nil {
+		return nil, 0, fmt.Errorf("%w: ingestor has no data directory", ErrBadParam)
+	}
+	m, ok := in.sink.(encoding.BinaryMarshaler)
+	if !ok {
+		return nil, 0, fmt.Errorf("%w: ingest sink %T cannot checkpoint", ErrBadParam, in.sink)
+	}
+	in.quiesce()
+	defer in.resume()
+	data, err := m.MarshalBinary()
+	if err != nil {
+		return nil, 0, err
+	}
+	// Quiesced: nothing in flight, so the store's position is exactly
+	// the last batch the sink absorbed.
+	return data, in.store.Position(), nil
+}
+
+// Persist returns the durability store backing this Ingestor, or nil
+// when WithDataDir was not given. The serving layer exposes its Stats at
+// /v1/persist/stats.
+func (in *Ingestor) Persist() *persist.Store { return in.store }
+
 // Restore drains the queue into the (about-to-be-replaced) sink state,
 // then atomically restores the sink from a checkpoint while the worker
 // is quiesced. Items enqueued after Restore begins are applied on top of
@@ -485,6 +651,10 @@ func (in *Ingestor) Restore(data []byte) error {
 	if !ok {
 		return fmt.Errorf("%w: ingest sink %T cannot restore", ErrBadParam, in.sink)
 	}
+	// Quiesce alone does not exclude the background snapshotter (both
+	// sides may hold the pause concurrently); snapMu does.
+	in.snapMu.Lock()
+	defer in.snapMu.Unlock()
 	in.quiesce()
 	defer in.resume()
 	if err := u.UnmarshalBinary(data); err != nil {
@@ -493,6 +663,15 @@ func (in *Ingestor) Restore(data []byte) error {
 	in.mu.Lock()
 	in.err = nil
 	in.mu.Unlock()
+	// The WAL's history no longer leads to the sink's (replaced) state;
+	// snapshot the restored state at the current position so recovery
+	// starts from it instead of replaying the stale tail over it.
+	if in.store != nil {
+		if err := in.store.WriteSnapshot(data, in.store.Position()); err != nil {
+			in.store.NoteSnapshotFailure(err)
+			return fmt.Errorf("streamagg: restore applied but not yet durable: %w", err)
+		}
+	}
 	return nil
 }
 

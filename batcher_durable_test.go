@@ -1,0 +1,389 @@
+package streamagg
+
+// Durability integration tests for the Ingestor + persist subsystem:
+// clean-shutdown recovery (snapshot path), crash recovery (WAL replay
+// path, exercised on a file-level copy of a live data directory — the
+// same image a SIGKILL leaves), restore/WAL interaction, option
+// validation, and a -race stress drill with concurrent producers during
+// background snapshotting and truncation (wired into CI).
+
+import (
+	"errors"
+	"io"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"repro/persist"
+)
+
+// copyDir snapshots a data directory file-by-file, producing the image a
+// crash would leave (call it with the ingest path quiesced for a
+// deterministic image).
+func copyDir(t *testing.T, src string) string {
+	t.Helper()
+	dst := t.TempDir()
+	entries, err := os.ReadDir(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		in, err := os.Open(filepath.Join(src, e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		out, err := os.Create(filepath.Join(dst, e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := io.Copy(out, in); err != nil {
+			t.Fatal(err)
+		}
+		in.Close()
+		out.Close()
+	}
+	return dst
+}
+
+// durablePipe builds the test pipeline: one order-sensitive summary
+// (Misra-Gries) and one linear sketch.
+func durablePipe(t *testing.T) *Pipeline {
+	t.Helper()
+	p := NewPipeline()
+	if _, err := p.Add("hot", KindFreq, WithEpsilon(0.01)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Add("cm", KindCountMin, WithEpsilon(0.001), WithDelta(0.01), WithSeed(7)); err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+// pipeAnswers captures the query surface we compare across recovery.
+func pipeAnswers(t *testing.T, p *Pipeline) []int64 {
+	t.Helper()
+	out := []int64{p.StreamLen()}
+	for key := uint64(0); key < 32; key++ {
+		est, err := p.Estimate("cm", key)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out = append(out, est)
+		est, err = p.Estimate("hot", key)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out = append(out, est)
+	}
+	return out
+}
+
+// feed pushes a deterministic skewed stream through the ingestor in
+// request-sized batches and flushes.
+func feed(t *testing.T, in *Ingestor, batches, per int, seed uint64) {
+	t.Helper()
+	x := seed
+	for b := 0; b < batches; b++ {
+		batch := make([]uint64, per)
+		for i := range batch {
+			x = x*6364136223846793005 + 1442695040888963407
+			batch[i] = (x >> 33) % 32
+		}
+		if _, err := in.PutBatch(batch); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := in.Flush(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func equalAnswers(t *testing.T, want, got []int64, what string) {
+	t.Helper()
+	for i := range want {
+		if want[i] != got[i] {
+			t.Fatalf("%s: answer %d diverged: want %d, got %d", what, i, want[i], got[i])
+		}
+	}
+}
+
+// TestDurableRecoveryFromCleanClose exercises the snapshot path: Close
+// writes a shutdown snapshot, so reopening replays nothing.
+func TestDurableRecoveryFromCleanClose(t *testing.T) {
+	dir := t.TempDir()
+	pipe := durablePipe(t)
+	in, err := NewIngestor(pipe, WithDataDir(dir), WithFsync(persist.FsyncNever), WithBatchSize(128))
+	if err != nil {
+		t.Fatal(err)
+	}
+	feed(t, in, 50, 100, 1)
+	want := pipeAnswers(t, pipe)
+	if err := in.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	pipe2 := durablePipe(t)
+	in2, err := NewIngestor(pipe2, WithDataDir(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer in2.Close()
+	st := in2.Persist().Stats()
+	if !st.RecoveredSnapshot || st.ReplayedRecords != 0 {
+		t.Fatalf("clean close should recover from snapshot alone: %+v", st)
+	}
+	equalAnswers(t, want, pipeAnswers(t, pipe2), "clean-close recovery")
+}
+
+// TestDurableRecoveryFromCrashImage exercises the WAL replay path: the
+// directory is copied while live (no shutdown snapshot), like a SIGKILL.
+func TestDurableRecoveryFromCrashImage(t *testing.T) {
+	dir := t.TempDir()
+	pipe := durablePipe(t)
+	in, err := NewIngestor(pipe, WithDataDir(dir), WithFsync(persist.FsyncNever), WithBatchSize(128))
+	if err != nil {
+		t.Fatal(err)
+	}
+	feed(t, in, 50, 100, 2)
+	want := pipeAnswers(t, pipe)
+	crash := copyDir(t, dir) // before Close: WAL only, no shutdown snapshot
+	if err := in.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	pipe2 := durablePipe(t)
+	in2, err := NewIngestor(pipe2, WithDataDir(crash))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer in2.Close()
+	st := in2.Persist().Stats()
+	if st.RecoveredSnapshot || st.ReplayedRecords == 0 {
+		t.Fatalf("crash image should recover by WAL replay: %+v", st)
+	}
+	// Replay reuses the live run's minibatch boundaries, so even the
+	// order-sensitive Misra-Gries summary matches exactly.
+	equalAnswers(t, want, pipeAnswers(t, pipe2), "crash recovery")
+}
+
+// TestDurableRestoreSupersedesWAL: Restore replaces the sink's state, so
+// recovery afterwards must yield the restored state, not a replay of the
+// pre-restore WAL over it.
+func TestDurableRestoreSupersedesWAL(t *testing.T) {
+	dir := t.TempDir()
+	pipe := durablePipe(t)
+	in, err := NewIngestor(pipe, WithDataDir(dir), WithFsync(persist.FsyncNever), WithBatchSize(64))
+	if err != nil {
+		t.Fatal(err)
+	}
+	feed(t, in, 20, 50, 3)
+	ckpt, err := in.Checkpoint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := pipeAnswers(t, pipe)
+	feed(t, in, 20, 50, 4) // diverge
+	if err := in.Restore(ckpt); err != nil {
+		t.Fatal(err)
+	}
+	crash := copyDir(t, dir)
+	if err := in.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	pipe2 := durablePipe(t)
+	in2, err := NewIngestor(pipe2, WithDataDir(crash))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer in2.Close()
+	equalAnswers(t, want, pipeAnswers(t, pipe2), "post-restore recovery")
+}
+
+// TestDurableRecoveryToleratesPoisonBatch: a batch the sink
+// deterministically rejects (WindowSum out-of-bound value) is logged
+// before it is applied, so it comes back on replay. Recovery must
+// reproduce the live outcome — partial apply plus the sticky error —
+// not wedge startup in a permanent crash loop.
+func TestDurableRecoveryToleratesPoisonBatch(t *testing.T) {
+	dir := t.TempDir()
+	mkPipe := func() *Pipeline {
+		p := NewPipeline()
+		if _, err := p.Add("sum", KindWindowSum, WithWindow(1000), WithMaxValue(10)); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := p.Add("cm", KindCountMin, WithEpsilon(0.01), WithDelta(0.01), WithSeed(7)); err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+	pipe := mkPipe()
+	in, err := NewIngestor(pipe, WithDataDir(dir), WithFsync(persist.FsyncNever), WithBatchSize(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := in.PutBatch([]uint64{1, 2, 9999, 3}); err != nil { // 9999 > bound 10
+		t.Fatal(err)
+	}
+	if err := in.Flush(); err == nil {
+		t.Fatal("poison batch did not surface a sink error")
+	}
+	cmWant, err := pipe.Estimate("cm", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	crash := copyDir(t, dir)
+	in.Close()
+
+	pipe2 := mkPipe()
+	in2, err := NewIngestor(pipe2, WithDataDir(crash))
+	if err != nil {
+		t.Fatalf("recovery wedged on the poison batch: %v", err)
+	}
+	defer in2.Close()
+	if err := in2.Flush(); err == nil {
+		t.Fatal("replay did not reproduce the sticky sink error")
+	}
+	if got, _ := pipe2.Estimate("cm", 2); got != cmWant {
+		t.Fatalf("count-min after poison-batch recovery: %d, want %d", got, cmWant)
+	}
+}
+
+// plainSink ingests but cannot checkpoint.
+type plainSink struct{}
+
+func (plainSink) ProcessBatch([]uint64) error { return nil }
+
+func TestDurableOptionValidation(t *testing.T) {
+	if _, err := NewIngestor(plainSink{}, WithFsync(persist.FsyncNever)); !errors.Is(err, ErrBadParam) {
+		t.Fatalf("WithFsync without WithDataDir: %v", err)
+	}
+	if _, err := NewIngestor(plainSink{}, WithSnapshotEvery(8)); !errors.Is(err, ErrBadParam) {
+		t.Fatalf("WithSnapshotEvery without WithDataDir: %v", err)
+	}
+	if _, err := NewIngestor(plainSink{}, WithDataDir(t.TempDir())); !errors.Is(err, ErrBadParam) {
+		t.Fatalf("durable ingestor over a sink without checkpointing: %v", err)
+	}
+	if _, err := NewIngestor(plainSink{}, WithDataDir("")); !errors.Is(err, ErrBadParam) {
+		t.Fatalf("empty data dir: %v", err)
+	}
+	if _, err := NewIngestor(plainSink{}, WithSnapshotEvery(0)); !errors.Is(err, ErrBadParam) {
+		t.Fatalf("zero snapshot interval: %v", err)
+	}
+	if _, err := New(KindFreq, WithDataDir(t.TempDir())); !errors.Is(err, ErrBadParam) {
+		t.Fatalf("WithDataDir on an aggregate kind: %v", err)
+	}
+	agg, err := New(KindCountMin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := mustIngestor(t, agg).DurableCheckpoint(); !errors.Is(err, ErrBadParam) {
+		t.Fatalf("DurableCheckpoint without a data dir: %v", err)
+	}
+}
+
+func mustIngestor(t *testing.T, sink BatchProcessor) *Ingestor {
+	t.Helper()
+	in, err := NewIngestor(sink)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { in.Close() })
+	return in
+}
+
+// TestDurableIngestorStress is the CI -race recovery drill: many
+// producers concurrent with the background snapshotter (frequent
+// snapshots force constant segment sealing and truncation), then a full
+// recovery whose linear-sketch state must match an order-independent
+// mirror of everything accepted.
+func TestDurableIngestorStress(t *testing.T) {
+	const (
+		producers = 8
+		batches   = 60
+		per       = 25
+		universe  = 64
+	)
+	dir := t.TempDir()
+	pipe := durablePipe(t)
+	in, err := NewIngestor(pipe,
+		WithDataDir(dir), WithFsync(persist.FsyncInterval), WithSnapshotEvery(4),
+		WithBatchSize(32), WithQueueCap(4096))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	counts := make([]int64, universe) // ground truth of accepted items
+	for p := 0; p < producers; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			x := uint64(p + 1)
+			local := make([]int64, universe)
+			for b := 0; b < batches; b++ {
+				batch := make([]uint64, per)
+				for i := range batch {
+					x = x*6364136223846793005 + 1442695040888963407
+					batch[i] = (x >> 33) % universe
+					local[batch[i]]++
+				}
+				if _, err := in.PutBatch(batch); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+			mu.Lock()
+			for k, c := range local {
+				counts[k] += c
+			}
+			mu.Unlock()
+		}(p)
+	}
+	wg.Wait()
+	if err := in.Close(); err != nil {
+		t.Fatal(err)
+	}
+	st := in.Persist().Stats()
+	if st.Snapshots == 0 || st.TruncatedSegments == 0 {
+		t.Fatalf("stress run never snapshotted/truncated: %+v", st)
+	}
+
+	pipe2 := durablePipe(t)
+	in2, err := NewIngestor(pipe2, WithDataDir(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer in2.Close()
+	if got, want := pipe2.StreamLen(), int64(producers*batches*per); got != want {
+		t.Fatalf("recovered stream length %d, want %d", got, want)
+	}
+	// CountMin is linear, so its recovered state is independent of batch
+	// boundaries and producer interleaving: compare against a mirror fed
+	// the accepted multiset in one batch.
+	mirror, err := New(KindCountMin, WithEpsilon(0.001), WithDelta(0.01), WithSeed(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var all []uint64
+	for k, c := range counts {
+		for i := int64(0); i < c; i++ {
+			all = append(all, uint64(k))
+		}
+	}
+	if err := mirror.ProcessBatch(all); err != nil {
+		t.Fatal(err)
+	}
+	cm := mirror.(*CountMin)
+	for k := uint64(0); k < universe; k++ {
+		want := cm.Estimate(k)
+		got, err := pipe2.Estimate("cm", k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Fatalf("key %d: recovered estimate %d, mirror %d", k, got, want)
+		}
+	}
+}

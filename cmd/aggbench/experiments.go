@@ -2,6 +2,7 @@ package main
 
 import (
 	"fmt"
+	"os"
 	"runtime"
 	"time"
 
@@ -17,6 +18,7 @@ import (
 	"repro/internal/swfreq"
 	"repro/internal/workload"
 	"repro/internal/wsum"
+	"repro/persist"
 )
 
 // ---------------------------------------------------------------- E1 --
@@ -677,4 +679,83 @@ func runE13() {
 	t.print()
 	fmt.Println("shape check: ns/item falls as the flush threshold grows (minibatch amortization);")
 	fmt.Println("the latency budget only matters when the size threshold is rarely reached")
+}
+
+// ---------------------------------------------------------------- E14 --
+
+// runE14 measures what durability costs at the flush boundary: the same
+// request-sized stream through the Ingestor with no data directory
+// (memory only), then with the WAL under each fsync policy. Because a
+// WAL record is a whole minibatch, the append is one sequential write —
+// and under fsync=always one fsync — per batch, so the overhead
+// amortizes exactly like the paper's per-batch parallel overhead; the
+// policy column prices the durability window (everything / last
+// interval / OS writeback) in throughput.
+func runE14() {
+	const (
+		streamLen = 1 << 20
+		chunk     = 256
+		batchSize = 8192
+	)
+	stream := workload.Zipf(97, streamLen, 1.1, 1<<18)
+	chunks := workload.Batches(stream, chunk)
+	mkSink := func() streamagg.Aggregate {
+		agg, err := streamagg.New(streamagg.KindCountMin,
+			streamagg.WithEpsilon(1e-4), streamagg.WithDelta(1e-3), streamagg.WithSeed(7))
+		if err != nil {
+			panic(err)
+		}
+		return agg
+	}
+	run := func(opts ...streamagg.Option) (sec float64, batches int64) {
+		base := []streamagg.Option{
+			streamagg.WithBatchSize(batchSize),
+			streamagg.WithMaxLatency(5 * time.Millisecond),
+			streamagg.WithQueueCap(4*batchSize + chunk),
+		}
+		in, err := streamagg.NewIngestor(mkSink(), append(base, opts...)...)
+		if err != nil {
+			panic(err)
+		}
+		start := time.Now()
+		for _, c := range chunks {
+			if _, err := in.PutBatch(c); err != nil {
+				panic(err)
+			}
+		}
+		if err := in.Flush(); err != nil {
+			panic(err)
+		}
+		sec = time.Since(start).Seconds()
+		st := in.Stats()
+		if err := in.Close(); err != nil {
+			panic(err)
+		}
+		return sec, st.Batches
+	}
+
+	t := newTable("durability", "fsync", "ns/item", "Mitem/s", "vs memory-only")
+	baseSec, _ := run()
+	t.add("memory only", "-",
+		fmt.Sprintf("%.1f", baseSec*1e9/streamLen),
+		fmt.Sprintf("%.1f", streamLen/baseSec/1e6), "1.00x")
+	record("E14", "memory only", map[string]any{"batch": batchSize, "chunk": chunk},
+		baseSec*1e9/streamLen, streamLen/baseSec)
+	for _, policy := range []persist.Fsync{persist.FsyncNever, persist.FsyncInterval, persist.FsyncAlways} {
+		dir, err := os.MkdirTemp("", "aggbench-e14-*")
+		if err != nil {
+			panic(err)
+		}
+		sec, _ := run(streamagg.WithDataDir(dir), streamagg.WithFsync(policy))
+		os.RemoveAll(dir)
+		t.add("wal", policy.String(),
+			fmt.Sprintf("%.1f", sec*1e9/streamLen),
+			fmt.Sprintf("%.1f", streamLen/sec/1e6),
+			fmt.Sprintf("%.2fx", baseSec/sec))
+		record("E14", "wal", map[string]any{"fsync": policy.String(), "batch": batchSize, "chunk": chunk},
+			sec*1e9/streamLen, streamLen/sec)
+	}
+	t.print()
+	fmt.Println("shape check: never ~ memory-only (one extra sequential write per batch);")
+	fmt.Println("always pays one fsync per minibatch, amortized across its items")
 }

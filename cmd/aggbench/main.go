@@ -12,8 +12,9 @@
 //
 // E1–E10 exercise the internal engines directly; E11 measures the
 // public Pipeline API's concurrent fan-out; E12 the sharded ingestion
-// axis; E13 the serving layer's async minibatcher. With -json, the
-// perf-trajectory experiments (E11–E13) also write
+// axis; E13 the serving layer's async minibatcher; E14 the durability
+// subsystem's WAL cost per fsync policy. With -json, the
+// perf-trajectory experiments (E11–E14) also write
 // BENCH_<experiment>.json files with machine-readable measurements.
 package main
 
@@ -31,7 +32,7 @@ type experiment struct {
 }
 
 func main() {
-	which := flag.String("experiment", "all", "experiment id (E1..E13) or 'all'")
+	which := flag.String("experiment", "all", "experiment id (E1..E14) or 'all'")
 	flag.BoolVar(&jsonOut, "json", false, "also write BENCH_<experiment>.json measurement files")
 	flag.Parse()
 
@@ -49,6 +50,7 @@ func main() {
 		{"E11", "multi-aggregate pipeline: concurrent fan-out vs sequential (public API)", runE11},
 		{"E12", "sharded ingestion: throughput vs shard count (mergeable summaries)", runE12},
 		{"E13", "serving layer: Ingestor throughput vs batch size and max latency", runE13},
+		{"E14", "durability: ingest throughput vs fsync policy (WAL at the flush boundary)", runE14},
 	}
 
 	want := strings.ToUpper(*which)

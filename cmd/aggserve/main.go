@@ -5,10 +5,17 @@
 // and atomic checkpoint/restore ride alongside. SIGINT/SIGTERM shut the
 // server down gracefully, draining the ingest queue first.
 //
+// With -data-dir the server is durable: every applied minibatch is
+// appended to a write-ahead log under the directory before it becomes
+// queryable (fsync policy selectable with -fsync), background snapshots
+// bound the log, and a restart — graceful or SIGKILL — recovers the
+// aggregates from the newest snapshot plus WAL replay.
+//
 // Usage:
 //
 //	aggserve [-addr :8080] [-agg name=kind,opt=val...]...
 //	         [-batch 8192] [-latency 5ms] [-queue N] [-backpressure block|reject|drop]
+//	         [-data-dir DIR] [-fsync always|interval|never] [-snapshot-every N]
 //	         [-parallelism N]
 //
 // Aggregate specs use the same options as the library constructors:
@@ -44,6 +51,9 @@ func main() {
 	latency := flag.Duration("latency", -1, "max time a queued update may wait (default 5ms; 0 = flush immediately)")
 	queue := flag.Int("queue", 0, "ingest queue capacity in items (default 4x batch)")
 	policy := flag.String("backpressure", "block", "full-queue policy: block, reject, or drop")
+	dataDir := flag.String("data-dir", "", "durability directory: WAL + snapshots, recovered on startup (default in-memory only)")
+	fsync := flag.String("fsync", "", "WAL sync policy: always, interval, or never (default always; needs -data-dir)")
+	snapEvery := flag.Int("snapshot-every", 0, "snapshot after N logged minibatches (default 4096; needs -data-dir)")
 	par := flag.Int("parallelism", 0, "worker budget for parallel ingestion (default GOMAXPROCS)")
 	flag.Parse()
 
@@ -61,7 +71,19 @@ func main() {
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
-	if err := server.Run(ctx, *addr, specs, *batch, *latency, *queue, *policy, log.Printf); err != nil {
+	err := server.Run(ctx, server.RunConfig{
+		Addr:          *addr,
+		Specs:         specs,
+		BatchSize:     *batch,
+		MaxLatency:    *latency,
+		QueueCap:      *queue,
+		Backpressure:  *policy,
+		DataDir:       *dataDir,
+		Fsync:         *fsync,
+		SnapshotEvery: *snapEvery,
+		Logf:          log.Printf,
+	})
+	if err != nil {
 		log.Fatal(err)
 	}
 }

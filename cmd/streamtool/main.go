@@ -20,8 +20,15 @@
 //
 //	streamtool serve [-addr :8080] [-agg "spec1;spec2"] [-batch 8192]
 //	                 [-latency 5ms] [-queue N] [-backpressure block]
+//	                 [-data-dir DIR] [-fsync always] [-snapshot-every N]
 //	    HTTP ingest/query server over a pipeline of aggregates (the
 //	    server package; see cmd/aggserve for the standalone binary).
+//	    With -data-dir the server is durable and recovers on restart.
+//
+//	streamtool inspect <data-dir>
+//	    Print a durability directory's manifest, snapshots, WAL
+//	    segments (record counts, sequence spans, CRC damage), and the
+//	    replay span a recovery would perform.
 package main
 
 import (
@@ -37,6 +44,7 @@ import (
 	"time"
 
 	streamagg "repro"
+	"repro/persist"
 	"repro/server"
 )
 
@@ -56,6 +64,8 @@ func main() {
 		runQuantiles(args)
 	case "serve":
 		runServe(args)
+	case "inspect":
+		runInspect(args)
 	default:
 		usage()
 	}
@@ -70,6 +80,7 @@ subcommands:
   sum        sliding-window sum of non-negative stdin integers
   quantiles  streaming quantiles over stdin integers
   serve      HTTP ingest/query server over a pipeline of aggregates
+  inspect    print a durability data directory's manifest, segments, and replay span
 `)
 	os.Exit(2)
 }
@@ -139,10 +150,75 @@ func runServe(args []string) {
 	}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
-	if err := server.Run(ctx, addr, specs,
-		int(f.int("batch", 0)), latency, int(f.int("queue", 0)), f.str("backpressure", ""),
-		log.Printf); err != nil {
+	err := server.Run(ctx, server.RunConfig{
+		Addr:          addr,
+		Specs:         specs,
+		BatchSize:     int(f.int("batch", 0)),
+		MaxLatency:    latency,
+		QueueCap:      int(f.int("queue", 0)),
+		Backpressure:  f.str("backpressure", ""),
+		DataDir:       f.str("data-dir", ""),
+		Fsync:         f.str("fsync", ""),
+		SnapshotEvery: int(f.int("snapshot-every", 0)),
+		Logf:          log.Printf,
+	})
+	if err != nil {
 		fail(err)
+	}
+}
+
+// runInspect prints what recovery would see in a data directory: the
+// manifest, every snapshot and segment with validity, and the replay
+// span. It takes no lock, so it works on a live server's directory.
+func runInspect(args []string) {
+	if len(args) != 1 || strings.HasPrefix(args[0], "-") {
+		fmt.Fprintln(os.Stderr, "usage: streamtool inspect <data-dir>")
+		os.Exit(2)
+	}
+	r, err := persist.Inspect(args[0])
+	if err != nil {
+		fail(err)
+	}
+	fmt.Printf("data directory %s\n", r.Dir)
+	switch {
+	case !r.ManifestPresent:
+		fmt.Println("manifest: missing (recovery falls back to newest valid snapshot)")
+	case !r.ManifestValid:
+		fmt.Printf("manifest: CORRUPT: %s\n", r.ManifestProblem)
+	case r.ManifestSnapshot == "":
+		fmt.Println("manifest: valid, no snapshot yet")
+	default:
+		fmt.Printf("manifest: valid -> %s (covers WAL seq %d)\n", r.ManifestSnapshot, r.ManifestSeq)
+	}
+	if len(r.Snapshots) == 0 {
+		fmt.Println("snapshots: none")
+	}
+	for _, sn := range r.Snapshots {
+		if sn.Valid {
+			fmt.Printf("snapshot %s: seq %d, %d bytes, valid\n", sn.Name, sn.Seq, sn.Bytes)
+		} else {
+			fmt.Printf("snapshot %s: %d bytes, CORRUPT: %s\n", sn.Name, sn.Bytes, sn.Problem)
+		}
+	}
+	if len(r.Segments) == 0 {
+		fmt.Println("segments: none")
+	}
+	for _, sg := range r.Segments {
+		span := "empty"
+		if sg.LastSeq != 0 {
+			span = fmt.Sprintf("seq %d..%d", sg.FirstSeq, sg.LastSeq)
+		}
+		line := fmt.Sprintf("segment %s: %s, %d records, %d bytes", sg.Name, span, sg.Records, sg.Bytes)
+		if sg.Corrupt != "" {
+			line += " [" + sg.Corrupt + "]"
+		}
+		fmt.Println(line)
+	}
+	if r.ReplayRecords > 0 {
+		fmt.Printf("recovery: snapshot seq %d, then replay %d records (seq %d..%d)\n",
+			r.RecoverySeq, r.ReplayRecords, r.ReplayFrom, r.ReplayTo)
+	} else {
+		fmt.Printf("recovery: snapshot seq %d, nothing to replay\n", r.RecoverySeq)
 	}
 }
 

@@ -18,6 +18,7 @@ import (
 	"repro/internal/mg"
 	"repro/internal/swfreq"
 	"repro/internal/wsum"
+	"repro/persist"
 )
 
 // config accumulates option values; set tracks which options appeared so
@@ -38,6 +39,11 @@ type config struct {
 	maxLatency   time.Duration
 	queueCap     int
 	backpressure Backpressure
+
+	// Durability (persist subsystem) knobs, also Ingestor-only.
+	dataDir       string
+	fsync         persist.Fsync
+	snapshotEvery int
 
 	set map[string]bool
 }
@@ -195,6 +201,54 @@ func WithQueueCap(n int) Option {
 		}
 		c.queueCap = n
 		c.mark("WithQueueCap")
+		return nil
+	}
+}
+
+// WithDataDir makes the Ingestor durable: every flushed minibatch is
+// appended to a write-ahead log in dir before it is applied, background
+// snapshots bound the log, and NewIngestor recovers the sink's state
+// (newest valid snapshot + WAL tail replay) from dir on startup. The
+// sink must support checkpointing (encoding.BinaryMarshaler and
+// BinaryUnmarshaler — every Aggregate and *Pipeline does). Ingestor
+// only.
+func WithDataDir(dir string) Option {
+	return func(c *config) error {
+		if dir == "" {
+			return fmt.Errorf("%w: empty data directory", ErrBadParam)
+		}
+		c.dataDir = dir
+		c.mark("WithDataDir")
+		return nil
+	}
+}
+
+// WithFsync selects when WAL appends reach stable storage (default
+// persist.FsyncAlways: an applied minibatch is durable before its
+// effects are queryable). Requires WithDataDir. Ingestor only.
+func WithFsync(p persist.Fsync) Option {
+	return func(c *config) error {
+		if p != persist.FsyncAlways && p != persist.FsyncInterval && p != persist.FsyncNever {
+			return fmt.Errorf("%w: fsync policy %d", ErrBadParam, int(p))
+		}
+		c.fsync = p
+		c.mark("WithFsync")
+		return nil
+	}
+}
+
+// WithSnapshotEvery triggers a background snapshot once n >= 1
+// minibatches have been logged since the last one (default 4096; a byte
+// threshold applies as well), after which the WAL behind the snapshot is
+// reclaimed. Smaller values bound recovery time and disk use, larger
+// ones reduce snapshot overhead. Requires WithDataDir. Ingestor only.
+func WithSnapshotEvery(n int) Option {
+	return func(c *config) error {
+		if n < 1 {
+			return fmt.Errorf("%w: snapshot interval %d batches (want >= 1)", ErrBadParam, n)
+		}
+		c.snapshotEvery = n
+		c.mark("WithSnapshotEvery")
 		return nil
 	}
 }

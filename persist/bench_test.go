@@ -1,0 +1,63 @@
+package persist
+
+import (
+	"fmt"
+	"testing"
+)
+
+// BenchmarkAppend prices one WAL append per fsync policy at a realistic
+// minibatch size; b.N batches of 8192 items, reported per item.
+func BenchmarkAppend(b *testing.B) {
+	batch := make([]uint64, 8192)
+	for i := range batch {
+		batch[i] = uint64(i)
+	}
+	for _, policy := range []Fsync{FsyncNever, FsyncInterval, FsyncAlways} {
+		b.Run(fmt.Sprintf("fsync=%s", policy), func(b *testing.B) {
+			st, err := Open(b.TempDir(), Options{Fsync: policy, SnapshotRecords: 1 << 40})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer st.Close()
+			b.SetBytes(int64(8 * len(batch)))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := st.Append(batch); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkSegmentScan prices recovery's replay scan.
+func BenchmarkSegmentScan(b *testing.B) {
+	dir := b.TempDir()
+	st, err := Open(dir, Options{Fsync: FsyncNever})
+	if err != nil {
+		b.Fatal(err)
+	}
+	batch := make([]uint64, 1024)
+	for i := 0; i < 256; i++ {
+		if _, err := st.Append(batch); err != nil {
+			b.Fatal(err)
+		}
+	}
+	st.Close()
+	b.SetBytes(int64(256 * 1024 * 8))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		st, err := Open(dir, Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		n := 0
+		if err := st.Replay(func(items []uint64) error { n += len(items); return nil }); err != nil {
+			b.Fatal(err)
+		}
+		st.Close()
+		if n != 256*1024 {
+			b.Fatalf("replayed %d items", n)
+		}
+	}
+}

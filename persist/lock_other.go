@@ -1,0 +1,11 @@
+//go:build !unix
+
+package persist
+
+// Platforms without flock get no single-writer guard; the manifest and
+// segment protocol still detect (rather than silently absorb) most
+// interleaved-writer damage.
+
+func lockDir(string) (func(), error) {
+	return func() {}, nil
+}

@@ -1,0 +1,153 @@
+package persist
+
+// The manifest is the root of trust for recovery: a single small file
+// naming the latest valid snapshot and the WAL sequence it covers. It is
+// replaced atomically (tmp + fsync + rename + directory fsync), so a
+// crash leaves either the old or the new manifest, never a mix; its
+// payload is CRC-framed so a damaged file is detected, in which case
+// recovery falls back to scanning the snapshot files directly.
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+const (
+	manifestName  = "MANIFEST"
+	manifestMagic = "AGGMAN01"
+	// maxManifestLen bounds the JSON payload; the real payload is a few
+	// dozen bytes, so anything large is malformed by definition.
+	maxManifestLen = 1 << 16
+)
+
+// manifest is the decoded payload.
+type manifest struct {
+	// Snapshot is the snapshot filename ("snap-<seq>.snap"), empty when
+	// no snapshot exists yet.
+	Snapshot string `json:"snapshot"`
+	// Seq is the last WAL sequence the snapshot covers; replay starts
+	// at Seq+1.
+	Seq uint64 `json:"seq"`
+}
+
+// encodeManifest frames m as magic + u32 length + u32 CRC + JSON.
+func encodeManifest(m manifest) ([]byte, error) {
+	payload, err := json.Marshal(m)
+	if err != nil {
+		return nil, fmt.Errorf("persist: encoding manifest: %w", err)
+	}
+	out := make([]byte, len(manifestMagic)+8+len(payload))
+	copy(out, manifestMagic)
+	binary.LittleEndian.PutUint32(out[len(manifestMagic):], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(out[len(manifestMagic)+4:], crc32.Checksum(payload, crcTable))
+	copy(out[len(manifestMagic)+8:], payload)
+	return out, nil
+}
+
+// decodeManifest parses and validates a manifest file's contents.
+// Malformed input yields an error — never a panic, and never an
+// allocation beyond the input's own length.
+func decodeManifest(data []byte) (manifest, error) {
+	var m manifest
+	head := len(manifestMagic) + 8
+	if len(data) < head {
+		return m, fmt.Errorf("%w: manifest too short (%d bytes)", ErrCorrupt, len(data))
+	}
+	if string(data[:len(manifestMagic)]) != manifestMagic {
+		return m, fmt.Errorf("%w: bad manifest magic", ErrCorrupt)
+	}
+	n := int(binary.LittleEndian.Uint32(data[len(manifestMagic):]))
+	wantCRC := binary.LittleEndian.Uint32(data[len(manifestMagic)+4:])
+	if n > maxManifestLen {
+		return m, fmt.Errorf("%w: manifest payload length %d exceeds limit", ErrCorrupt, n)
+	}
+	if n != len(data)-head {
+		return m, fmt.Errorf("%w: manifest payload length %d, have %d bytes", ErrCorrupt, n, len(data)-head)
+	}
+	payload := data[head:]
+	if crc32.Checksum(payload, crcTable) != wantCRC {
+		return m, fmt.Errorf("%w: manifest CRC mismatch", ErrCorrupt)
+	}
+	if err := json.Unmarshal(payload, &m); err != nil {
+		return m, fmt.Errorf("%w: manifest payload: %v", ErrCorrupt, err)
+	}
+	if m.Snapshot != "" {
+		// The name is used to open a file in the data directory; reject
+		// anything that could escape it or that we did not write.
+		if m.Snapshot != filepath.Base(m.Snapshot) || strings.ContainsAny(m.Snapshot, "/\\") {
+			return m, fmt.Errorf("%w: manifest snapshot name %q", ErrCorrupt, m.Snapshot)
+		}
+		if seq, ok := parseSnapshotName(m.Snapshot); !ok || seq != m.Seq {
+			return m, fmt.Errorf("%w: manifest snapshot name %q does not match seq %d", ErrCorrupt, m.Snapshot, m.Seq)
+		}
+	}
+	return m, nil
+}
+
+// writeFileAtomic writes data to path via a tmp file, fsync, rename, and
+// directory fsync, so the path either holds the old content or the new.
+func writeFileAtomic(path string, data []byte) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp-*")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name()) // no-op after a successful rename
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		return err
+	}
+	return syncDir(dir)
+}
+
+// syncDir fsyncs a directory so renames and creates within it are
+// durable.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	return d.Sync()
+}
+
+// readManifest loads and validates dir's manifest. A missing manifest is
+// (manifest{}, false, nil); a present-but-corrupt one returns the error.
+func readManifest(dir string) (manifest, bool, error) {
+	data, err := os.ReadFile(filepath.Join(dir, manifestName))
+	if os.IsNotExist(err) {
+		return manifest{}, false, nil
+	}
+	if err != nil {
+		return manifest{}, false, err
+	}
+	m, err := decodeManifest(data)
+	if err != nil {
+		return manifest{}, true, err
+	}
+	return m, true, nil
+}
+
+// writeManifest atomically replaces dir's manifest.
+func writeManifest(dir string, m manifest) error {
+	data, err := encodeManifest(m)
+	if err != nil {
+		return err
+	}
+	return writeFileAtomic(filepath.Join(dir, manifestName), data)
+}

@@ -1,0 +1,152 @@
+package persist
+
+// WAL record and segment framing. A segment file is an 8-byte magic
+// header followed by a run of records with consecutive sequence numbers;
+// its filename carries the sequence of its first record. Each record
+// frames one ingest minibatch:
+//
+//	offset 0  uint32 LE  payload length in bytes (8 x item count)
+//	offset 4  uint32 LE  CRC-32C over seq ++ payload
+//	offset 8  uint64 LE  sequence number (consecutive, starting at 1)
+//	offset 16 payload    items as uint64 LE
+//
+// The scanner is the single arbiter of validity, shared by recovery,
+// replay, Inspect, and the fuzz targets. It validates every length
+// against the bytes actually remaining before allocating, so a malformed
+// length field can never drive an over-allocation.
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+)
+
+const (
+	segMagic     = "AGGWAL01"
+	recHeaderLen = 16
+	// maxRecordBytes bounds a single record's payload; a frame claiming
+	// more is invalid regardless of how much input remains.
+	maxRecordBytes = 256 << 20
+)
+
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// recordCRC computes the checksum over the sequence number and payload.
+func recordCRC(seq uint64, payload []byte) uint32 {
+	var seqBuf [8]byte
+	binary.LittleEndian.PutUint64(seqBuf[:], seq)
+	crc := crc32.Update(0, crcTable, seqBuf[:])
+	return crc32.Update(crc, crcTable, payload)
+}
+
+// appendRecord frames one minibatch into buf (reusing its capacity) and
+// returns the encoded frame.
+func appendRecord(buf []byte, seq uint64, items []uint64) []byte {
+	n := 8 * len(items)
+	need := recHeaderLen + n
+	if cap(buf) < need {
+		buf = make([]byte, need)
+	}
+	buf = buf[:need]
+	binary.LittleEndian.PutUint32(buf[0:4], uint32(n))
+	for i, it := range items {
+		binary.LittleEndian.PutUint64(buf[recHeaderLen+8*i:], it)
+	}
+	binary.LittleEndian.PutUint64(buf[8:16], seq)
+	binary.LittleEndian.PutUint32(buf[4:8], recordCRC(seq, buf[recHeaderLen:]))
+	return buf
+}
+
+// decodeItems converts a validated payload back into minibatch items.
+func decodeItems(payload []byte) []uint64 {
+	items := make([]uint64, len(payload)/8)
+	for i := range items {
+		items[i] = binary.LittleEndian.Uint64(payload[8*i:])
+	}
+	return items
+}
+
+// tornError explains why a scan stopped before the end of a segment. At
+// the tail of the final segment it marks a tolerable torn write; anywhere
+// else it is promoted to ErrCorrupt.
+type tornError struct {
+	offset int64
+	reason string
+}
+
+func (e *tornError) Error() string {
+	return fmt.Sprintf("invalid record at offset %d: %s", e.offset, e.reason)
+}
+
+// scanSegment reads a segment of the given total size, calling fn for
+// every valid record. firstSeq is the sequence the filename promises for
+// the first record. It returns the number of bytes holding valid content
+// (magic header included), the last valid sequence (0 if none), and a
+// *tornError describing the first invalid byte, nil if the segment is
+// clean to the end. Errors from fn abort the scan and are returned as-is.
+func scanSegment(r io.Reader, size int64, firstSeq uint64, fn func(seq uint64, items []uint64) error) (valid int64, lastSeq uint64, scanErr error) {
+	var magic [len(segMagic)]byte
+	if size < int64(len(segMagic)) {
+		return 0, 0, &tornError{0, "short magic header"}
+	}
+	if _, err := io.ReadFull(r, magic[:]); err != nil {
+		return 0, 0, &tornError{0, "unreadable magic header"}
+	}
+	if string(magic[:]) != segMagic {
+		return 0, 0, &tornError{0, "bad magic header"}
+	}
+	valid = int64(len(segMagic))
+	seq := firstSeq
+	var header [recHeaderLen]byte
+	for {
+		remaining := size - valid
+		if remaining == 0 {
+			return valid, lastSeq, nil
+		}
+		if remaining < recHeaderLen {
+			return valid, lastSeq, &tornError{valid, "short record header"}
+		}
+		if _, err := io.ReadFull(r, header[:]); err != nil {
+			return valid, lastSeq, &tornError{valid, fmt.Sprintf("reading record header: %v", err)}
+		}
+		n := int64(binary.LittleEndian.Uint32(header[0:4]))
+		wantCRC := binary.LittleEndian.Uint32(header[4:8])
+		gotSeq := binary.LittleEndian.Uint64(header[8:16])
+		switch {
+		case n > maxRecordBytes:
+			return valid, lastSeq, &tornError{valid, fmt.Sprintf("record length %d exceeds limit", n)}
+		case n%8 != 0:
+			return valid, lastSeq, &tornError{valid, fmt.Sprintf("record length %d not a multiple of 8", n)}
+		case n > remaining-recHeaderLen:
+			return valid, lastSeq, &tornError{valid, fmt.Sprintf("record length %d exceeds remaining %d bytes", n, remaining-recHeaderLen)}
+		case gotSeq != seq:
+			return valid, lastSeq, &tornError{valid, fmt.Sprintf("sequence %d, want %d", gotSeq, seq)}
+		}
+		// n is bounded by the segment's actual remaining bytes, so this
+		// allocation cannot exceed the input.
+		payload := make([]byte, n)
+		if _, err := io.ReadFull(r, payload); err != nil {
+			return valid, lastSeq, &tornError{valid, fmt.Sprintf("reading record payload: %v", err)}
+		}
+		if recordCRC(seq, payload) != wantCRC {
+			return valid, lastSeq, &tornError{valid, "payload CRC mismatch"}
+		}
+		if fn != nil {
+			if err := fn(seq, decodeItems(payload)); err != nil {
+				return valid, lastSeq, err
+			}
+		}
+		valid += recHeaderLen + n
+		lastSeq = seq
+		seq++
+	}
+}
+
+// isTorn reports whether err is a scan-stopping framing error (as opposed
+// to an error returned by the scan callback).
+func isTorn(err error) bool {
+	var te *tornError
+	return errors.As(err, &te)
+}

@@ -1,0 +1,318 @@
+package server
+
+// Crash-recovery end-to-end drill: a real aggserve-equivalent child
+// process (this test binary re-exec'ed into runCrashRecoveryChild) is
+// SIGKILLed mid-ingest — no drain, no shutdown snapshot — and restarted
+// on the same -data-dir. Every batch the dead server durably
+// acknowledged (fsync=always + sync ingest) must be reflected in the
+// restarted server's answers, which are checked against a directly-fed
+// mirror pipeline across all six query verbs. Because the WAL logs whole
+// minibatches, replay reproduces the live run's batch boundaries and the
+// recovered answers match the mirror exactly — well inside the paper's
+// ε-bounds, which is the contract the assertion encodes.
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"os/exec"
+	"testing"
+	"time"
+
+	streamagg "repro"
+)
+
+// recoverySpecs cover all six query verbs: value (counter), estimate
+// (count-min), heavyhitters + topk (freq), rangecount + quantile
+// (count-min-range). Items stay inside the 2^16 universe.
+var recoverySpecs = []string{
+	"cnt=counter,window=100000",
+	"hot=freq,eps=0.005",
+	"sketch=count-min,eps=0.001,seed=7",
+	"dist=count-min-range,bits=16",
+}
+
+// TestMain lets the test binary double as the crash-drill server child.
+func TestMain(m *testing.M) {
+	if os.Getenv("AGGSERVE_CHILD") == "1" {
+		runCrashRecoveryChild()
+		return
+	}
+	os.Exit(m.Run())
+}
+
+// runCrashRecoveryChild is the process the drill SIGKILLs: a durable
+// server with fsync=always, never shut down gracefully.
+func runCrashRecoveryChild() {
+	err := Run(context.Background(), RunConfig{
+		Addr:       os.Getenv("AGGSERVE_ADDR"),
+		Specs:      recoverySpecs,
+		MaxLatency: -1,
+		DataDir:    os.Getenv("AGGSERVE_DATA_DIR"),
+		Fsync:      "always",
+	})
+	fmt.Fprintln(os.Stderr, "child exited:", err)
+	os.Exit(1)
+}
+
+// crashBatch generates the deterministic skewed stream: batch b is the
+// same bytes on every call, so the mirror can re-derive exactly what the
+// server accepted.
+func crashBatch(b int) []uint64 {
+	const per = 500
+	x := uint64(b)*0x9e3779b97f4a7c15 + 1
+	items := make([]uint64, per)
+	for i := range items {
+		x = x*6364136223846793005 + 1442695040888963407
+		v := x >> 33
+		if v%4 != 0 {
+			items[i] = v % 50 // heavy keys
+		} else {
+			items[i] = v % 60000
+		}
+	}
+	return items
+}
+
+func startChild(t *testing.T, addr, dataDir string) *exec.Cmd {
+	t.Helper()
+	cmd := exec.Command(os.Args[0], "-test.run=^$")
+	cmd.Env = append(os.Environ(),
+		"AGGSERVE_CHILD=1", "AGGSERVE_ADDR="+addr, "AGGSERVE_DATA_DIR="+dataDir)
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		t.Fatalf("starting child server: %v", err)
+	}
+	base := "http://" + addr
+	for i := 0; i < 200; i++ {
+		resp, err := http.Get(base + "/healthz")
+		if err == nil {
+			resp.Body.Close()
+			return cmd
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
+	cmd.Process.Kill()
+	t.Fatal("child server never became healthy")
+	return nil
+}
+
+// postBatchSync posts one batch with sync:true; a 200 means the batch is
+// applied AND on stable storage (fsync=always logs before applying).
+func postBatchSync(base string, items []uint64) error {
+	body, _ := json.Marshal(map[string]any{"items": items, "sync": true})
+	resp, err := http.Post(base+"/v1/ingest", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	io.Copy(io.Discard, resp.Body)
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("ingest status %d", resp.StatusCode)
+	}
+	return nil
+}
+
+func getJSON(t *testing.T, url string) map[string]any {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		b, _ := io.ReadAll(resp.Body)
+		t.Fatalf("GET %s: status %d: %s", url, resp.StatusCode, b)
+	}
+	var m map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&m); err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	return m
+}
+
+func TestCrashRecoverySIGKILL(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns and kills child processes")
+	}
+	dataDir := t.TempDir()
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := l.Addr().String()
+	l.Close()
+	base := "http://" + addr
+
+	// Phase 1: ingest with sync acknowledgements, then SIGKILL with a
+	// request in flight.
+	child := startChild(t, addr, dataDir)
+	acked := 0
+	killed := make(chan struct{})
+	for b := 0; b < 60; b++ {
+		if b == 12 {
+			// From here the kill races the remaining requests — the
+			// batch in flight when SIGKILL lands is the indeterminate
+			// one recovery must classify via the WAL.
+			go func() {
+				time.Sleep(3 * time.Millisecond)
+				child.Process.Kill()
+				close(killed)
+			}()
+		}
+		if err := postBatchSync(base, crashBatch(b)); err != nil {
+			break
+		}
+		acked++
+	}
+	<-killed
+	child.Wait()
+	if acked < 12 {
+		t.Fatalf("only %d batches acknowledged before the kill", acked)
+	}
+
+	// Phase 2: restart on the same data directory.
+	child2 := startChild(t, addr, dataDir)
+	defer func() {
+		child2.Process.Kill()
+		child2.Wait()
+	}()
+
+	stats := getJSON(t, base+"/v1/stats")
+	streamLen := int64(stats["stream_len"].(float64))
+	if streamLen%500 != 0 {
+		t.Fatalf("recovered stream length %d is not whole batches: minibatch atomicity violated", streamLen)
+	}
+	applied := int(streamLen / 500)
+	// Durably acknowledged => recovered. The unacked in-flight batch may
+	// legitimately have made it to the WAL before the kill.
+	if applied < acked || applied > acked+1 {
+		t.Fatalf("recovered %d batches, acknowledged %d", applied, acked)
+	}
+	pstats := getJSON(t, base+"/v1/persist/stats")
+	if pstats["last_seq"].(float64) < float64(applied) {
+		t.Fatalf("persist stats after recovery: %+v", pstats)
+	}
+
+	// Mirror: the same batches fed directly at the same boundaries.
+	mirror := streamagg.NewPipeline()
+	if err := AddSpecs(mirror, recoverySpecs); err != nil {
+		t.Fatal(err)
+	}
+	for b := 0; b < applied; b++ {
+		if err := mirror.ProcessBatch(crashBatch(b)); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Six verbs against the mirror.
+	for _, key := range []uint64{0, 1, 7, 49, 1000, 59999} {
+		want, err := mirror.Estimate("sketch", key)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := getJSON(t, fmt.Sprintf("%s/v1/sketch/estimate?item=%d", base, key))
+		if int64(got["estimate"].(float64)) != want {
+			t.Fatalf("estimate(%d): server %v, mirror %d", key, got["estimate"], want)
+		}
+	}
+	wantVal, err := mirror.Value("cnt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := getJSON(t, base+"/v1/cnt/value"); int64(got["value"].(float64)) != wantVal {
+		t.Fatalf("value: server %v, mirror %d", got["value"], wantVal)
+	}
+	checkItems := func(verb string, want []streamagg.ItemCount) {
+		t.Helper()
+		got := getJSON(t, base+verb)
+		items := got["items"].([]any)
+		if len(items) != len(want) {
+			t.Fatalf("%s: server returned %d items, mirror %d", verb, len(items), len(want))
+		}
+		for i, raw := range items {
+			ic := raw.(map[string]any)
+			if uint64(ic["item"].(float64)) != want[i].Item || int64(ic["count"].(float64)) != want[i].Count {
+				t.Fatalf("%s[%d]: server %v, mirror %+v", verb, i, ic, want[i])
+			}
+		}
+	}
+	wantHH, err := mirror.HeavyHitters("hot", 0.02)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkItems("/v1/hot/heavyhitters?phi=0.02", wantHH)
+	wantTop, err := mirror.TopK("hot", 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkItems("/v1/hot/topk?k=10", wantTop)
+	wantRange, err := mirror.RangeCount("dist", 0, 49)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := getJSON(t, base+"/v1/dist/rangecount?lo=0&hi=49"); int64(got["count"].(float64)) != wantRange {
+		t.Fatalf("rangecount: server %v, mirror %d", got["count"], wantRange)
+	}
+	wantQ, err := mirror.Quantile("dist", 0.9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := getJSON(t, base+"/v1/dist/quantile?q=0.9"); uint64(got["quantile"].(float64)) != wantQ {
+		t.Fatalf("quantile: server %v, mirror %d", got["quantile"], wantQ)
+	}
+}
+
+// TestPersistStatsEndpoint checks the endpoint's both modes without
+// child processes: 404 when durability is off, live counters when on.
+func TestPersistStatsEndpoint(t *testing.T) {
+	pipe := streamagg.NewPipeline()
+	if err := AddSpecs(pipe, []string{"hot=freq,eps=0.01"}); err != nil {
+		t.Fatal(err)
+	}
+	srv, err := New(pipe)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Shutdown(context.Background())
+	req, _ := http.NewRequest("GET", "/v1/persist/stats", nil)
+	rec := httptest.NewRecorder()
+	srv.Handler().ServeHTTP(rec, req)
+	if rec.Code != http.StatusNotFound {
+		t.Fatalf("without durability: status %d", rec.Code)
+	}
+
+	pipe2 := streamagg.NewPipeline()
+	if err := AddSpecs(pipe2, []string{"hot=freq,eps=0.01"}); err != nil {
+		t.Fatal(err)
+	}
+	srv2, err := New(pipe2, streamagg.WithDataDir(t.TempDir()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv2.Shutdown(context.Background())
+	if _, err := srv2.Ingestor().PutBatch([]uint64{1, 2, 3}); err != nil {
+		t.Fatal(err)
+	}
+	if err := srv2.Ingestor().Flush(); err != nil {
+		t.Fatal(err)
+	}
+	rec = httptest.NewRecorder()
+	srv2.Handler().ServeHTTP(rec, req)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("with durability: status %d: %s", rec.Code, rec.Body.String())
+	}
+	var st map[string]any
+	if err := json.Unmarshal(rec.Body.Bytes(), &st); err != nil {
+		t.Fatal(err)
+	}
+	if st["fsync"] != "always" || st["appended_records"].(float64) < 1 {
+		t.Fatalf("persist stats: %v", st)
+	}
+}

@@ -2,9 +2,11 @@ package server
 
 // Run is the shared serve loop behind cmd/aggserve and the streamtool
 // serve subcommand: build a pipeline from aggregate specs, wrap it in a
-// Server with the given batching knobs, serve until ctx is canceled (or
+// Server with the given batching and durability knobs (recovering from
+// the data directory when one is set), serve until ctx is canceled (or
 // the listener fails), then shut down gracefully — in-flight requests
-// finish and the ingest queue drains into the aggregates.
+// finish, the ingest queue drains into the aggregates, and a durable
+// server writes its shutdown snapshot.
 
 import (
 	"context"
@@ -16,19 +18,54 @@ import (
 // drainTimeout bounds graceful shutdown once ctx is canceled.
 const drainTimeout = 15 * time.Second
 
-// Run blocks until ctx is canceled or serving fails. logf receives
-// progress lines (pass log.Printf); nil silences them.
-func Run(ctx context.Context, addr string, specs []string,
-	batchSize int, maxLatency time.Duration, queueCap int, policy string,
-	logf func(format string, args ...any)) error {
+// RunConfig carries the serving flags shared by both binaries.
+type RunConfig struct {
+	// Addr is the listen address (e.g. ":8080").
+	Addr string
+	// Specs are aggregate specs in the name=kind[,opt=value]... syntax.
+	Specs []string
+
+	// Batching knobs; zero values mean "library default", except
+	// MaxLatency whose unset sentinel is negative (0 is meaningful).
+	BatchSize    int
+	MaxLatency   time.Duration
+	QueueCap     int
+	Backpressure string
+
+	// Durability knobs: an empty DataDir disables persistence; Fsync is
+	// "always", "interval", or "never"; SnapshotEvery is in minibatches.
+	DataDir       string
+	Fsync         string
+	SnapshotEvery int
+
+	// Logf receives progress lines (pass log.Printf); nil silences them.
+	Logf func(format string, args ...any)
+}
+
+// options assembles the Ingestor option list from the flag values.
+func (cfg RunConfig) options() ([]streamagg.Option, error) {
+	opts, err := IngestOptions(cfg.BatchSize, cfg.MaxLatency, cfg.QueueCap, cfg.Backpressure)
+	if err != nil {
+		return nil, err
+	}
+	durOpts, err := DurabilityOptions(cfg.DataDir, cfg.Fsync, cfg.SnapshotEvery)
+	if err != nil {
+		return nil, err
+	}
+	return append(opts, durOpts...), nil
+}
+
+// Run blocks until ctx is canceled or serving fails.
+func Run(ctx context.Context, cfg RunConfig) error {
+	logf := cfg.Logf
 	if logf == nil {
 		logf = func(string, ...any) {}
 	}
 	pipe := streamagg.NewPipeline()
-	if err := AddSpecs(pipe, specs); err != nil {
+	if err := AddSpecs(pipe, cfg.Specs); err != nil {
 		return err
 	}
-	opts, err := IngestOptions(batchSize, maxLatency, queueCap, policy)
+	opts, err := cfg.options()
 	if err != nil {
 		return err
 	}
@@ -36,11 +73,16 @@ func Run(ctx context.Context, addr string, specs []string,
 	if err != nil {
 		return err
 	}
+	if st := srv.Ingestor().Persist(); st != nil {
+		s := st.Stats()
+		logf("recovered from %s: snapshot seq %d + %d replayed batches (stream length %d, fsync=%s)",
+			s.Dir, s.SnapshotSeq, s.ReplayedRecords, pipe.StreamLen(), s.Fsync)
+	}
 
 	errCh := make(chan error, 1)
 	go func() {
-		logf("serving on %s (%d aggregates)", addr, pipe.Len())
-		errCh <- srv.ListenAndServe(addr)
+		logf("serving on %s (%d aggregates)", cfg.Addr, pipe.Len())
+		errCh <- srv.ListenAndServe(cfg.Addr)
 	}()
 	select {
 	case err := <-errCh:

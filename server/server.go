@@ -16,9 +16,16 @@
 //	GET  /v1/{agg}/rangecount ?lo=N&hi=N
 //	GET  /v1/{agg}/quantile   ?q=F
 //	GET  /v1/stats            pipeline + ingest counters
+//	GET  /v1/persist/stats    durability (WAL + snapshot) counters
 //	POST /v1/checkpoint       drained, atomic; returns the envelope (octet-stream)
 //	POST /v1/restore          body = a checkpoint envelope
 //	GET  /healthz
+//
+// With a data directory configured (WithDataDir / -data-dir), the server
+// recovers its state on startup from the persist subsystem's newest
+// snapshot plus WAL replay, and every applied minibatch is logged before
+// it becomes queryable; /v1/persist/stats reports the WAL position,
+// snapshot progress, and fsync counters (404 when durability is off).
 //
 // Unknown aggregate names map to 404, unsupported queries and bad
 // parameters to 400, a full queue under BackpressureReject to 429, and a
@@ -75,6 +82,7 @@ func New(pipe *streamagg.Pipeline, opts ...streamagg.Option) (*Server, error) {
 	s.mux.HandleFunc("POST /v1/checkpoint", s.handleCheckpoint)
 	s.mux.HandleFunc("POST /v1/restore", s.handleRestore)
 	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
+	s.mux.HandleFunc("GET /v1/persist/stats", s.handlePersistStats)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /v1/{agg}/{verb}", s.handleQuery)
 	s.hs = &http.Server{Handler: s.mux, ReadHeaderTimeout: 10 * time.Second}
@@ -287,6 +295,15 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		"aggregates":     aggs,
 		"ingest":         s.ing.Stats(),
 	})
+}
+
+func (s *Server) handlePersistStats(w http.ResponseWriter, r *http.Request) {
+	st := s.ing.Persist()
+	if st == nil {
+		writeError(w, http.StatusNotFound, errors.New("durability not configured (start with -data-dir)"))
+		return
+	}
+	writeJSON(w, http.StatusOK, st.Stats())
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {

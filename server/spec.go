@@ -16,6 +16,7 @@ import (
 	"time"
 
 	streamagg "repro"
+	"repro/persist"
 )
 
 // kindAlias maps flag-friendly kind names (plus the canonical Kind
@@ -160,6 +161,28 @@ func IngestOptions(batchSize int, maxLatency time.Duration, queueCap int, policy
 			return nil, err
 		}
 		opts = append(opts, streamagg.WithBackpressure(p))
+	}
+	return opts, nil
+}
+
+// DurabilityOptions turns the -data-dir/-fsync/-snapshot-every flag
+// values into Ingestor options. An empty dataDir means no durability
+// (fsync and snapshotEvery must then be unset too — NewIngestor rejects
+// them); empty fsync and zero snapshotEvery mean "use the default".
+func DurabilityOptions(dataDir, fsync string, snapshotEvery int) ([]streamagg.Option, error) {
+	var opts []streamagg.Option
+	if dataDir != "" {
+		opts = append(opts, streamagg.WithDataDir(dataDir))
+	}
+	if fsync != "" {
+		p, err := persist.ParseFsync(fsync)
+		if err != nil {
+			return nil, fmt.Errorf("%w: %v", streamagg.ErrBadParam, err)
+		}
+		opts = append(opts, streamagg.WithFsync(p))
+	}
+	if snapshotEvery > 0 {
+		opts = append(opts, streamagg.WithSnapshotEvery(snapshotEvery))
 	}
 	return opts, nil
 }
