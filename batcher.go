@@ -27,10 +27,10 @@ import (
 	"encoding"
 	"errors"
 	"fmt"
-	"math/bits"
 	"sync"
 	"time"
 
+	"repro/metrics"
 	"repro/persist"
 )
 
@@ -132,24 +132,32 @@ type Ingestor struct {
 	mu   sync.Mutex
 	cond *sync.Cond    // broadcast: space freed, batch processed, worker exit
 	wake chan struct{} // worker wakeup, capacity 1
+	now  func() time.Time
 
 	buf     []uint64  // pending items, appended by producers
 	spare   []uint64  // recycled buffer for the next fill
 	firstAt time.Time // arrival of the oldest buffered item
 
-	enqueued  int64
-	processed int64
-	dropped   int64
-	rejected  int64
-	inFlight  int // items in the batch currently inside the sink
+	inFlight int // items in the batch currently inside the sink
 
-	batches       int64
-	sizeFlushes   int64
-	timerFlushes  int64
-	drainFlushes  int64
-	failedBatches int64
+	// Observability: every counter below lives in the metrics registry
+	// (reg), and Stats() reads the same instruments the /metrics
+	// exposition renders — one source of truth, two views. All of them
+	// are atomics, so the flush worker and producers never take an
+	// extra lock to count.
+	reg           *metrics.Registry
+	enqueued      *metrics.Counter
+	processed     *metrics.Counter
+	dropped       *metrics.Counter
+	rejected      *metrics.Counter
+	sizeFlushes   *metrics.Counter
+	timerFlushes  *metrics.Counter
+	drainFlushes  *metrics.Counter
+	failedBatches *metrics.Counter
+	batchItems    *metrics.Histogram // flushed batch sizes (items, log2)
+	flushWait     *metrics.Histogram // oldest item's enqueue→flush wait
+	applySeconds  *metrics.Histogram // sink ProcessBatch latency per batch
 	maxBatch      int
-	hist          [33]int64 // batch-size histogram by bit length
 
 	flushReq int64 // drain until processed reaches this enqueue mark
 	paused   int   // quiesce depth: worker must not start new batches
@@ -172,13 +180,15 @@ type Ingestor struct {
 // ingestorOptions is the Option applicability set for NewIngestor,
 // mirroring kindUsage for the aggregate kinds.
 var ingestorOptions = map[string]bool{
-	"WithBatchSize":     true,
-	"WithMaxLatency":    true,
-	"WithBackpressure":  true,
-	"WithQueueCap":      true,
-	"WithDataDir":       true,
-	"WithFsync":         true,
-	"WithSnapshotEvery": true,
+	"WithBatchSize":       true,
+	"WithMaxLatency":      true,
+	"WithBackpressure":    true,
+	"WithQueueCap":        true,
+	"WithDataDir":         true,
+	"WithFsync":           true,
+	"WithSnapshotEvery":   true,
+	"WithMetricsRegistry": true,
+	"withClock":           true,
 }
 
 // NewIngestor wraps sink in an asynchronous minibatcher. It accepts the
@@ -222,9 +232,14 @@ func NewIngestor(sink BatchProcessor, opts ...Option) (*Ingestor, error) {
 		maxLatency: c.maxLatency,
 		queueCap:   c.queueCap,
 		policy:     c.backpressure,
+		now:        c.clock,
 		wake:       make(chan struct{}, 1),
 		doneCh:     make(chan struct{}),
 	}
+	if in.now == nil {
+		in.now = time.Now
+	}
+	in.initMetrics(c.metricsReg)
 	in.cond = sync.NewCond(&in.mu)
 	if c.dataDir != "" {
 		if err := in.openDurable(c); err != nil {
@@ -240,6 +255,55 @@ func NewIngestor(sink BatchProcessor, opts ...Option) (*Ingestor, error) {
 	return in, nil
 }
 
+// initMetrics wires the Ingestor's counters into a metrics registry —
+// the caller's (WithMetricsRegistry, shared with the serving layer's
+// /metrics endpoint) or a private one. Stats() reads these same
+// instruments, so the JSON stats and the Prometheus exposition cannot
+// diverge. Each Ingestor needs its own registry (or at most one
+// Ingestor per registry): the instruments are shared by name.
+func (in *Ingestor) initMetrics(reg *metrics.Registry) {
+	if reg == nil {
+		reg = metrics.NewRegistry()
+	}
+	in.reg = reg
+	policy := in.policy.String()
+	in.enqueued = reg.Counter("streamagg_ingest_enqueued_items_total",
+		"Items accepted into the ingest queue.")
+	in.processed = reg.Counter("streamagg_ingest_processed_items_total",
+		"Items flushed into the sink.")
+	in.dropped = reg.Counter("streamagg_ingest_dropped_items_total",
+		"Items discarded at a full queue.", "policy", policy)
+	in.rejected = reg.Counter("streamagg_ingest_rejected_items_total",
+		"Items refused with ErrOverloaded at a full queue.", "policy", policy)
+	in.sizeFlushes = reg.Counter("streamagg_ingest_flushes_total",
+		"Flushed minibatches by trigger.", "cause", "size")
+	in.timerFlushes = reg.Counter("streamagg_ingest_flushes_total",
+		"Flushed minibatches by trigger.", "cause", "timer")
+	in.drainFlushes = reg.Counter("streamagg_ingest_flushes_total",
+		"Flushed minibatches by trigger.", "cause", "drain")
+	in.failedBatches = reg.Counter("streamagg_ingest_failed_batches_total",
+		"Minibatches whose WAL append or sink apply returned an error.")
+	in.batchItems = reg.Histogram("streamagg_ingest_batch_items",
+		"Flushed minibatch sizes in items.", metrics.UnitItems)
+	in.flushWait = reg.Histogram("streamagg_ingest_flush_wait_seconds",
+		"Oldest queued item's wait between enqueue and flush.", metrics.UnitSeconds)
+	in.applySeconds = reg.Histogram("streamagg_ingest_apply_seconds",
+		"Sink ProcessBatch latency per flushed minibatch.", metrics.UnitSeconds)
+	reg.GaugeFunc("streamagg_ingest_queue_depth_items",
+		"Items accepted but not yet applied to the sink.", func() float64 {
+			d := in.enqueued.Value() - in.processed.Value()
+			if d < 0 {
+				d = 0
+			}
+			return float64(d)
+		})
+}
+
+// MetricsRegistry returns the registry holding this Ingestor's
+// instruments (and, for a durable Ingestor, the persist subsystem's).
+// The serving layer renders it at GET /metrics.
+func (in *Ingestor) MetricsRegistry() *metrics.Registry { return in.reg }
+
 // openDurable opens the data directory and recovers the sink's state —
 // newest valid snapshot, then WAL tail replay at the original minibatch
 // boundaries — before the worker starts accepting live traffic.
@@ -251,6 +315,7 @@ func (in *Ingestor) openDurable(c config) error {
 	st, err := persist.Open(c.dataDir, persist.Options{
 		Fsync:           c.fsync,
 		SnapshotRecords: int64(c.snapshotEvery),
+		Metrics:         in.reg,
 	})
 	if err != nil {
 		return err
@@ -292,10 +357,10 @@ func (in *Ingestor) signal() {
 // verified they fit.
 func (in *Ingestor) appendLocked(items []uint64) {
 	if len(in.buf) == 0 {
-		in.firstAt = time.Now()
+		in.firstAt = in.now()
 	}
 	in.buf = append(in.buf, items...)
-	in.enqueued += int64(len(items))
+	in.enqueued.Add(int64(len(items)))
 	in.signal()
 }
 
@@ -355,13 +420,13 @@ func (in *Ingestor) PutBatchContext(ctx context.Context, items []uint64) (int, e
 		}
 		switch in.policy {
 		case BackpressureReject:
-			in.rejected += int64(len(items))
+			in.rejected.Add(int64(len(items)))
 			return accepted, ErrOverloaded
 		case BackpressureDrop:
 			if free > 0 {
 				in.appendLocked(items[:free])
 			}
-			in.dropped += int64(len(items) - free)
+			in.dropped.Add(int64(len(items) - free))
 			return accepted + free, nil
 		default: // BackpressureBlock
 			if free > 0 {
@@ -409,14 +474,14 @@ func (in *Ingestor) worker() {
 			<-in.wake
 			continue
 		}
-		var cause *int64
+		var cause *metrics.Counter
 		switch {
 		case n >= in.batchSize:
-			cause = &in.sizeFlushes
-		case in.closed || in.flushReq > in.processed:
-			cause = &in.drainFlushes
+			cause = in.sizeFlushes
+		case in.closed || in.flushReq > in.processed.Value():
+			cause = in.drainFlushes
 		default:
-			wait := in.maxLatency - time.Since(in.firstAt)
+			wait := in.maxLatency - in.now().Sub(in.firstAt)
 			if wait > 0 {
 				in.mu.Unlock()
 				timer.Reset(wait)
@@ -427,32 +492,28 @@ func (in *Ingestor) worker() {
 				}
 				continue
 			}
-			cause = &in.timerFlushes
+			cause = in.timerFlushes
 		}
 		batch := in.buf
 		in.buf = in.spare[:0]
 		in.spare = nil
 		in.inFlight = len(batch)
-		*cause++
+		cause.Inc()
+		in.flushWait.ObserveDuration(in.now().Sub(in.firstAt))
 		in.cond.Broadcast() // space freed: unpark blocked producers
 		in.mu.Unlock()
 
 		err := in.commit(batch)
 
 		in.mu.Lock()
-		in.processed += int64(len(batch))
+		in.processed.Add(int64(len(batch)))
 		in.inFlight = 0
-		in.batches++
 		if len(batch) > in.maxBatch {
 			in.maxBatch = len(batch)
 		}
-		if idx := bits.Len(uint(len(batch))); idx < len(in.hist) {
-			in.hist[idx]++
-		} else {
-			in.hist[len(in.hist)-1]++
-		}
+		in.batchItems.Observe(uint64(len(batch)))
 		if err != nil {
-			in.failedBatches++
+			in.failedBatches.Inc()
 			if in.err == nil {
 				in.err = err
 			}
@@ -474,7 +535,10 @@ func (in *Ingestor) commit(batch []uint64) error {
 			return err
 		}
 	}
-	return in.sink.ProcessBatch(batch)
+	start := in.now()
+	err := in.sink.ProcessBatch(batch)
+	in.applySeconds.ObserveDuration(in.now().Sub(start))
+	return err
 }
 
 // snapshotLoop is the background snapshotter: when the store has
@@ -511,12 +575,12 @@ func (in *Ingestor) snapshotLoop() {
 // drainLocked requests a flush of everything enqueued so far and waits
 // until the worker has pushed it into the sink. Caller holds mu.
 func (in *Ingestor) drainLocked() {
-	target := in.enqueued
+	target := in.enqueued.Value()
 	if target > in.flushReq {
 		in.flushReq = target
 	}
 	in.signal()
-	for in.processed < target && !in.done {
+	for in.processed.Value() < target && !in.done {
 		in.cond.Wait()
 	}
 }
@@ -675,28 +739,26 @@ func (in *Ingestor) Restore(data []byte) error {
 	return nil
 }
 
-// Stats returns a snapshot of the batcher's counters.
+// Stats returns a snapshot of the batcher's counters. It reads the
+// same registry-backed instruments the /metrics exposition renders, so
+// the two views cannot diverge.
 func (in *Ingestor) Stats() IngestorStats {
 	in.mu.Lock()
 	defer in.mu.Unlock()
 	s := IngestorStats{
-		Enqueued:      in.enqueued,
-		Processed:     in.processed,
-		Dropped:       in.dropped,
-		Rejected:      in.rejected,
-		QueueDepth:    in.enqueued - in.processed,
-		Batches:       in.batches,
-		SizeFlushes:   in.sizeFlushes,
-		TimerFlushes:  in.timerFlushes,
-		DrainFlushes:  in.drainFlushes,
-		FailedBatches: in.failedBatches,
+		Enqueued:      in.enqueued.Value(),
+		Processed:     in.processed.Value(),
+		Dropped:       in.dropped.Value(),
+		Rejected:      in.rejected.Value(),
+		SizeFlushes:   in.sizeFlushes.Value(),
+		TimerFlushes:  in.timerFlushes.Value(),
+		DrainFlushes:  in.drainFlushes.Value(),
+		FailedBatches: in.failedBatches.Value(),
 		MaxBatch:      in.maxBatch,
 	}
-	top := len(in.hist)
-	for top > 0 && in.hist[top-1] == 0 {
-		top--
-	}
-	s.BatchSizeLog2 = append([]int64(nil), in.hist[:top]...)
+	s.QueueDepth = s.Enqueued - s.Processed
+	s.Batches = s.SizeFlushes + s.TimerFlushes + s.DrainFlushes
+	s.BatchSizeLog2, _, _ = in.batchItems.Snapshot()
 	return s
 }
 
@@ -704,5 +766,5 @@ func (in *Ingestor) Stats() IngestorStats {
 func (in *Ingestor) QueueDepth() int64 {
 	in.mu.Lock()
 	defer in.mu.Unlock()
-	return in.enqueued - in.processed
+	return in.enqueued.Value() - in.processed.Value()
 }

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"repro/internal/workload"
+	"repro/metrics"
 )
 
 // recordSink records every minibatch the Ingestor flushes.
@@ -140,11 +141,34 @@ func TestIngestorOrderAndDrain(t *testing.T) {
 	}
 }
 
-// With a huge size threshold, the max-latency timer must flush a partial
-// minibatch on its own.
+// fakeClock is the injected time source for the latency-deadline
+// tests: the deadline is crossed by advancing fake time, not by real
+// sleeps, so the assertions hold on arbitrarily loaded CI machines.
+type fakeClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func (c *fakeClock) now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t
+}
+
+func (c *fakeClock) advance(d time.Duration) {
+	c.mu.Lock()
+	c.t = c.t.Add(d)
+	c.mu.Unlock()
+}
+
+// With a huge size threshold, the max-latency deadline must flush a
+// partial minibatch on its own — and must not flush before the
+// deadline. Both directions are deterministic under the fake clock.
 func TestIngestorTimerFlush(t *testing.T) {
+	clk := &fakeClock{t: time.Unix(1000, 0)}
 	sink := &recordSink{}
-	in, err := NewIngestor(sink, WithBatchSize(1<<20), WithMaxLatency(10*time.Millisecond))
+	in, err := NewIngestor(sink,
+		WithBatchSize(1<<20), WithMaxLatency(time.Minute), withClock(clk.now))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -152,10 +176,23 @@ func TestIngestorTimerFlush(t *testing.T) {
 	if _, err := in.PutBatch([]uint64{1, 2, 3, 4, 5}); err != nil {
 		t.Fatal(err)
 	}
+	// Fake time stands still, so no amount of real time may flush: the
+	// worker has a real head start here and must stay parked.
+	time.Sleep(20 * time.Millisecond)
+	if st := in.Stats(); st.Processed != 0 || st.Batches != 0 {
+		t.Fatalf("flushed before the latency deadline: %+v", st)
+	}
+	// Cross the deadline in fake time; the next enqueue wakes the
+	// worker, which re-evaluates the deadline and must flush everything
+	// queued as one timer-caused batch.
+	clk.advance(2 * time.Minute)
+	if err := in.Put(6); err != nil {
+		t.Fatal(err)
+	}
 	deadline := time.Now().Add(5 * time.Second)
 	for {
 		st := in.Stats()
-		if st.TimerFlushes >= 1 && st.Processed == 5 {
+		if st.TimerFlushes >= 1 && st.Processed == 6 {
 			break
 		}
 		if time.Now().After(deadline) {
@@ -163,8 +200,53 @@ func TestIngestorTimerFlush(t *testing.T) {
 		}
 		time.Sleep(time.Millisecond)
 	}
-	if batches, _ := sink.snapshot(); len(batches) != 1 || len(batches[0]) != 5 {
+	if batches, _ := sink.snapshot(); len(batches) != 1 || len(batches[0]) != 6 {
 		t.Fatalf("sink batches: %v", batches)
+	}
+}
+
+// The deadline is measured from the oldest queued item's arrival, not
+// from the latest: items enqueued after the first must not reset it.
+func TestIngestorLatencyDeadlineFromOldestItem(t *testing.T) {
+	clk := &fakeClock{t: time.Unix(1000, 0)}
+	sink := &recordSink{}
+	in, err := NewIngestor(sink,
+		WithBatchSize(1<<20), WithMaxLatency(10*time.Minute), withClock(clk.now))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer in.Close()
+	if err := in.Put(1); err != nil { // oldest item: deadline epoch
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		clk.advance(3 * time.Minute) // crosses the deadline at i >= 3
+		if err := in.Put(uint64(2 + i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		st := in.Stats()
+		// Processed moves only after the sink absorbed the batch, so
+		// the flushed batch is visible in the sink once it is > 0
+		// (TimerFlushes alone bumps at cut time, before the apply).
+		if st.TimerFlushes >= 1 && st.Processed > 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("timer flush never fired: %+v", st)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if batches, _ := sink.snapshot(); len(batches[0]) < 4 {
+		t.Fatalf("first flush missed items queued before the deadline: %v", batches)
+	}
+	// The flush-wait histogram must have recorded a waiting batch in
+	// the registry the Stats view reads from.
+	if _, count, _ := in.MetricsRegistry().Histogram(
+		"streamagg_ingest_flush_wait_seconds", "", metrics.UnitSeconds).Snapshot(); count == 0 {
+		t.Fatal("flush-wait histogram recorded nothing")
 	}
 }
 

@@ -18,6 +18,7 @@ import (
 	"repro/internal/swfreq"
 	"repro/internal/workload"
 	"repro/internal/wsum"
+	"repro/metrics"
 	"repro/persist"
 )
 
@@ -758,4 +759,104 @@ func runE14() {
 	t.print()
 	fmt.Println("shape check: never ~ memory-only (one extra sequential write per batch);")
 	fmt.Println("always pays one fsync per minibatch, amortized across its items")
+}
+
+// ---------------------------------------------------------------- E15 --
+
+// runE15 prices the observability subsystem on the ingest hot path. The
+// instrumentation budget is strict — counters must be atomic, no locks
+// — so the experiment measures three levels: the raw cost of one
+// Counter.Add and one Histogram.Observe (the only operations the hot
+// path executes), the end-to-end instrumented Ingestor throughput in
+// E13's configuration, and the delta against the committed
+// BENCH_E13.json trajectory row (the pre-instrumentation measurement).
+// Target: < 2% throughput overhead vs the E13 baseline.
+func runE15() {
+	const (
+		streamLen = 1 << 21
+		chunk     = 256
+		batchSize = 8192
+	)
+
+	t := newTable("path", "config", "ns/unit", "Munit/s")
+	// Raw instrument cost: the per-item hot-path op is one Counter.Add
+	// per PutBatch (amortized over the chunk) plus a handful of adds
+	// and two histogram observations per flushed minibatch.
+	{
+		const ops = 1 << 26
+		var c metrics.Counter
+		start := time.Now()
+		for i := 0; i < ops; i++ {
+			c.Add(1)
+		}
+		el := time.Since(start)
+		ns := float64(el.Nanoseconds()) / ops
+		t.add("counter Add", "atomic", fmt.Sprintf("%.1f", ns), fmt.Sprintf("%.0f", ops/el.Seconds()/1e6))
+		record("E15", "counter add", map[string]any{"ops": ops}, ns, ops/el.Seconds())
+
+		var h metrics.Histogram
+		start = time.Now()
+		for i := 0; i < ops; i++ {
+			h.Observe(uint64(i))
+		}
+		el = time.Since(start)
+		ns = float64(el.Nanoseconds()) / ops
+		t.add("histogram Observe", "log2 atomic", fmt.Sprintf("%.1f", ns), fmt.Sprintf("%.0f", ops/el.Seconds()/1e6))
+		record("E15", "histogram observe", map[string]any{"ops": ops}, ns, ops/el.Seconds())
+	}
+
+	// End-to-end: E13's request-sized chunks through the (now always
+	// instrumented) Ingestor, same count-min sink and knobs.
+	stream := workload.Zipf(79, streamLen, 1.1, 1<<18)
+	chunks := workload.Batches(stream, chunk)
+	mkSink := func() streamagg.Aggregate {
+		agg, err := streamagg.New(streamagg.KindCountMin,
+			streamagg.WithEpsilon(1e-4), streamagg.WithDelta(1e-3), streamagg.WithSeed(7))
+		if err != nil {
+			panic(err)
+		}
+		return agg
+	}
+	var ingestNs float64
+	{
+		in, err := streamagg.NewIngestor(mkSink(),
+			streamagg.WithBatchSize(batchSize),
+			streamagg.WithMaxLatency(5*time.Millisecond),
+			streamagg.WithQueueCap(4*batchSize+chunk))
+		if err != nil {
+			panic(err)
+		}
+		start := time.Now()
+		for _, c := range chunks {
+			if _, err := in.PutBatch(c); err != nil {
+				panic(err)
+			}
+		}
+		if err := in.Close(); err != nil {
+			panic(err)
+		}
+		sec := time.Since(start).Seconds()
+		ingestNs = sec * 1e9 / streamLen
+		t.add("ingestor (instrumented)", fmt.Sprintf("batch %d", batchSize),
+			fmt.Sprintf("%.1f", ingestNs), fmt.Sprintf("%.1f", streamLen/sec/1e6))
+		record("E15", "ingestor instrumented",
+			map[string]any{"batch": batchSize, "latency": "5ms", "chunk": chunk},
+			ingestNs, streamLen/sec)
+	}
+	t.print()
+
+	// Overhead vs the committed E13 trajectory row, when present (the
+	// BENCH_E13.json at the repo root predates the instrumentation).
+	if base, ok := loadBenchRecord("BENCH_E13.json", "ingestor", "batch", batchSize); ok {
+		pct := (ingestNs - base.NsPerItem) / base.NsPerItem * 100
+		fmt.Printf("instrumentation overhead vs committed E13 (batch %d): %+.1f%% (%.1f -> %.1f ns/item)\n",
+			batchSize, pct, base.NsPerItem, ingestNs)
+		record("E15", "overhead vs E13",
+			map[string]any{"batch": batchSize, "overhead_pct": fmt.Sprintf("%.1f", pct)},
+			ingestNs-base.NsPerItem, 0)
+	} else {
+		fmt.Println("no committed BENCH_E13.json row to compare against")
+	}
+	fmt.Println("shape check: per-item hot-path cost is one atomic add amortized over the")
+	fmt.Println("producer chunk; target < 2% end-to-end overhead vs the E13 baseline")
 }

@@ -13,8 +13,9 @@
 // E1–E10 exercise the internal engines directly; E11 measures the
 // public Pipeline API's concurrent fan-out; E12 the sharded ingestion
 // axis; E13 the serving layer's async minibatcher; E14 the durability
-// subsystem's WAL cost per fsync policy. With -json, the
-// perf-trajectory experiments (E11–E14) also write
+// subsystem's WAL cost per fsync policy; E15 the observability
+// subsystem's instrumentation cost on the ingest hot path. With -json,
+// the perf-trajectory experiments (E11–E15) also write
 // BENCH_<experiment>.json files with machine-readable measurements.
 package main
 
@@ -32,7 +33,7 @@ type experiment struct {
 }
 
 func main() {
-	which := flag.String("experiment", "all", "experiment id (E1..E14) or 'all'")
+	which := flag.String("experiment", "all", "experiment id (E1..E15) or 'all'")
 	flag.BoolVar(&jsonOut, "json", false, "also write BENCH_<experiment>.json measurement files")
 	flag.Parse()
 
@@ -51,6 +52,7 @@ func main() {
 		{"E12", "sharded ingestion: throughput vs shard count (mergeable summaries)", runE12},
 		{"E13", "serving layer: Ingestor throughput vs batch size and max latency", runE13},
 		{"E14", "durability: ingest throughput vs fsync policy (WAL at the flush boundary)", runE14},
+		{"E15", "observability: instrumentation cost on the ingest hot path (vs E13)", runE15},
 	}
 
 	want := strings.ToUpper(*which)

@@ -39,6 +39,35 @@ func record(exp, label string, params map[string]any, nsPerItem, itemsPerSec flo
 	})
 }
 
+// loadBenchRecord reads a committed BENCH_<exp>.json and returns the
+// first record with the given label whose integer param key matches
+// (and, when the record carries one, whose latency is the 5ms default)
+// — the cross-PR baseline E15 compares overhead against.
+func loadBenchRecord(path, label, key string, val int) (benchRecord, bool) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return benchRecord{}, false
+	}
+	var recs []benchRecord
+	if err := json.Unmarshal(data, &recs); err != nil {
+		return benchRecord{}, false
+	}
+	for _, r := range recs {
+		if r.Label != label {
+			continue
+		}
+		f, ok := r.Params[key].(float64)
+		if !ok || int(f) != val {
+			continue
+		}
+		if l, has := r.Params["latency"]; has && l != "5ms" {
+			continue
+		}
+		return r, true
+	}
+	return benchRecord{}, false
+}
+
 // writeJSONReports dumps every recorded experiment to
 // BENCH_<experiment>.json in the working directory.
 func writeJSONReports() {

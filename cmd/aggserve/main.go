@@ -16,7 +16,7 @@
 //	aggserve [-addr :8080] [-agg name=kind,opt=val...]...
 //	         [-batch 8192] [-latency 5ms] [-queue N] [-backpressure block|reject|drop]
 //	         [-data-dir DIR] [-fsync always|interval|never] [-snapshot-every N]
-//	         [-parallelism N]
+//	         [-parallelism N] [-metrics=true|false]
 //
 // Aggregate specs use the same options as the library constructors:
 //
@@ -55,6 +55,7 @@ func main() {
 	fsync := flag.String("fsync", "", "WAL sync policy: always, interval, or never (default always; needs -data-dir)")
 	snapEvery := flag.Int("snapshot-every", 0, "snapshot after N logged minibatches (default 4096; needs -data-dir)")
 	par := flag.Int("parallelism", 0, "worker budget for parallel ingestion (default GOMAXPROCS)")
+	metricsOn := flag.Bool("metrics", true, "serve the Prometheus exposition at GET /metrics")
 	flag.Parse()
 
 	if *par > 0 {
@@ -81,6 +82,7 @@ func main() {
 		DataDir:       *dataDir,
 		Fsync:         *fsync,
 		SnapshotEvery: *snapEvery,
+		NoMetrics:     !*metricsOn,
 		Logf:          log.Printf,
 	})
 	if err != nil {

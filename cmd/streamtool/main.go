@@ -21,9 +21,11 @@
 //	streamtool serve [-addr :8080] [-agg "spec1;spec2"] [-batch 8192]
 //	                 [-latency 5ms] [-queue N] [-backpressure block]
 //	                 [-data-dir DIR] [-fsync always] [-snapshot-every N]
+//	                 [-metrics true|false]
 //	    HTTP ingest/query server over a pipeline of aggregates (the
 //	    server package; see cmd/aggserve for the standalone binary).
-//	    With -data-dir the server is durable and recovers on restart.
+//	    With -data-dir the server is durable and recovers on restart;
+//	    -metrics false disables the GET /metrics exposition.
 //
 //	streamtool inspect <data-dir>
 //	    Print a durability directory's manifest, snapshots, WAL
@@ -142,6 +144,14 @@ func runServe(args []string) {
 		}
 		latency = d
 	}
+	metricsOn := true
+	if s, ok := f["metrics"]; ok {
+		v, err := strconv.ParseBool(s)
+		if err != nil {
+			fail(fmt.Errorf("-metrics %q: %w", s, err))
+		}
+		metricsOn = v
+	}
 	var specs []string
 	for _, spec := range strings.Split(specList, ";") {
 		if spec = strings.TrimSpace(spec); spec != "" {
@@ -160,6 +170,7 @@ func runServe(args []string) {
 		DataDir:       f.str("data-dir", ""),
 		Fsync:         f.str("fsync", ""),
 		SnapshotEvery: int(f.int("snapshot-every", 0)),
+		NoMetrics:     !metricsOn,
 		Logf:          log.Printf,
 	})
 	if err != nil {

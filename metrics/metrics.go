@@ -1,0 +1,342 @@
+// Package metrics is a zero-dependency instrumentation registry for the
+// streamagg serving stack: counters, gauges, and log₂-bucketed
+// histograms that render in the Prometheus text exposition format
+// (version 0.0.4), scrapable at GET /metrics.
+//
+// The design constraints come from the ingest hot path. The paper's
+// serving story amortizes all per-batch overhead across minibatch items,
+// so instrumentation must not reintroduce per-item synchronization:
+// Counter, Gauge, and Histogram updates are single atomic adds with no
+// locks (the registry's mutex is touched only at construction and
+// render time). Histograms bucket by powers of two (internal/hist.Log2)
+// rather than arbitrary boundaries — batch sizes and nanosecond
+// latencies span many orders of magnitude, and the log₂ shape matches
+// the units the paper states its per-minibatch work bounds in.
+//
+// Instruments are created through a Registry and identified by a family
+// name plus an optional fixed label set:
+//
+//	reg := metrics.NewRegistry()
+//	flushes := reg.Counter("ingest_flushes_total", "Flushed minibatches.", "cause", "size")
+//	lat := reg.Histogram("apply_seconds", "Sink apply latency.", metrics.UnitSeconds)
+//	flushes.Inc()
+//	lat.ObserveDuration(time.Since(start))
+//	http.Handle("/metrics", reg.Handler())
+//
+// Requesting the same (name, labels) pair again returns the same
+// instrument, so a subsystem can be wired once and read from anywhere;
+// requesting a name with a conflicting instrument type panics (a wiring
+// bug, not a runtime condition).
+package metrics
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/hist"
+)
+
+// Unit selects how a Histogram's raw uint64 observations are rendered.
+type Unit int
+
+const (
+	// UnitItems renders bucket bounds as plain counts (batch sizes,
+	// bytes): observations are dimensionless integers.
+	UnitItems Unit = iota
+	// UnitSeconds renders bucket bounds and sums as seconds:
+	// observations are nanoseconds (use ObserveDuration).
+	UnitSeconds
+)
+
+// Counter is a monotonically increasing value. All methods are
+// lock-free and safe for concurrent use.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Inc adds 1.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n (n must be >= 0 for the rendered series to stay monotone).
+func (c *Counter) Add(n int64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is a value that can go up and down. All methods are lock-free.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set replaces the value.
+func (g *Gauge) Set(n int64) { g.v.Store(n) }
+
+// Add adds n (negative to decrease).
+func (g *Gauge) Add(n int64) { g.v.Add(n) }
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// Histogram is a log₂-bucketed distribution of uint64 observations.
+// Observe is two atomic adds; no locks.
+type Histogram struct {
+	unit Unit
+	h    hist.Log2
+}
+
+// Observe records one value in the histogram's raw unit (items, bytes,
+// or nanoseconds depending on the Unit it was created with).
+func (h *Histogram) Observe(v uint64) { h.h.Observe(v) }
+
+// ObserveDuration records a duration (for UnitSeconds histograms);
+// negative durations clamp to zero.
+func (h *Histogram) ObserveDuration(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	h.h.Observe(uint64(d.Nanoseconds()))
+}
+
+// Snapshot returns the per-bucket counts (trimmed after the last
+// non-empty bucket; bucket i counts values of bit length i), the total
+// observation count, and the sum in raw units.
+func (h *Histogram) Snapshot() (buckets []int64, count, sum int64) { return h.h.Snapshot() }
+
+// instrument is anything a family can hold and render.
+type instrument interface {
+	write(w *bytes.Buffer, name, labels string)
+}
+
+// family is one metric name: its metadata plus every labeled instrument
+// registered under it.
+type family struct {
+	name string
+	help string
+	typ  string // "counter", "gauge", or "histogram"
+	unit Unit
+
+	order   []string // label-set render order = registration order
+	members map[string]instrument
+}
+
+// Registry holds metric families and renders them. The zero value is
+// not usable; construct with NewRegistry. Registration takes the
+// registry lock; instrument updates never do.
+type Registry struct {
+	mu       sync.Mutex
+	order    []string
+	families map[string]*family
+}
+
+// NewRegistry creates an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{families: make(map[string]*family)}
+}
+
+// labelString renders k/v pairs as a Prometheus label block
+// (`{k="v",...}`), empty for no labels. Pairs are sorted by key so the
+// same set always maps to the same instrument.
+func labelString(pairs []string) string {
+	if len(pairs) == 0 {
+		return ""
+	}
+	if len(pairs)%2 != 0 {
+		panic(fmt.Sprintf("metrics: odd label list %q (want key, value pairs)", pairs))
+	}
+	type kv struct{ k, v string }
+	kvs := make([]kv, 0, len(pairs)/2)
+	for i := 0; i < len(pairs); i += 2 {
+		kvs = append(kvs, kv{pairs[i], pairs[i+1]})
+	}
+	sort.Slice(kvs, func(i, j int) bool { return kvs[i].k < kvs[j].k })
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, p := range kvs {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(p.k)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(p.v))
+		b.WriteString(`"`)
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+func escapeLabel(v string) string {
+	r := strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+	return r.Replace(v)
+}
+
+// get returns the (name, labels) instrument, creating it with mk on
+// first use. It panics if name is already registered as another type —
+// that is a wiring bug, caught at startup.
+func (r *Registry) get(name, help, typ string, unit Unit, labels []string, mk func() instrument) instrument {
+	ls := labelString(labels)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f, ok := r.families[name]
+	if !ok {
+		f = &family{name: name, help: help, typ: typ, unit: unit, members: make(map[string]instrument)}
+		r.families[name] = f
+		r.order = append(r.order, name)
+	} else if f.typ != typ {
+		panic(fmt.Sprintf("metrics: %s registered as %s, requested as %s", name, f.typ, typ))
+	}
+	m, ok := f.members[ls]
+	if !ok {
+		m = mk()
+		f.members[ls] = m
+		f.order = append(f.order, ls)
+	}
+	return m
+}
+
+// Counter returns the counter registered under name with the given
+// label pairs ("key", "value", ...), creating it on first use.
+func (r *Registry) Counter(name, help string, labels ...string) *Counter {
+	return r.get(name, help, "counter", UnitItems, labels, func() instrument { return &Counter{} }).(*Counter)
+}
+
+// Gauge returns the gauge registered under name with the given label
+// pairs, creating it on first use.
+func (r *Registry) Gauge(name, help string, labels ...string) *Gauge {
+	return r.get(name, help, "gauge", UnitItems, labels, func() instrument { return &Gauge{} }).(*Gauge)
+}
+
+// GaugeFunc registers a gauge whose value is computed by fn at render
+// time — for values derived from existing state (queue depth, WAL
+// position) rather than maintained as a separate counter. fn must be
+// safe to call from any goroutine.
+func (r *Registry) GaugeFunc(name, help string, fn func() float64, labels ...string) {
+	r.get(name, help, "gauge", UnitItems, labels, func() instrument { return gaugeFunc(fn) })
+}
+
+// CounterFunc registers a counter whose value is read from fn at render
+// time — for monotone counts already maintained elsewhere (cache
+// hit/miss atomics). fn must be monotone and safe to call from any
+// goroutine.
+func (r *Registry) CounterFunc(name, help string, fn func() int64, labels ...string) {
+	r.get(name, help, "counter", UnitItems, labels, func() instrument { return counterFunc(fn) })
+}
+
+// Histogram returns the log₂ histogram registered under name with the
+// given label pairs, creating it on first use.
+func (r *Registry) Histogram(name, help string, unit Unit, labels ...string) *Histogram {
+	return r.get(name, help, "histogram", unit, labels, func() instrument { return &Histogram{unit: unit} }).(*Histogram)
+}
+
+type gaugeFunc func() float64
+
+type counterFunc func() int64
+
+func (c *Counter) write(w *bytes.Buffer, name, labels string) {
+	fmt.Fprintf(w, "%s%s %d\n", name, labels, c.Value())
+}
+
+func (g *Gauge) write(w *bytes.Buffer, name, labels string) {
+	fmt.Fprintf(w, "%s%s %d\n", name, labels, g.Value())
+}
+
+func (f gaugeFunc) write(w *bytes.Buffer, name, labels string) {
+	fmt.Fprintf(w, "%s%s %g\n", name, labels, f())
+}
+
+func (f counterFunc) write(w *bytes.Buffer, name, labels string) {
+	fmt.Fprintf(w, "%s%s %d\n", name, labels, f())
+}
+
+// write renders the histogram as the standard Prometheus triplet:
+// cumulative _bucket series (le bounds are 2^i−1, the largest value
+// bucket i holds — exact, not approximate, for integer observations),
+// _sum, and _count. Empty buckets inside the occupied range are
+// rendered; the tail beyond the largest observation collapses into
+// +Inf.
+func (h *Histogram) write(w *bytes.Buffer, name, labels string) {
+	buckets, count, sum := h.h.Snapshot()
+	// Splice `le` into the (possibly empty) label block.
+	leLabel := func(bound string) string {
+		if labels == "" {
+			return `{le="` + bound + `"}`
+		}
+		return labels[:len(labels)-1] + `,le="` + bound + `"}`
+	}
+	var cum int64
+	for i, c := range buckets {
+		cum += c
+		bound := hist.Log2UpperBound(i)
+		var bs string
+		if h.unit == UnitSeconds {
+			bs = fmt.Sprintf("%g", float64(bound)/1e9)
+		} else {
+			bs = fmt.Sprintf("%d", bound)
+		}
+		fmt.Fprintf(w, "%s_bucket%s %d\n", name, leLabel(bs), cum)
+	}
+	fmt.Fprintf(w, "%s_bucket%s %d\n", name, leLabel("+Inf"), count)
+	if h.unit == UnitSeconds {
+		fmt.Fprintf(w, "%s_sum%s %g\n", name, labels, float64(sum)/1e9)
+	} else {
+		fmt.Fprintf(w, "%s_sum%s %d\n", name, labels, sum)
+	}
+	fmt.Fprintf(w, "%s_count%s %d\n", name, labels, count)
+}
+
+// WriteText renders every family in registration order in the
+// Prometheus text exposition format.
+func (r *Registry) WriteText(w io.Writer) error {
+	// Snapshot the family tables (name order, label order, instrument
+	// pointers) under the lock: registration may run concurrently with
+	// a scrape. The instruments themselves render after the unlock, so
+	// GaugeFunc/CounterFunc callbacks — which may take subsystem locks
+	// — never run while the registry lock is held.
+	type famSnap struct {
+		name, help, typ string
+		labels          []string
+		members         []instrument
+	}
+	r.mu.Lock()
+	fams := make([]famSnap, 0, len(r.order))
+	for _, name := range r.order {
+		f := r.families[name]
+		fs := famSnap{
+			name:    f.name,
+			help:    f.help,
+			typ:     f.typ,
+			labels:  append([]string(nil), f.order...),
+			members: make([]instrument, len(f.order)),
+		}
+		for i, ls := range f.order {
+			fs.members[i] = f.members[ls]
+		}
+		fams = append(fams, fs)
+	}
+	r.mu.Unlock()
+	var b bytes.Buffer
+	for _, f := range fams {
+		fmt.Fprintf(&b, "# HELP %s %s\n", f.name, strings.ReplaceAll(f.help, "\n", " "))
+		fmt.Fprintf(&b, "# TYPE %s %s\n", f.name, f.typ)
+		for i, ls := range f.labels {
+			f.members[i].write(&b, f.name, ls)
+		}
+	}
+	_, err := w.Write(b.Bytes())
+	return err
+}
+
+// Handler returns an http.Handler serving the registry in the text
+// exposition format, for mounting at GET /metrics.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = r.WriteText(w)
+	})
+}

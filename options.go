@@ -18,6 +18,7 @@ import (
 	"repro/internal/mg"
 	"repro/internal/swfreq"
 	"repro/internal/wsum"
+	"repro/metrics"
 	"repro/persist"
 )
 
@@ -44,6 +45,12 @@ type config struct {
 	dataDir       string
 	fsync         persist.Fsync
 	snapshotEvery int
+
+	// Observability: the registry the Ingestor (and its persist store)
+	// publishes instruments to; nil means a private registry. The clock
+	// is a test seam for the latency-deadline path.
+	metricsReg *metrics.Registry
+	clock      func() time.Time
 
 	set map[string]bool
 }
@@ -249,6 +256,38 @@ func WithSnapshotEvery(n int) Option {
 		}
 		c.snapshotEvery = n
 		c.mark("WithSnapshotEvery")
+		return nil
+	}
+}
+
+// WithMetricsRegistry publishes the Ingestor's observability
+// instruments (enqueue/flush counters, batch-size and latency
+// histograms, queue-depth gauge — plus the persist subsystem's WAL and
+// snapshot instruments when WithDataDir is set) to reg instead of a
+// private registry, so one registry can expose every layer at a single
+// /metrics endpoint. Instruments are identified by name: use at most
+// one Ingestor per registry. Ingestor only.
+func WithMetricsRegistry(reg *metrics.Registry) Option {
+	return func(c *config) error {
+		if reg == nil {
+			return fmt.Errorf("%w: nil metrics registry", ErrBadParam)
+		}
+		c.metricsReg = reg
+		c.mark("WithMetricsRegistry")
+		return nil
+	}
+}
+
+// withClock injects the Ingestor's time source, so tests can drive the
+// latency-deadline path deterministically instead of racing the real
+// clock. Unexported: production code always uses time.Now.
+func withClock(now func() time.Time) Option {
+	return func(c *config) error {
+		if now == nil {
+			return fmt.Errorf("%w: nil clock", ErrBadParam)
+		}
+		c.clock = now
+		c.mark("withClock")
 		return nil
 	}
 }

@@ -33,6 +33,8 @@ import (
 	"errors"
 	"fmt"
 	"time"
+
+	"repro/metrics"
 )
 
 // ErrCorrupt reports unrecoverable on-disk corruption: a CRC or framing
@@ -110,6 +112,11 @@ type Options struct {
 	// first) has accumulated since the last snapshot.
 	SnapshotBytes   int64
 	SnapshotRecords int64
+	// Metrics is the registry the store publishes its WAL, snapshot,
+	// and recovery instruments to; nil means a private registry. The
+	// Stats() counters read from the same instruments, so the JSON
+	// stats endpoint and /metrics cannot diverge.
+	Metrics *metrics.Registry
 }
 
 // withDefaults fills zero fields and validates the rest.

@@ -24,6 +24,8 @@ import (
 	"strings"
 	"sync"
 	"time"
+
+	"repro/metrics"
 )
 
 const (
@@ -110,17 +112,24 @@ type Store struct {
 	recSnapshot []byte
 	recSnapSeq  uint64
 	replaySegs  []segmentInfo
-	replayed    int64
 
-	appendedRecords   int64
-	appendedBytes     int64
-	fsyncs            int64
-	snapshots         int64
-	snapshotFailures  int64
-	truncatedSegments int64
-	sinceSnapRecords  int64
-	sinceSnapBytes    int64
-	lastErr           string
+	sinceSnapRecords int64
+	sinceSnapBytes   int64
+	lastErr          string
+
+	// Registry-backed instruments (see initMetrics): Stats() reads
+	// these, and /metrics renders them — one source of truth.
+	appendedRecords   *metrics.Counter
+	appendedBytes     *metrics.Counter
+	fsyncs            *metrics.Counter
+	snapshots         *metrics.Counter
+	snapshotFailures  *metrics.Counter
+	truncatedSegments *metrics.Counter
+	replayedRecords   *metrics.Counter
+	appendSeconds     *metrics.Histogram
+	snapshotSeconds   *metrics.Histogram
+	snapshotBytes     *metrics.Gauge
+	recoveredSnap     *metrics.Gauge
 
 	snapC     chan struct{}
 	flushStop chan struct{}
@@ -143,6 +152,7 @@ func Open(dir string, opt Options) (*Store, error) {
 		return nil, err
 	}
 	s := &Store{dir: dir, opt: opt, unlock: unlock, snapC: make(chan struct{}, 1)}
+	s.initMetrics(opt.Metrics)
 	if err := s.load(); err != nil {
 		unlock()
 		return nil, err
@@ -153,6 +163,71 @@ func Open(dir string, opt Options) (*Store, error) {
 		go s.flushLoop()
 	}
 	return s, nil
+}
+
+// initMetrics wires the store's instruments into a registry — the
+// Ingestor's (shared through persist.Options.Metrics so every layer
+// lands on one /metrics endpoint) or a private one.
+func (s *Store) initMetrics(reg *metrics.Registry) {
+	if reg == nil {
+		reg = metrics.NewRegistry()
+	}
+	fsync := s.opt.Fsync.String()
+	s.appendedRecords = reg.Counter("streamagg_wal_appended_records_total",
+		"Minibatches appended to the WAL.")
+	s.appendedBytes = reg.Counter("streamagg_wal_appended_bytes_total",
+		"Framed bytes appended to the WAL.")
+	s.fsyncs = reg.Counter("streamagg_wal_fsyncs_total",
+		"WAL fsync calls.", "fsync", fsync)
+	s.truncatedSegments = reg.Counter("streamagg_wal_truncated_segments_total",
+		"Sealed WAL segments deleted behind a snapshot.")
+	s.appendSeconds = reg.Histogram("streamagg_wal_append_seconds",
+		"WAL append latency per minibatch, including any synchronous fsync.",
+		metrics.UnitSeconds, "fsync", fsync)
+	s.snapshots = reg.Counter("streamagg_snapshots_total",
+		"Snapshots installed.")
+	s.snapshotFailures = reg.Counter("streamagg_snapshot_failures_total",
+		"Snapshot captures or installs that failed.")
+	s.snapshotSeconds = reg.Histogram("streamagg_snapshot_write_seconds",
+		"Snapshot install latency (write + manifest + reclamation).", metrics.UnitSeconds)
+	s.snapshotBytes = reg.Gauge("streamagg_snapshot_bytes",
+		"Size of the most recently installed snapshot payload.")
+	s.replayedRecords = reg.Counter("streamagg_recovery_replayed_records_total",
+		"WAL minibatches replayed during recovery.")
+	s.recoveredSnap = reg.Gauge("streamagg_recovery_snapshot_loaded",
+		"1 if recovery restored from a snapshot, else 0.")
+	reg.GaugeFunc("streamagg_wal_last_seq",
+		"Sequence of the last appended WAL record.", func() float64 {
+			s.mu.Lock()
+			defer s.mu.Unlock()
+			return float64(s.lastSeq)
+		})
+	reg.GaugeFunc("streamagg_snapshot_seq",
+		"WAL sequence covered by the installed snapshot.", func() float64 {
+			s.mu.Lock()
+			defer s.mu.Unlock()
+			return float64(s.snapSeq)
+		})
+	reg.GaugeFunc("streamagg_wal_bytes",
+		"Live WAL bytes across all segments.", func() float64 {
+			s.mu.Lock()
+			defer s.mu.Unlock()
+			total := s.actInfo.bytes
+			for _, seg := range s.sealed {
+				total += seg.bytes
+			}
+			return float64(total)
+		})
+	reg.GaugeFunc("streamagg_wal_segments",
+		"WAL segment count, active included.", func() float64 {
+			s.mu.Lock()
+			defer s.mu.Unlock()
+			n := len(s.sealed)
+			if s.active != nil {
+				n++
+			}
+			return float64(n)
+		})
 }
 
 // load scans the directory: stale temp files, snapshot + manifest, then
@@ -246,6 +321,8 @@ func (s *Store) loadSnapshot(snapNames []string) error {
 func (s *Store) installSnapshot(name string, seq uint64, payload []byte) {
 	s.snapName, s.snapSeq = name, seq
 	s.recSnapshot, s.recSnapSeq = payload, seq
+	s.recoveredSnap.Set(1)
+	s.snapshotBytes.Set(int64(len(payload)))
 }
 
 // loadSegments validates the segment chain, truncating a torn tail on
@@ -454,9 +531,7 @@ func (s *Store) Replay(fn func(items []uint64) error) error {
 			if err := fn(items); err != nil {
 				return fmt.Errorf("persist: replaying record %d: %w", seq, err)
 			}
-			s.mu.Lock()
-			s.replayed++
-			s.mu.Unlock()
+			s.replayedRecords.Inc()
 			return nil
 		})
 		f.Close()
@@ -491,6 +566,7 @@ func (s *Store) Append(items []uint64) (uint64, error) {
 			return 0, err
 		}
 	}
+	start := time.Now()
 	seq := s.lastSeq + 1
 	s.frameBuf = appendRecord(s.frameBuf, seq, items)
 	if _, err := s.active.Write(s.frameBuf); err != nil {
@@ -510,8 +586,8 @@ func (s *Store) Append(items []uint64) (uint64, error) {
 	s.actInfo.lastSeq = seq
 	s.actInfo.records++
 	s.actInfo.bytes += frameLen
-	s.appendedRecords++
-	s.appendedBytes += frameLen
+	s.appendedRecords.Inc()
+	s.appendedBytes.Add(frameLen)
 	s.sinceSnapRecords++
 	s.sinceSnapBytes += frameLen
 	if s.opt.Fsync == FsyncAlways {
@@ -519,10 +595,11 @@ func (s *Store) Append(items []uint64) (uint64, error) {
 			s.lastErr = err.Error()
 			return 0, fmt.Errorf("persist: syncing record %d: %w", seq, err)
 		}
-		s.fsyncs++
+		s.fsyncs.Inc()
 	} else {
 		s.dirty = true
 	}
+	s.appendSeconds.ObserveDuration(time.Since(start))
 	if s.sinceSnapRecords >= s.opt.SnapshotRecords || s.sinceSnapBytes >= s.opt.SnapshotBytes {
 		select {
 		case s.snapC <- struct{}{}:
@@ -560,7 +637,7 @@ func (s *Store) syncLocked() error {
 		return fmt.Errorf("persist: syncing WAL: %w", err)
 	}
 	s.dirty = false
-	s.fsyncs++
+	s.fsyncs.Inc()
 	return nil
 }
 
@@ -602,7 +679,7 @@ func (s *Store) SnapshotTrigger() <-chan struct{} {
 func (s *Store) NoteSnapshotFailure(err error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	s.snapshotFailures++
+	s.snapshotFailures.Inc()
 	s.lastErr = err.Error()
 }
 
@@ -629,6 +706,7 @@ func (s *Store) writeSnapshotLocked(payload []byte, seq uint64) error {
 	if seq > s.lastSeq {
 		return fmt.Errorf("persist: snapshot seq %d beyond WAL position %d", seq, s.lastSeq)
 	}
+	start := time.Now()
 	name, err := writeSnapshotFile(s.dir, seq, payload)
 	if err != nil {
 		return fmt.Errorf("persist: writing snapshot: %w", err)
@@ -638,7 +716,8 @@ func (s *Store) writeSnapshotLocked(payload []byte, seq uint64) error {
 	}
 	prevName := s.snapName
 	s.snapName, s.snapSeq = name, seq
-	s.snapshots++
+	s.snapshots.Inc()
+	s.snapshotBytes.Set(int64(len(payload)))
 	s.sinceSnapRecords, s.sinceSnapBytes = 0, 0
 	if prevName != "" && prevName != name {
 		_ = os.Remove(filepath.Join(s.dir, prevName))
@@ -656,12 +735,13 @@ func (s *Store) writeSnapshotLocked(payload []byte, seq uint64) error {
 	for _, seg := range s.sealed {
 		if seg.lastSeq <= seq {
 			_ = os.Remove(filepath.Join(s.dir, seg.name))
-			s.truncatedSegments++
+			s.truncatedSegments.Inc()
 		} else {
 			kept = append(kept, seg)
 		}
 	}
 	s.sealed = kept
+	s.snapshotSeconds.ObserveDuration(time.Since(start))
 	return nil
 }
 
@@ -676,14 +756,14 @@ func (s *Store) Stats() Stats {
 		SnapshotSeq:        s.snapSeq,
 		Segments:           len(s.sealed),
 		ActiveSegmentBytes: s.actInfo.bytes,
-		AppendedRecords:    s.appendedRecords,
-		AppendedBytes:      s.appendedBytes,
-		Fsyncs:             s.fsyncs,
-		Snapshots:          s.snapshots,
-		SnapshotFailures:   s.snapshotFailures,
-		TruncatedSegments:  s.truncatedSegments,
+		AppendedRecords:    s.appendedRecords.Value(),
+		AppendedBytes:      s.appendedBytes.Value(),
+		Fsyncs:             s.fsyncs.Value(),
+		Snapshots:          s.snapshots.Value(),
+		SnapshotFailures:   s.snapshotFailures.Value(),
+		TruncatedSegments:  s.truncatedSegments.Value(),
 		RecoveredSnapshot:  s.recSnapshot != nil,
-		ReplayedRecords:    s.replayed,
+		ReplayedRecords:    s.replayedRecords.Value(),
 		SinceSnapRecords:   s.sinceSnapRecords,
 		SinceSnapBytes:     s.sinceSnapBytes,
 		LastError:          s.lastErr,

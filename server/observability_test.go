@@ -1,0 +1,307 @@
+package server
+
+// Serving-path correctness and observability gates: every out-of-range
+// query parameter must map to a 400 at the handler (not garbage with a
+// 200 from the aggregate), a poison ingest item must be refused with
+// its own 400 instead of failing the coalesced minibatch it would ride
+// in, and GET /metrics must expose all four layers (HTTP, ingest,
+// aggregates, WAL) with values that cannot diverge from the JSON stats.
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	streamagg "repro"
+	"repro/persist"
+)
+
+func newTestServer(t *testing.T, opts ...streamagg.Option) (*Server, *httptest.Server) {
+	t.Helper()
+	base := []streamagg.Option{
+		streamagg.WithBatchSize(64), streamagg.WithMaxLatency(time.Millisecond),
+	}
+	srv, err := New(testPipeline(t), append(base, opts...)...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		_ = srv.Ingestor().Close()
+	})
+	return srv, ts
+}
+
+// TestServerQueryParamValidation drives every verb's bad-parameter path:
+// out-of-range values are the handler's 400, in-range edge values pass
+// through to the aggregate.
+func TestServerQueryParamValidation(t *testing.T) {
+	_, ts := newTestServer(t)
+	cases := []struct {
+		name string
+		url  string
+		want int
+	}{
+		{"estimate no params", "/v1/hot/estimate", http.StatusBadRequest},
+		{"estimate malformed item", "/v1/hot/estimate?item=abc", http.StatusBadRequest},
+		{"estimate negative item", "/v1/hot/estimate?item=-1", http.StatusBadRequest},
+		{"estimate ok", "/v1/hot/estimate?item=1", http.StatusOK},
+		{"phi zero", "/v1/hot/heavyhitters?phi=0", http.StatusBadRequest},
+		{"phi negative", "/v1/hot/heavyhitters?phi=-0.5", http.StatusBadRequest},
+		{"phi above one", "/v1/hot/heavyhitters?phi=1.5", http.StatusBadRequest},
+		{"phi NaN", "/v1/hot/heavyhitters?phi=NaN", http.StatusBadRequest},
+		{"phi one ok", "/v1/hot/heavyhitters?phi=1", http.StatusOK},
+		{"k negative", "/v1/hot/topk?k=-1", http.StatusBadRequest},
+		{"k malformed", "/v1/hot/topk?k=ten", http.StatusBadRequest},
+		{"k zero ok", "/v1/hot/topk?k=0", http.StatusOK},
+		{"range lo above hi", "/v1/dist/rangecount?lo=5&hi=1", http.StatusBadRequest},
+		{"range lo only", "/v1/dist/rangecount?lo=5", http.StatusBadRequest},
+		{"range malformed lo", "/v1/dist/rangecount?lo=x&hi=9", http.StatusBadRequest},
+		{"range ok", "/v1/dist/rangecount?lo=1&hi=5", http.StatusOK},
+		{"range point ok", "/v1/dist/rangecount?lo=5&hi=5", http.StatusOK},
+		{"q negative", "/v1/dist/quantile?q=-0.1", http.StatusBadRequest},
+		{"q above one", "/v1/dist/quantile?q=1.01", http.StatusBadRequest},
+		{"q NaN", "/v1/dist/quantile?q=NaN", http.StatusBadRequest},
+		{"q zero ok", "/v1/dist/quantile?q=0", http.StatusOK},
+		{"q one ok", "/v1/dist/quantile?q=1", http.StatusOK},
+		{"unsupported verb for kind", "/v1/hot/value", http.StatusBadRequest},
+		{"unknown verb", "/v1/hot/median", http.StatusNotFound},
+		{"unknown aggregate", "/v1/nosuch/estimate?item=1", http.StatusNotFound},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			resp, err := ts.Client().Get(ts.URL + tc.url)
+			if err != nil {
+				t.Fatal(err)
+			}
+			resp.Body.Close()
+			if resp.StatusCode != tc.want {
+				t.Fatalf("GET %s = %d, want %d", tc.url, resp.StatusCode, tc.want)
+			}
+		})
+	}
+}
+
+// TestServerIngestPoisonItem: a value over a bounded aggregate's limit
+// (WindowSum's R) must be rejected at enqueue time with its own 400 —
+// not coalesced into a minibatch that fails wholesale, wedging the sink
+// with a sticky error and discarding innocent co-batched items.
+func TestServerIngestPoisonItem(t *testing.T) {
+	_, ts := newTestServer(t)
+	client := ts.Client()
+
+	// testPipeline's WindowSum bounds values at 2^20.
+	poison, _ := json.Marshal(map[string]any{"items": []uint64{5, 1 << 30, 7}, "sync": true})
+	code, body := post(t, client, ts.URL+"/v1/ingest", "application/json", poison)
+	if code != http.StatusBadRequest {
+		t.Fatalf("poison ingest = %d %s, want 400", code, body)
+	}
+	if !strings.Contains(string(body), "bound") {
+		t.Fatalf("poison rejection does not name the bound: %s", body)
+	}
+
+	// Nothing from the poison batch may have been enqueued, and the
+	// sink must not be wedged: a clean batch still flows end to end.
+	ingestSync(t, client, ts.URL, []uint64{5, 5, 5})
+	var est struct {
+		Estimate int64 `json:"estimate"`
+	}
+	get(t, client, ts.URL+"/v1/hot/estimate?item=5", &est)
+	if est.Estimate != 3 {
+		t.Fatalf("estimate(5) = %d, want 3 (poison batch must not count)", est.Estimate)
+	}
+	get(t, client, ts.URL+"/v1/hot/estimate?item=7", &est)
+	if est.Estimate != 0 {
+		t.Fatalf("estimate(7) = %d, want 0 (co-batched item must not leak in)", est.Estimate)
+	}
+	if code, body := post(t, client, ts.URL+"/v1/flush", "application/json", nil); code != http.StatusOK {
+		t.Fatalf("flush after poison = %d %s (sticky sink error?)", code, body)
+	}
+}
+
+// scrape fetches /metrics and returns the exposition text.
+func scrape(t *testing.T, ts *httptest.Server) string {
+	t.Helper()
+	resp, err := ts.Client().Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /metrics = %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain; version=0.0.4") {
+		t.Fatalf("content type %q", ct)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(body)
+}
+
+// metricValue extracts the value of an exact series line
+// (`name{labels} value` or `name value`).
+func metricValue(t *testing.T, exposition, series string) float64 {
+	t.Helper()
+	for _, line := range strings.Split(exposition, "\n") {
+		if rest, ok := strings.CutPrefix(line, series+" "); ok {
+			v, err := strconv.ParseFloat(strings.TrimSpace(rest), 64)
+			if err != nil {
+				t.Fatalf("series %s: bad value %q", series, rest)
+			}
+			return v
+		}
+	}
+	t.Fatalf("series %s not found in exposition:\n%s", series, exposition)
+	return 0
+}
+
+// TestServerMetricsEndpoint is the /metrics smoke gate: after real
+// traffic on a durable server, the exposition must cover all four
+// layers, and the migrated counters must agree exactly with the JSON
+// stats endpoints that now read from the same registry.
+func TestServerMetricsEndpoint(t *testing.T) {
+	srv, ts := newTestServer(t,
+		streamagg.WithDataDir(t.TempDir()), streamagg.WithFsync(persist.FsyncNever))
+	client := ts.Client()
+
+	ingestSync(t, client, ts.URL, []uint64{1, 2, 3, 2, 1, 2})
+	var est struct{}
+	get(t, client, ts.URL+"/v1/hot/estimate?item=2", &est)
+
+	out := scrape(t, ts)
+	for _, family := range []string{
+		// Ingestor layer.
+		"streamagg_ingest_enqueued_items_total",
+		"streamagg_ingest_processed_items_total",
+		`streamagg_ingest_flushes_total{cause="drain"}`,
+		"streamagg_ingest_batch_items_bucket",
+		"streamagg_ingest_flush_wait_seconds_bucket",
+		"streamagg_ingest_apply_seconds_count",
+		"streamagg_ingest_queue_depth_items",
+		// HTTP layer.
+		`streamagg_http_requests_total{code="2xx",handler="ingest"}`,
+		`streamagg_http_request_seconds_bucket{handler="query_estimate"`,
+		"streamagg_http_in_flight_requests",
+		// Aggregate layer.
+		`streamagg_aggregate_stream_length{aggregate="hot"}`,
+		`streamagg_aggregate_space_words{aggregate="dist"}`,
+		// Persist layer.
+		`streamagg_wal_appended_records_total`,
+		`streamagg_wal_append_seconds_count{fsync="never"}`,
+		"streamagg_wal_last_seq",
+		"streamagg_recovery_snapshot_loaded",
+		"streamagg_snapshot_failures_total",
+	} {
+		if !strings.Contains(out, family) {
+			t.Errorf("exposition missing %s", family)
+		}
+	}
+
+	// Single source of truth: the JSON stats must equal the exposition.
+	var stats struct {
+		Ingest streamagg.IngestorStats `json:"ingest"`
+	}
+	get(t, client, ts.URL+"/v1/stats", &stats)
+	if got := metricValue(t, out, "streamagg_ingest_enqueued_items_total"); int64(got) != stats.Ingest.Enqueued {
+		t.Errorf("exposition enqueued %v != stats %d", got, stats.Ingest.Enqueued)
+	}
+	if got := metricValue(t, out, "streamagg_wal_appended_records_total"); got < 1 {
+		t.Errorf("WAL appended records = %v, want >= 1", got)
+	}
+
+	// The gate: disabled metrics 404 without disturbing anything else.
+	srv.SetMetricsEnabled(false)
+	resp, err := client.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("disabled /metrics = %d, want 404", resp.StatusCode)
+	}
+}
+
+// TestServerRestoreRecomputesBound: /v1/restore rebuilds the
+// aggregates from the envelope, whose WindowSum bound need not match
+// the serving config — the enqueue-time poison check must follow the
+// restored bound, or the wedged-sink bug comes back through restore.
+func TestServerRestoreRecomputesBound(t *testing.T) {
+	_, ts := newTestServer(t) // WindowSum "load" bound: 2^20
+	client := ts.Client()
+
+	// A checkpoint of the same pipeline shape but with a tighter bound.
+	tight := streamagg.NewPipeline()
+	for _, spec := range []struct {
+		name string
+		kind streamagg.Kind
+		opts []streamagg.Option
+	}{
+		{"ones", streamagg.KindBasicCounter, []streamagg.Option{streamagg.WithWindow(1 << 16)}},
+		{"load", streamagg.KindWindowSum, []streamagg.Option{
+			streamagg.WithWindow(1 << 16), streamagg.WithMaxValue(50)}},
+		{"hot", streamagg.KindFreq, nil},
+		{"recent", streamagg.KindSlidingFreq, []streamagg.Option{streamagg.WithWindow(1 << 15)}},
+		{"cm", streamagg.KindCountMin, nil},
+		{"dist", streamagg.KindCountMinRange, []streamagg.Option{streamagg.WithUniverseBits(20)}},
+	} {
+		if _, err := tight.Add(spec.name, spec.kind, spec.opts...); err != nil {
+			t.Fatal(err)
+		}
+	}
+	env, err := tight.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code, body := post(t, client, ts.URL+"/v1/restore", "application/octet-stream", env); code != http.StatusOK {
+		t.Fatalf("restore = %d %s", code, body)
+	}
+
+	// 80 was fine under the serving config's bound (2^20) but exceeds
+	// the restored bound (50): it must be a 400 at enqueue, and the
+	// sink must stay healthy.
+	body, _ := json.Marshal(map[string]any{"items": []uint64{80}, "sync": true})
+	if code, resp := post(t, client, ts.URL+"/v1/ingest", "application/json", body); code != http.StatusBadRequest {
+		t.Fatalf("over-restored-bound ingest = %d %s, want 400", code, resp)
+	}
+	ingestSync(t, client, ts.URL, []uint64{40, 40})
+	if code, resp := post(t, client, ts.URL+"/v1/flush", "application/json", nil); code != http.StatusOK {
+		t.Fatalf("flush after restore = %d %s", code, resp)
+	}
+}
+
+// TestServerShardedCacheMetrics: global-summary queries on a sharded
+// aggregate must move the merge-cache hit/miss counters.
+func TestServerShardedCacheMetrics(t *testing.T) {
+	p := streamagg.NewPipeline()
+	if _, err := p.Add("shard", streamagg.KindFreq,
+		streamagg.WithEpsilon(0.01), streamagg.WithShards(2)); err != nil {
+		t.Fatal(err)
+	}
+	srv, err := New(p, streamagg.WithBatchSize(16), streamagg.WithMaxLatency(time.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	defer srv.Ingestor().Close()
+
+	ingestSync(t, ts.Client(), ts.URL, []uint64{1, 1, 2, 3, 1})
+	var hh struct{}
+	get(t, ts.Client(), ts.URL+"/v1/shard/heavyhitters?phi=0.1", &hh)
+	get(t, ts.Client(), ts.URL+"/v1/shard/heavyhitters?phi=0.1", &hh)
+
+	out := scrape(t, ts)
+	miss := metricValue(t, out, `streamagg_sharded_merge_cache_misses_total{aggregate="shard"}`)
+	hit := metricValue(t, out, `streamagg_sharded_merge_cache_hits_total{aggregate="shard"}`)
+	if miss < 1 || hit < 1 {
+		t.Fatalf("merge cache hits=%v misses=%v, want both >= 1", hit, miss)
+	}
+}

@@ -38,6 +38,10 @@ type RunConfig struct {
 	Fsync         string
 	SnapshotEvery int
 
+	// NoMetrics disables the GET /metrics exposition endpoint (the
+	// zero value serves it; both binaries map -metrics=false here).
+	NoMetrics bool
+
 	// Logf receives progress lines (pass log.Printf); nil silences them.
 	Logf func(format string, args ...any)
 }
@@ -73,6 +77,7 @@ func Run(ctx context.Context, cfg RunConfig) error {
 	if err != nil {
 		return err
 	}
+	srv.SetMetricsEnabled(!cfg.NoMetrics)
 	if st := srv.Ingestor().Persist(); st != nil {
 		s := st.Stats()
 		logf("recovered from %s: snapshot seq %d + %d replayed batches (stream length %d, fsync=%s)",

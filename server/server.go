@@ -39,12 +39,16 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math"
 	"net"
 	"net/http"
 	"strconv"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	streamagg "repro"
+	"repro/metrics"
 )
 
 // Request-body caps: ingest requests are bounded to keep one client from
@@ -63,31 +67,91 @@ type Server struct {
 	mux   *http.ServeMux
 	hs    *http.Server
 	start time.Time
+
+	reg       *metrics.Registry
+	m         *serverMetrics
+	metricsOn atomic.Bool
+
+	// Bounded-ingest validation: the tightest per-value bound among the
+	// pipeline's members (MaxUint64 when none is bounded), and who
+	// imposes it. Ingest requests are checked against it at enqueue
+	// time so one poison value gets its own 400 instead of failing the
+	// whole coalesced minibatch it would be batched into. Restore
+	// rebuilds the aggregates (possibly with a different bound) and
+	// republishes; boundMu spans each handler's validate+enqueue pair
+	// so an item can never be enqueued against a bound that a
+	// concurrent restore has already replaced.
+	bound   atomic.Pointer[ingestBound]
+	boundMu sync.RWMutex
+}
+
+// ingestBound is the published enqueue-time validation limit.
+type ingestBound struct {
+	max uint64
+	agg string
+}
+
+// computeBound scans the pipeline for the tightest bounded-kind limit
+// and publishes it.
+func (s *Server) computeBound() {
+	b := &ingestBound{max: math.MaxUint64}
+	for _, name := range s.pipe.Names() {
+		if agg, ok := s.pipe.Get(name); ok {
+			if ba, ok := agg.(interface{ MaxValue() uint64 }); ok && ba.MaxValue() < b.max {
+				b.max, b.agg = ba.MaxValue(), name
+			}
+		}
+	}
+	s.bound.Store(b)
 }
 
 // New builds a Server over pipe. Options are the Ingestor's batching
-// subset (WithBatchSize, WithMaxLatency, WithQueueCap, WithBackpressure);
-// anything else is rejected with streamagg.ErrBadParam.
+// subset (WithBatchSize, WithMaxLatency, WithQueueCap, WithBackpressure,
+// plus the durability and metrics options); anything else is rejected
+// with streamagg.ErrBadParam. The server's observability registry —
+// shared with the Ingestor and, for a durable server, the persist
+// store — is served at GET /metrics.
 func New(pipe *streamagg.Pipeline, opts ...streamagg.Option) (*Server, error) {
 	if pipe == nil {
 		return nil, fmt.Errorf("%w: nil pipeline", streamagg.ErrBadParam)
 	}
-	ing, err := streamagg.NewIngestor(pipe, opts...)
+	// The server's registry goes first so a caller-supplied
+	// WithMetricsRegistry (applied later) wins; either way the Ingestor
+	// tells us which registry it actually publishes to.
+	ing, err := streamagg.NewIngestor(pipe,
+		append([]streamagg.Option{streamagg.WithMetricsRegistry(metrics.NewRegistry())}, opts...)...)
 	if err != nil {
 		return nil, err
 	}
-	s := &Server{pipe: pipe, ing: ing, mux: http.NewServeMux(), start: time.Now()}
-	s.mux.HandleFunc("POST /v1/ingest", s.handleIngest)
-	s.mux.HandleFunc("POST /v1/flush", s.handleFlush)
-	s.mux.HandleFunc("POST /v1/checkpoint", s.handleCheckpoint)
-	s.mux.HandleFunc("POST /v1/restore", s.handleRestore)
-	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
-	s.mux.HandleFunc("GET /v1/persist/stats", s.handlePersistStats)
-	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
-	s.mux.HandleFunc("GET /v1/{agg}/{verb}", s.handleQuery)
+	s := &Server{
+		pipe:  pipe,
+		ing:   ing,
+		mux:   http.NewServeMux(),
+		start: time.Now(),
+		reg:   ing.MetricsRegistry(),
+	}
+	s.metricsOn.Store(true)
+	s.computeBound()
+	s.m = newServerMetrics(s.reg, pipe, s.start)
+	s.mux.HandleFunc("POST /v1/ingest", s.instrument("ingest", s.handleIngest))
+	s.mux.HandleFunc("POST /v1/flush", s.instrument("flush", s.handleFlush))
+	s.mux.HandleFunc("POST /v1/checkpoint", s.instrument("checkpoint", s.handleCheckpoint))
+	s.mux.HandleFunc("POST /v1/restore", s.instrument("restore", s.handleRestore))
+	s.mux.HandleFunc("GET /v1/stats", s.instrument("stats", s.handleStats))
+	s.mux.HandleFunc("GET /v1/persist/stats", s.instrument("persist_stats", s.handlePersistStats))
+	s.mux.HandleFunc("GET /healthz", s.instrument("healthz", s.handleHealthz))
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.mux.HandleFunc("GET /v1/{agg}/{verb}", s.instrument("query", s.handleQuery))
 	s.hs = &http.Server{Handler: s.mux, ReadHeaderTimeout: 10 * time.Second}
 	return s, nil
 }
+
+// SetMetricsEnabled gates GET /metrics (enabled by default); disabled,
+// the endpoint 404s. The instruments keep updating either way.
+func (s *Server) SetMetricsEnabled(on bool) { s.metricsOn.Store(on) }
+
+// Metrics returns the server's observability registry.
+func (s *Server) Metrics() *metrics.Registry { return s.reg }
 
 // Handler returns the route table, for mounting under httptest or an
 // outer mux.
@@ -200,9 +264,31 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 		}
 		items = merged
 	}
+	// Validate bounded-kind items before they enter the queue: a value
+	// over a member aggregate's bound would otherwise fail the whole
+	// coalesced minibatch downstream — poisoning innocent co-batched
+	// items from other clients and wedging the sink with a sticky
+	// error. Rejected here, the bad request gets its own 400 and
+	// nothing is enqueued. The read lock is held through the enqueue so
+	// a concurrent restore cannot install a tighter bound between the
+	// check and the queue (a parked producer holding it never blocks
+	// the drain that would free it — the flush worker takes no lock).
+	s.boundMu.RLock()
+	if b := s.bound.Load(); b.max < math.MaxUint64 {
+		for i, v := range items {
+			if v > b.max {
+				s.boundMu.RUnlock()
+				writeError(w, http.StatusBadRequest,
+					fmt.Errorf("item[%d]=%d exceeds aggregate %q's value bound %d; batch refused",
+						i, v, b.agg, b.max))
+				return
+			}
+		}
+	}
 	// Context-aware: a client that disconnects while parked on a full
 	// queue (BackpressureBlock) unblocks instead of leaking the handler.
 	accepted, err := s.ing.PutBatchContext(r.Context(), items)
+	s.boundMu.RUnlock()
 	if err != nil {
 		code := http.StatusInternalServerError
 		switch {
@@ -258,7 +344,17 @@ func (s *Server) handleRestore(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
-	if err := s.ing.Restore(body); err != nil {
+	// Restore rebuilds the aggregates from the envelope, whose
+	// parameters (e.g. a WindowSum bound) need not match the serving
+	// config — republish the enqueue-time validation limit. The write
+	// lock excludes in-flight ingest validate+enqueue pairs.
+	s.boundMu.Lock()
+	err := s.ing.Restore(body)
+	if err == nil {
+		s.computeBound()
+	}
+	s.boundMu.Unlock()
+	if err != nil {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
@@ -384,6 +480,12 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 			writeError(w, http.StatusBadRequest, err)
 			return
 		}
+		// NaN fails both comparisons, so it lands here too.
+		if !(phi > 0 && phi <= 1) {
+			writeError(w, http.StatusBadRequest,
+				fmt.Errorf("%w: phi=%v (want in (0, 1])", streamagg.ErrBadParam, phi))
+			return
+		}
 		var items []streamagg.ItemCount
 		items, err = s.pipe.HeavyHitters(name, phi)
 		result = map[string]any{"phi": phi, "items": itemCounts(items)}
@@ -391,6 +493,11 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		var k int
 		if k, err = intParam(r, "k", 10); err != nil {
 			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+		if k < 0 {
+			writeError(w, http.StatusBadRequest,
+				fmt.Errorf("%w: k=%d (want >= 0)", streamagg.ErrBadParam, k))
 			return
 		}
 		var items []streamagg.ItemCount
@@ -406,6 +513,11 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 			writeError(w, http.StatusBadRequest, err)
 			return
 		}
+		if lo > hi {
+			writeError(w, http.StatusBadRequest,
+				fmt.Errorf("%w: empty range lo=%d > hi=%d", streamagg.ErrBadParam, lo, hi))
+			return
+		}
 		var count int64
 		count, err = s.pipe.RangeCount(name, lo, hi)
 		result = map[string]any{"lo": lo, "hi": hi, "count": count}
@@ -413,6 +525,11 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		var q float64
 		if q, err = floatParam(r, "q", 0.5); err != nil {
 			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+		if !(q >= 0 && q <= 1) {
+			writeError(w, http.StatusBadRequest,
+				fmt.Errorf("%w: q=%v (want in [0, 1])", streamagg.ErrBadParam, q))
 			return
 		}
 		var v uint64
@@ -426,7 +543,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		switch {
 		case errors.Is(err, streamagg.ErrNoSuchAggregate):
 			writeError(w, http.StatusNotFound, err)
-		case errors.Is(err, streamagg.ErrUnsupportedQuery):
+		case errors.Is(err, streamagg.ErrUnsupportedQuery), errors.Is(err, streamagg.ErrBadParam):
 			writeError(w, http.StatusBadRequest, err)
 		default:
 			writeError(w, http.StatusInternalServerError, err)

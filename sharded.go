@@ -24,6 +24,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/parallel"
 )
@@ -65,6 +66,12 @@ type Sharded struct {
 	// rebuild (under a read lock).
 	snapMu sync.Mutex
 	snap   Aggregate // nil when stale
+
+	// Merge-cache effectiveness counters, exposed by the serving
+	// layer's /metrics endpoint (MergeCacheStats). Atomics: bumped
+	// under snapMu but read lock-free.
+	snapHits   atomic.Int64
+	snapMisses atomic.Int64
 }
 
 // NewSharded creates a sharded aggregate: shards independent instances
@@ -330,14 +337,23 @@ func (s *Sharded) mergedView() (Aggregate, error) {
 	s.snapMu.Lock()
 	defer s.snapMu.Unlock()
 	if s.snap != nil {
+		s.snapHits.Add(1)
 		return s.snap, nil
 	}
+	s.snapMisses.Add(1)
 	merged, err := s.mergeShards()
 	if err != nil {
 		return nil, err
 	}
 	s.snap = merged
 	return merged, nil
+}
+
+// MergeCacheStats reports how often global-summary queries
+// (HeavyHitters, Quantile, Snapshot) were served from the cached merged
+// view vs. paying the S-way merge.
+func (s *Sharded) MergeCacheStats() (hits, misses int64) {
+	return s.snapHits.Load(), s.snapMisses.Load()
 }
 
 // mergeShards clones shard 0 and folds the rest in with Merge. Callers

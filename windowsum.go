@@ -30,13 +30,27 @@ func NewWindowSum(n int64, maxValue uint64, epsilon float64) (*WindowSum, error)
 func (s *WindowSum) Kind() Kind { return KindWindowSum }
 
 // ProcessBatch ingests a minibatch of values. It returns an error (and
-// ingests nothing) if any value exceeds the configured bound.
+// ingests nothing) if any value exceeds the configured bound. The O(µ)
+// bound scan runs under the read lock, before the write gate is taken:
+// readers keep flowing while a batch is validated, and the write lock
+// is held only for the mutation itself. R is immutable for a given
+// implementation, but a concurrent UnmarshalBinary can swap the
+// implementation between the scan and the write lock — the rare
+// bound-changed case re-validates inside the gate so Advance can never
+// see a value above the live bound.
 func (s *WindowSum) ProcessBatch(values []uint64) error {
+	r := s.MaxValue()
+	for _, v := range values {
+		if v > r {
+			return fmt.Errorf("%w: value %d exceeds bound %d", ErrBadParam, v, r)
+		}
+	}
 	return s.ingestErr(len(values), func() error {
-		r := s.impl.R()
-		for _, v := range values {
-			if v > r {
-				return fmt.Errorf("%w: value %d exceeds bound %d", ErrBadParam, v, r)
+		if live := s.impl.R(); live != r {
+			for _, v := range values {
+				if v > live {
+					return fmt.Errorf("%w: value %d exceeds bound %d", ErrBadParam, v, live)
+				}
 			}
 		}
 		s.impl.Advance(values)
