@@ -83,6 +83,14 @@ type RangeEstimator interface {
 	Quantile(q float64) uint64
 }
 
+// TotalCounter reports the exact total ingested weight m (CountMin,
+// CountMinRange). Unlike the ε-approximate estimates, TotalCount is a
+// tracked counter, so it merges exactly — Pipeline.Value falls back to
+// it for kinds without a window estimate.
+type TotalCounter interface {
+	TotalCount() int64
+}
+
 // Merger is the capability interface for aggregates that can absorb
 // another instance of the same kind — the mergeable-summaries property
 // [ACH+13] that sharded and distributed deployments build on. After
@@ -134,6 +142,10 @@ var (
 	_ Merger = (*CountMin)(nil)
 	_ Merger = (*CountMinRange)(nil)
 	_ Merger = (*CountSketch)(nil)
+	_ Merger = (*Sharded)(nil)
+
+	_ TotalCounter = (*CountMin)(nil)
+	_ TotalCounter = (*CountMinRange)(nil)
 
 	_ Aggregate         = (*Sharded)(nil)
 	_ PointEstimator    = (*Sharded)(nil)

@@ -15,6 +15,10 @@ package streamagg
 // composes these per-aggregate envelopes, lives in pipeline.go.
 
 import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+
 	"repro/internal/bcount"
 	"repro/internal/cms"
 	"repro/internal/countsketch"
@@ -22,6 +26,45 @@ import (
 	"repro/internal/swfreq"
 	"repro/internal/wsum"
 )
+
+// CheckpointKind reports the kind tag of a checkpoint envelope without
+// restoring it — how the federation layer tells a whole-pipeline
+// payload from a single-aggregate one before picking a decoder.
+func CheckpointKind(data []byte) (Kind, error) {
+	var env envelope
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&env); err != nil {
+		return "", fmt.Errorf("streamagg: malformed checkpoint: %w", err)
+	}
+	return Kind(env.Kind), nil
+}
+
+// UnmarshalAggregate rebuilds a single aggregate from its kind-tagged
+// checkpoint envelope, dispatching on the embedded kind. Whole-pipeline
+// envelopes are rejected — use UnmarshalPipeline for those.
+func UnmarshalAggregate(data []byte) (Aggregate, error) {
+	kind, err := CheckpointKind(data)
+	if err != nil {
+		return nil, err
+	}
+	agg, err := zeroAggregate(kind)
+	if err != nil {
+		return nil, err
+	}
+	if err := agg.UnmarshalBinary(data); err != nil {
+		return nil, err
+	}
+	return agg, nil
+}
+
+// UnmarshalPipeline rebuilds a whole pipeline from a checkpoint made by
+// Pipeline.MarshalBinary.
+func UnmarshalPipeline(data []byte) (*Pipeline, error) {
+	p := NewPipeline()
+	if err := p.UnmarshalBinary(data); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
 
 // MarshalBinary checkpoints the counter between minibatches.
 func (c *BasicCounter) MarshalBinary() ([]byte, error) {

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"runtime/debug"
 	"time"
 
 	streamagg "repro"
@@ -859,4 +860,103 @@ func runE15() {
 	}
 	fmt.Println("shape check: per-item hot-path cost is one atomic add amortized over the")
 	fmt.Println("producer chunk; target < 2% end-to-end overhead vs the E13 baseline")
+}
+
+// ---------------------------------------------------------------- E16 --
+
+// runE16 measures federation merge cost against summary size for every
+// mergeable kind. The mergeable-summaries property says a merge touches
+// only the summaries, never the stream, so cost should scale with the
+// summary footprint (O(1/ε) for MG, O(1/ε · log 1/δ) cells for the
+// linear sketches) and be flat in the stream length behind them — the
+// whole point of edge→root fan-in.
+func runE16() {
+	const streamLen = 1 << 19
+
+	type config struct {
+		kind streamagg.Kind
+		eps  float64
+		opts []streamagg.Option
+	}
+	var configs []config
+	for _, eps := range []float64{0.01, 0.003, 0.001} {
+		configs = append(configs,
+			config{streamagg.KindFreq, eps,
+				[]streamagg.Option{streamagg.WithEpsilon(eps)}},
+			config{streamagg.KindCountMin, eps,
+				[]streamagg.Option{streamagg.WithEpsilon(eps), streamagg.WithSeed(7)}},
+			config{streamagg.KindCountMinRange, eps,
+				[]streamagg.Option{streamagg.WithUniverseBits(20),
+					streamagg.WithEpsilon(eps), streamagg.WithSeed(3)}},
+		)
+	}
+	// Count-sketch width is O(1/ε²), not O(1/ε); the same eps ladder
+	// would balloon to ~10⁷ words, so it gets its own scale.
+	for _, eps := range []float64{0.03, 0.01, 0.003} {
+		configs = append(configs, config{streamagg.KindCountSketch, eps,
+			[]streamagg.Option{streamagg.WithEpsilon(eps), streamagg.WithSeed(5)}})
+	}
+
+	streamA := workload.Zipf(161, streamLen, 1.1, 1<<18)
+	streamB := workload.Zipf(162, streamLen, 1.1, 1<<18)
+
+	t := newTable("kind", "eps", "space words", "merge µs", "ns/word")
+	for _, c := range configs {
+		mk := func(stream []uint64) streamagg.Aggregate {
+			agg, err := streamagg.New(c.kind, c.opts...)
+			if err != nil {
+				panic(err)
+			}
+			if err := agg.ProcessBatch(stream); err != nil {
+				panic(err)
+			}
+			return agg
+		}
+		a, b := mk(streamA), mk(streamB)
+		ckpt, err := a.MarshalBinary()
+		if err != nil {
+			panic(err)
+		}
+		// The per-iteration restores churn the heap; keep collector
+		// pauses out of the timed region so the minimum is a clean
+		// merge, not a merge plus a GC cycle.
+		runtime.GC()
+		gcPct := debug.SetGCPercent(400)
+		// Merge is destructive on the receiver, so each iteration
+		// restores a fresh copy from the checkpoint; only the Merge
+		// call itself is on the clock, and the fastest iteration is the
+		// figure of merit (the minimum is the run least disturbed by
+		// the scheduler, so it is stable enough for the -check gate).
+		var merges int
+		var elapsed time.Duration
+		perMerge := time.Duration(1<<62 - 1)
+		for elapsed < 200*time.Millisecond || merges < 5 {
+			dst, err := streamagg.UnmarshalAggregate(ckpt)
+			if err != nil {
+				panic(err)
+			}
+			start := time.Now()
+			if err := dst.(streamagg.Merger).Merge(b); err != nil {
+				panic(err)
+			}
+			d := time.Since(start)
+			elapsed += d
+			merges++
+			if d < perMerge {
+				perMerge = d
+			}
+		}
+		debug.SetGCPercent(gcPct)
+		words := a.SpaceWords()
+		nsPerWord := float64(perMerge.Nanoseconds()) / float64(words)
+		t.add(string(c.kind), fmt.Sprintf("%g", c.eps), words,
+			fmt.Sprintf("%.1f", float64(perMerge.Nanoseconds())/1e3),
+			fmt.Sprintf("%.1f", nsPerWord))
+		record("E16", fmt.Sprintf("%s eps=%g", c.kind, c.eps),
+			map[string]any{"kind": string(c.kind), "eps": c.eps},
+			nsPerWord, 1e9/float64(perMerge.Nanoseconds()))
+	}
+	t.print()
+	fmt.Println("shape check: merge cost tracks the summary footprint (ns/word roughly")
+	fmt.Println("flat per kind as eps shrinks) and never touches the stream behind it")
 }

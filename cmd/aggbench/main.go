@@ -33,9 +33,12 @@ type experiment struct {
 }
 
 func main() {
-	which := flag.String("experiment", "all", "experiment id (E1..E15) or 'all'")
+	which := flag.String("experiment", "all", "experiment id (E1..E16) or 'all'")
 	flag.BoolVar(&jsonOut, "json", false, "also write BENCH_<experiment>.json measurement files")
+	check := flag.Bool("check", false, "compare measurements against committed BENCH_*.json; exit 1 on regression")
+	tolerance := flag.Float64("check-tolerance", 0.15, "fractional items/sec drop tolerated by -check")
 	flag.Parse()
+	checkOn = *check
 
 	exps := []experiment{
 		{"E1", "shared structure vs independent data structures (Fig. 1, §5.4)", runE1},
@@ -53,6 +56,7 @@ func main() {
 		{"E13", "serving layer: Ingestor throughput vs batch size and max latency", runE13},
 		{"E14", "durability: ingest throughput vs fsync policy (WAL at the flush boundary)", runE14},
 		{"E15", "observability: instrumentation cost on the ingest hot path (vs E13)", runE15},
+		{"E16", "federation: merge cost vs summary size per mergeable kind", runE16},
 	}
 
 	want := strings.ToUpper(*which)
@@ -68,7 +72,12 @@ func main() {
 		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *which)
 		os.Exit(2)
 	}
-	writeJSONReports()
+	if jsonOut {
+		writeJSONReports()
+	}
+	if *check && checkRegressions(*tolerance) > 0 {
+		os.Exit(1)
+	}
 }
 
 // table is a tiny fixed-width table printer.

@@ -22,12 +22,14 @@ type benchRecord struct {
 
 var (
 	jsonOut bool
+	checkOn bool
 	records = map[string][]benchRecord{}
 )
 
-// record registers one measurement; a no-op unless -json is set.
+// record registers one measurement; a no-op unless -json or -check is
+// set.
 func record(exp, label string, params map[string]any, nsPerItem, itemsPerSec float64) {
-	if !jsonOut {
+	if !jsonOut && !checkOn {
 		return
 	}
 	records[exp] = append(records[exp], benchRecord{
@@ -66,6 +68,65 @@ func loadBenchRecord(path, label, key string, val int) (benchRecord, bool) {
 		return r, true
 	}
 	return benchRecord{}, false
+}
+
+// benchKey identifies a record across runs: its label plus the params
+// map normalized through a JSON round trip (Go writes map keys sorted,
+// and the round trip flattens int-vs-float64 differences between
+// in-memory and re-read records). Machine-dependent values never belong
+// in params.
+func benchKey(r benchRecord) string {
+	params, err := json.Marshal(r.Params)
+	if err != nil {
+		params = []byte("{}")
+	}
+	var norm any
+	_ = json.Unmarshal(params, &norm)
+	params, _ = json.Marshal(norm)
+	return r.Label + "|" + string(params)
+}
+
+// checkRegressions compares every in-memory record against the
+// committed BENCH_<experiment>.json baseline in the working directory
+// and reports rows whose items/sec dropped by more than tol. Rows
+// missing from the baseline (new measurements) and rows without a
+// throughput (ItemsPerSec 0) are skipped. Returns the regression count.
+func checkRegressions(tol float64) int {
+	regressions := 0
+	for exp, recs := range records {
+		path := fmt.Sprintf("BENCH_%s.json", exp)
+		data, err := os.ReadFile(path)
+		if err != nil {
+			fmt.Printf("perf check %s: no committed baseline (%v), skipping\n", exp, err)
+			continue
+		}
+		var baseline []benchRecord
+		if err := json.Unmarshal(data, &baseline); err != nil {
+			fmt.Printf("perf check %s: unreadable baseline: %v\n", exp, err)
+			continue
+		}
+		base := make(map[string]benchRecord, len(baseline))
+		for _, r := range baseline {
+			base[benchKey(r)] = r
+		}
+		compared := 0
+		for _, r := range recs {
+			b, ok := base[benchKey(r)]
+			if !ok || b.ItemsPerSec <= 0 || r.ItemsPerSec <= 0 {
+				continue
+			}
+			compared++
+			delta := (r.ItemsPerSec - b.ItemsPerSec) / b.ItemsPerSec
+			if delta < -tol {
+				regressions++
+				fmt.Printf("perf check %s REGRESSION %q: %.3g -> %.3g items/s (%+.1f%%, tolerance %.0f%%)\n",
+					exp, r.Label, b.ItemsPerSec, r.ItemsPerSec, delta*100, tol*100)
+			}
+		}
+		fmt.Printf("perf check %s: %d rows compared against %s, %d regressions\n",
+			exp, compared, path, regressions)
+	}
+	return regressions
 }
 
 // writeJSONReports dumps every recorded experiment to

@@ -17,6 +17,14 @@
 //	         [-batch 8192] [-latency 5ms] [-queue N] [-backpressure block|reject|drop]
 //	         [-data-dir DIR] [-fsync always|interval|never] [-snapshot-every N]
 //	         [-parallelism N] [-metrics=true|false]
+//	         [-push-to URL -node-id ID] [-push-every 10s] [-push-mode full|delta]
+//
+// With -push-to the server is a federation edge: it keeps serving local
+// ingest and queries while periodically shipping its summaries to the
+// root's POST /v1/merge endpoint (a bare host:port grows the scheme and
+// path). -node-id must be stable and unique per edge — the root dedups
+// replayed pushes by (node, epoch, seq). Every server is a merge target
+// at /v1/merge, so multi-level trees need no extra flags at the root.
 //
 // Aggregate specs use the same options as the library constructors:
 //
@@ -56,6 +64,10 @@ func main() {
 	snapEvery := flag.Int("snapshot-every", 0, "snapshot after N logged minibatches (default 4096; needs -data-dir)")
 	par := flag.Int("parallelism", 0, "worker budget for parallel ingestion (default GOMAXPROCS)")
 	metricsOn := flag.Bool("metrics", true, "serve the Prometheus exposition at GET /metrics")
+	pushTo := flag.String("push-to", "", "federation root URL to push summaries to (host:port or full /v1/merge URL)")
+	pushEvery := flag.Duration("push-every", 0, "interval between federation pushes (default 10s; needs -push-to)")
+	nodeID := flag.String("node-id", "", "stable unique edge identity for federation dedup (required with -push-to)")
+	pushMode := flag.String("push-mode", "", "federation push mode: full (idempotent, default) or delta (small payloads)")
 	flag.Parse()
 
 	if *par > 0 {
@@ -83,6 +95,10 @@ func main() {
 		Fsync:         *fsync,
 		SnapshotEvery: *snapEvery,
 		NoMetrics:     !*metricsOn,
+		PushTo:        *pushTo,
+		PushEvery:     *pushEvery,
+		NodeID:        *nodeID,
+		PushMode:      *pushMode,
 		Logf:          log.Printf,
 	})
 	if err != nil {

@@ -22,6 +22,7 @@
 //	                 [-latency 5ms] [-queue N] [-backpressure block]
 //	                 [-data-dir DIR] [-fsync always] [-snapshot-every N]
 //	                 [-metrics true|false]
+//	                 [-push-to URL -node-id ID] [-push-every 10s] [-push-mode full|delta]
 //	    HTTP ingest/query server over a pipeline of aggregates (the
 //	    server package; see cmd/aggserve for the standalone binary).
 //	    With -data-dir the server is durable and recovers on restart;
@@ -31,6 +32,14 @@
 //	    Print a durability directory's manifest, snapshots, WAL
 //	    segments (record counts, sequence spans, CRC damage), and the
 //	    replay span a recovery would perform.
+//
+//	streamtool push -to URL -node ID [-every 5s] [-mode full|delta]
+//	                [-agg "spec1;spec2"] [-batch 8192] < tokens
+//	    Federation edge without a server: ingest whitespace-separated
+//	    tokens from stdin into a local pipeline and push its summaries
+//	    to a root aggserve's /v1/merge on an interval (and once more at
+//	    EOF). -node must be stable and unique per edge; the root dedups
+//	    replays by (node, epoch, seq).
 package main
 
 import (
@@ -46,6 +55,7 @@ import (
 	"time"
 
 	streamagg "repro"
+	"repro/federation"
 	"repro/persist"
 	"repro/server"
 )
@@ -66,6 +76,8 @@ func main() {
 		runQuantiles(args)
 	case "serve":
 		runServe(args)
+	case "push":
+		runPush(args)
 	case "inspect":
 		runInspect(args)
 	default:
@@ -82,6 +94,7 @@ subcommands:
   sum        sliding-window sum of non-negative stdin integers
   quantiles  streaming quantiles over stdin integers
   serve      HTTP ingest/query server over a pipeline of aggregates
+  push       ingest stdin tokens and push summaries to a federation root
   inspect    print a durability data directory's manifest, segments, and replay span
 `)
 	os.Exit(2)
@@ -152,6 +165,14 @@ func runServe(args []string) {
 		}
 		metricsOn = v
 	}
+	var pushEvery time.Duration
+	if s, ok := f["push-every"]; ok {
+		d, err := time.ParseDuration(s)
+		if err != nil {
+			fail(fmt.Errorf("-push-every %q: %w", s, err))
+		}
+		pushEvery = d
+	}
 	var specs []string
 	for _, spec := range strings.Split(specList, ";") {
 		if spec = strings.TrimSpace(spec); spec != "" {
@@ -171,11 +192,106 @@ func runServe(args []string) {
 		Fsync:         f.str("fsync", ""),
 		SnapshotEvery: int(f.int("snapshot-every", 0)),
 		NoMetrics:     !metricsOn,
+		PushTo:        f.str("push-to", ""),
+		PushEvery:     pushEvery,
+		NodeID:        f.str("node-id", ""),
+		PushMode:      f.str("push-mode", ""),
 		Logf:          log.Printf,
 	})
 	if err != nil {
 		fail(err)
 	}
+}
+
+// runPush is a serverless federation edge: it ingests stdin tokens into
+// a local pipeline and ships its summaries to a root's /v1/merge — the
+// batch-job counterpart of aggserve's -push-to. Single-threaded, so
+// delta captures reset the pipeline with a plain checkpoint round trip
+// instead of an Ingestor swap.
+func runPush(args []string) {
+	f := parseFlags(args)
+	target := f.str("to", "")
+	node := f.str("node", "")
+	if target == "" || node == "" {
+		fmt.Fprintln(os.Stderr, "usage: streamtool push -to URL -node ID [-every 5s] [-mode full|delta] [-agg \"spec1;spec2\"] [-batch 8192] < tokens")
+		os.Exit(2)
+	}
+	url, err := server.NormalizePushURL(target)
+	if err != nil {
+		fail(err)
+	}
+	mode, err := federation.ParseMode(f.str("mode", "full"))
+	if err != nil {
+		fail(err)
+	}
+	every, err := time.ParseDuration(f.str("every", "5s"))
+	if err != nil {
+		fail(err)
+	}
+	batch := int(f.int("batch", 8192))
+	specList := f.str("agg", "hot=freq,eps=0.001;sketch=count-min,eps=1e-4,seed=7;dist=count-min-range,bits=20")
+	var specs []string
+	for _, spec := range strings.Split(specList, ";") {
+		if spec = strings.TrimSpace(spec); spec != "" {
+			specs = append(specs, spec)
+		}
+	}
+	pipe := streamagg.NewPipeline()
+	if err := server.AddSpecs(pipe, specs); err != nil {
+		fail(err)
+	}
+	pristine, err := pipe.MarshalBinary()
+	if err != nil {
+		fail(err)
+	}
+	pusher, err := federation.NewPusher(federation.PusherConfig{
+		URL:  url,
+		Node: node,
+		Mode: mode,
+		Logf: log.Printf,
+		Source: federation.SourceFunc(func(delta bool) ([]byte, error) {
+			ckpt, err := pipe.MarshalBinary()
+			if err != nil || !delta {
+				return ckpt, err
+			}
+			if err := pipe.UnmarshalBinary(pristine); err != nil {
+				return nil, err
+			}
+			return ckpt, nil
+		}),
+	})
+	if err != nil {
+		fail(err)
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	var total int64
+	pushes := 0
+	last := time.Now()
+	tokens(batch, func(ts []string) {
+		ids := make([]uint64, len(ts))
+		for i, s := range ts {
+			ids[i] = streamagg.HashString(s)
+		}
+		if err := pipe.ProcessBatch(ids); err != nil {
+			fail(err)
+		}
+		total += int64(len(ts))
+		if time.Since(last) >= every {
+			if err := pusher.Push(ctx); err != nil {
+				log.Printf("streamtool: push failed (will retry next interval): %v", err)
+			} else {
+				pushes++
+			}
+			last = time.Now()
+		}
+	})
+	if err := pusher.Final(ctx); err != nil {
+		fail(fmt.Errorf("final push: %w", err))
+	}
+	pushes++
+	fmt.Printf("pushed %d tokens to %s in %d pushes (node %s, mode %s)\n",
+		total, url, pushes, node, mode)
 }
 
 // runInspect prints what recovery would see in a data directory: the

@@ -1,0 +1,344 @@
+package federation
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+
+	"repro/metrics"
+)
+
+// Source supplies the Pusher's payloads. Capture(false) returns the
+// node's complete current state (ModeFull); Capture(true) returns the
+// state accumulated since the previous capture and atomically resets it
+// (ModeDelta) — the serving layer implements the reset with
+// Ingestor.Swap so no items fall between the cut. Captures happen at
+// quiesced minibatch boundaries, so the payload is always a clean
+// checkpoint.
+type Source interface {
+	Capture(delta bool) ([]byte, error)
+}
+
+// SourceFunc adapts a function to the Source interface.
+type SourceFunc func(delta bool) ([]byte, error)
+
+// Capture calls f.
+func (f SourceFunc) Capture(delta bool) ([]byte, error) { return f(delta) }
+
+// Pusher retry/backoff defaults.
+const (
+	DefaultInterval  = 10 * time.Second
+	DefaultRetryBase = 200 * time.Millisecond
+	DefaultRetryMax  = 5 * time.Second
+	defaultAttempts  = 4 // tries per PushNow before deferring to the next tick
+)
+
+// PusherConfig configures a Pusher. URL, Node, and Source are required.
+type PusherConfig struct {
+	// URL is the root's merge endpoint, e.g. "http://root:8080/v1/merge".
+	URL string
+	// Node is this edge's stable identity at the root; pushes from the
+	// same Node dedup by (epoch, seq). Two processes must never share
+	// a Node ID.
+	Node string
+	// Source captures the payloads (see Source).
+	Source Source
+	// Mode selects full-state (default) or delta pushes.
+	Mode Mode
+	// Agg, when non-empty, targets a single named member of the root's
+	// pipeline; the Source must then return a single-aggregate
+	// checkpoint. Only meaningful with ModeFull sources that capture
+	// one aggregate.
+	Agg string
+	// Interval between pushes for Run (default 10s).
+	Interval time.Duration
+	// Epoch tags this process lifetime; zero derives it from the start
+	// time, which keeps (epoch, seq) strictly increasing across edge
+	// restarts without persisting the counter.
+	Epoch uint64
+	// Client overrides http.DefaultClient.
+	Client *http.Client
+	// Registry receives the push-path instruments (nil: private).
+	Registry *metrics.Registry
+	// Logf, when set, receives one line per retry/failure (e.g. log.Printf).
+	Logf func(format string, args ...any)
+	// RetryBase/RetryMax bound the exponential backoff between attempts
+	// within one push (defaults 200ms / 5s).
+	RetryBase, RetryMax time.Duration
+}
+
+// Pusher periodically captures a Source and ships it to a root's
+// /v1/merge endpoint with retry, exponential backoff, and seq tagging.
+// Methods are not safe for concurrent use; Run owns the Pusher until it
+// returns, after which a final Push may flush the remainder.
+type Pusher struct {
+	cfg   PusherConfig
+	epoch uint64
+	seq   uint64
+	sleep func(context.Context, time.Duration) error
+
+	// pending holds a captured-but-unacknowledged delta: the edge state
+	// was already reset, so this payload is the only copy and must be
+	// retried under its seq until the root lands or rejects it.
+	pending    []byte
+	pendingSeq uint64
+
+	sent      *metrics.Counter
+	failed    *metrics.Counter
+	retried   *metrics.Counter
+	dupes     *metrics.Counter
+	pushBytes *metrics.Histogram
+	lastSeq   *metrics.Gauge
+}
+
+// NewPusher validates cfg and builds a Pusher.
+func NewPusher(cfg PusherConfig) (*Pusher, error) {
+	if cfg.URL == "" {
+		return nil, errors.New("federation: pusher needs a target URL")
+	}
+	if cfg.Node == "" || len(cfg.Node) > MaxNodeID {
+		return nil, fmt.Errorf("federation: pusher needs a node ID (1..%d bytes)", MaxNodeID)
+	}
+	if cfg.Source == nil {
+		return nil, errors.New("federation: pusher needs a Source")
+	}
+	if cfg.Mode != ModeFull && cfg.Mode != ModeDelta {
+		return nil, fmt.Errorf("federation: unknown push mode %d", int(cfg.Mode))
+	}
+	if cfg.Interval <= 0 {
+		cfg.Interval = DefaultInterval
+	}
+	if cfg.RetryBase <= 0 {
+		cfg.RetryBase = DefaultRetryBase
+	}
+	if cfg.RetryMax < cfg.RetryBase {
+		cfg.RetryMax = DefaultRetryMax
+	}
+	if cfg.Client == nil {
+		cfg.Client = http.DefaultClient
+	}
+	if cfg.Logf == nil {
+		cfg.Logf = func(string, ...any) {}
+	}
+	reg := cfg.Registry
+	if reg == nil {
+		reg = metrics.NewRegistry()
+	}
+	epoch := cfg.Epoch
+	if epoch == 0 {
+		epoch = uint64(time.Now().UnixNano())
+	}
+	const pushesName = "streamagg_federation_pushes_total"
+	const pushesHelp = "Federation push attempts by outcome."
+	return &Pusher{
+		cfg:   cfg,
+		epoch: epoch,
+		sleep: sleepCtx,
+		sent:  reg.Counter(pushesName, pushesHelp, "result", "sent"),
+		failed: reg.Counter(pushesName, pushesHelp,
+			"result", "failed"),
+		retried: reg.Counter(pushesName, pushesHelp,
+			"result", "retried"),
+		dupes: reg.Counter(pushesName, pushesHelp,
+			"result", "duplicate"),
+		pushBytes: reg.Histogram("streamagg_federation_push_payload_bytes",
+			"Pushed payload sizes in bytes.", metrics.UnitItems),
+		lastSeq: reg.Gauge("streamagg_federation_push_last_seq",
+			"Seq of the last acknowledged push."),
+	}, nil
+}
+
+// Epoch returns the epoch tagging this Pusher's envelopes.
+func (p *Pusher) Epoch() uint64 { return p.epoch }
+
+// Interval returns the effective push interval.
+func (p *Pusher) Interval() time.Duration { return p.cfg.Interval }
+
+// Mode returns the configured push mode.
+func (p *Pusher) Mode() Mode { return p.cfg.Mode }
+
+// sleepCtx sleeps d or returns the context's error early.
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}
+
+// Run pushes on every interval tick until ctx is canceled, then returns
+// ctx's error. Push failures are logged and counted, never fatal — the
+// next tick retries (delta payloads survive in pending).
+func (p *Pusher) Run(ctx context.Context) error {
+	ticker := time.NewTicker(p.cfg.Interval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-ticker.C:
+			if err := p.Push(ctx); err != nil && ctx.Err() == nil {
+				p.cfg.Logf("federation: push to %s failed: %v", p.cfg.URL, err)
+			}
+		}
+	}
+}
+
+// Push captures the source and ships one envelope, retrying transient
+// failures with exponential backoff (a bounded number of attempts; a
+// still-unacknowledged delta carries over to the next Push). In delta
+// mode an empty-handed capture is skipped only by the Source returning
+// an empty payload error — captures themselves are cheap.
+func (p *Pusher) Push(ctx context.Context) error {
+	payload, seq, err := p.nextPayload()
+	if err != nil {
+		p.failed.Inc()
+		return fmt.Errorf("federation: capturing push payload: %w", err)
+	}
+	body, err := EncodeEnvelope(&Envelope{
+		Node:    p.cfg.Node,
+		Epoch:   p.epoch,
+		Seq:     seq,
+		Mode:    p.cfg.Mode,
+		Agg:     p.cfg.Agg,
+		Payload: payload,
+	})
+	if err != nil {
+		p.dropPending()
+		p.failed.Inc()
+		return err
+	}
+	backoff := p.cfg.RetryBase
+	for attempt := 1; ; attempt++ {
+		landed, err := p.send(ctx, body)
+		if err == nil {
+			if landed {
+				p.sent.Inc()
+				p.pushBytes.Observe(uint64(len(payload)))
+			} else {
+				p.dupes.Inc()
+			}
+			p.lastSeq.Set(int64(seq))
+			p.dropPending()
+			return nil
+		}
+		if permanent := new(permanentError); errors.As(err, &permanent) {
+			// The root will never accept this payload; retrying cannot
+			// help, and in delta mode holding it would wedge the stream.
+			p.dropPending()
+			p.failed.Inc()
+			return err
+		}
+		if attempt >= defaultAttempts || ctx.Err() != nil {
+			p.failed.Inc()
+			return err
+		}
+		p.retried.Inc()
+		p.cfg.Logf("federation: push seq=%d attempt %d failed (%v), retrying in %v",
+			seq, attempt, err, backoff)
+		if serr := p.sleep(ctx, backoff); serr != nil {
+			p.failed.Inc()
+			return err
+		}
+		if backoff *= 2; backoff > p.cfg.RetryMax {
+			backoff = p.cfg.RetryMax
+		}
+	}
+}
+
+// Final makes one last push for graceful shutdown. In delta mode a
+// carried-over unacknowledged delta is flushed first, then what
+// accumulated since that capture; full mode pushes the current state
+// once more.
+func (p *Pusher) Final(ctx context.Context) error {
+	hadPending := p.pending != nil
+	if err := p.Push(ctx); err != nil {
+		return err
+	}
+	if p.cfg.Mode == ModeDelta && hadPending {
+		return p.Push(ctx)
+	}
+	return nil
+}
+
+// nextPayload returns what to send and under which seq: a pending
+// unacknowledged delta, or a fresh capture under a new seq. Full-mode
+// captures are always fresh (seq gaps are fine — each payload carries
+// everything).
+func (p *Pusher) nextPayload() ([]byte, uint64, error) {
+	if p.pending != nil {
+		return p.pending, p.pendingSeq, nil
+	}
+	payload, err := p.cfg.Source.Capture(p.cfg.Mode == ModeDelta)
+	if err != nil {
+		return nil, 0, err
+	}
+	p.seq++
+	if p.cfg.Mode == ModeDelta {
+		p.pending, p.pendingSeq = payload, p.seq
+	}
+	return payload, p.seq, nil
+}
+
+func (p *Pusher) dropPending() { p.pending, p.pendingSeq = nil, 0 }
+
+// permanentError marks a response that retrying the same payload cannot
+// fix (400, or 409 incompatible).
+type permanentError struct{ msg string }
+
+func (e *permanentError) Error() string { return e.msg }
+
+// mergeReject is the JSON body the server returns with 4xx on
+// /v1/merge; Reason distinguishes already-landed ("duplicate",
+// "stale") from never-landing ("incompatible").
+type mergeReject struct {
+	Error  string `json:"error"`
+	Reason string `json:"reason"`
+}
+
+// send POSTs one envelope. Returns (true, nil) when the root applied
+// it, (false, nil) when the root had already applied it (duplicate or
+// superseded — the payload's information is at the root either way), a
+// *permanentError when the root permanently rejected it, or a plain
+// error for transient failures worth retrying.
+func (p *Pusher) send(ctx context.Context, body []byte) (bool, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, p.cfg.URL, bytes.NewReader(body))
+	if err != nil {
+		return false, &permanentError{msg: fmt.Sprintf("federation: building request: %v", err)}
+	}
+	req.Header.Set("Content-Type", "application/octet-stream")
+	resp, err := p.cfg.Client.Do(req)
+	if err != nil {
+		return false, err
+	}
+	defer resp.Body.Close()
+	reply, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+	switch {
+	case resp.StatusCode == http.StatusOK:
+		return true, nil
+	case resp.StatusCode == http.StatusConflict:
+		var rej mergeReject
+		if json.Unmarshal(reply, &rej) == nil &&
+			(rej.Reason == "duplicate" || rej.Reason == "stale") {
+			return false, nil
+		}
+		return false, &permanentError{msg: fmt.Sprintf(
+			"federation: root rejected push: %s", strings.TrimSpace(string(reply)))}
+	case resp.StatusCode == http.StatusBadRequest:
+		return false, &permanentError{msg: fmt.Sprintf(
+			"federation: root rejected push: %s", strings.TrimSpace(string(reply)))}
+	default:
+		// 429, 5xx, and anything unexpected: worth retrying.
+		return false, fmt.Errorf("federation: root returned %s: %s",
+			resp.Status, strings.TrimSpace(string(reply)))
+	}
+}

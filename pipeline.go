@@ -186,17 +186,23 @@ func (p *Pipeline) Estimate(name string, item uint64) (int64, error) {
 }
 
 // Value returns the named aggregate's scalar window estimate
-// (BasicCounter, WindowSum).
+// (BasicCounter, WindowSum). For aggregates without a window estimate
+// that track the total ingested weight exactly (CountMin,
+// CountMinRange), it falls back to TotalCount — which is what lets a
+// federated root, built entirely from mergeable kinds, answer the value
+// verb too.
 func (p *Pipeline) Value(name string) (int64, error) {
 	agg, err := p.lookup(name)
 	if err != nil {
 		return 0, err
 	}
-	se, ok := agg.(ScalarEstimator)
-	if !ok {
-		return 0, unsupported(name, agg, "Value")
+	if se, ok := agg.(ScalarEstimator); ok {
+		return se.Estimate(), nil
 	}
-	return se.Estimate(), nil
+	if tc, ok := agg.(TotalCounter); ok {
+		return tc.TotalCount(), nil
+	}
+	return 0, unsupported(name, agg, "Value")
 }
 
 // HeavyHitters returns the named aggregate's items above phi
@@ -253,6 +259,116 @@ func (p *Pipeline) Quantile(name string, q float64) (uint64, error) {
 		return 0, unsupported(name, agg, "Quantile")
 	}
 	return re.Quantile(q), nil
+}
+
+// Merge folds another pipeline into p — the cluster-level mergeable-
+// summaries operation behind the federation subsystem: an edge node
+// ships its pipeline checkpoint, the root absorbs it here. Aggregates
+// are matched by name; every matched pair must agree on kind and the
+// receiver's member must implement Merger (with compatible parameters),
+// so after the merge each matched member summarizes the concatenation
+// of both streams with the bounds documented on Merger. Names present
+// in only one pipeline are left untouched — a root may serve a superset
+// of what its edges push, and vice versa.
+//
+// Merge is atomic: every pair is validated against a clone of the
+// receiver's member first, and p is modified only if all of them
+// succeed. An empty intersection, a kind mismatch, a non-mergeable
+// common kind, or incompatible parameters all return an error wrapping
+// ErrIncompatibleMerge and leave p unchanged. Merging serializes with
+// ProcessBatch and MarshalBinary, so it lands at a clean minibatch
+// boundary; the argument is only read. Concurrent mutual merges
+// (a.Merge(b) while b.Merge(a)) are not supported.
+func (p *Pipeline) Merge(other *Pipeline) error {
+	if other == nil {
+		return fmt.Errorf("%w: nil pipeline", ErrBadParam)
+	}
+	if other == p {
+		return fmt.Errorf("%w: pipeline merged with itself", ErrIncompatibleMerge)
+	}
+	p.batch.Lock()
+	defer p.batch.Unlock()
+	names, aggs := p.snapshot()
+	type pair struct {
+		name     string
+		dst, src Aggregate
+	}
+	var pairs []pair
+	for i, name := range names {
+		src, ok := other.Get(name)
+		if !ok {
+			continue
+		}
+		dst := aggs[i]
+		if dst.Kind() != src.Kind() {
+			return fmt.Errorf("%w: aggregate %q is %s here but %s in the merged pipeline",
+				ErrIncompatibleMerge, name, dst.Kind(), src.Kind())
+		}
+		if _, ok := dst.(Merger); !ok {
+			return fmt.Errorf("%w: aggregate %q (%s) does not support merging",
+				ErrIncompatibleMerge, name, dst.Kind())
+		}
+		pairs = append(pairs, pair{name, dst, src})
+	}
+	if len(pairs) == 0 {
+		return fmt.Errorf("%w: pipelines share no aggregate names", ErrIncompatibleMerge)
+	}
+	// Dry run every pair against a clone of the receiver's member: the
+	// parameter checks inside each kind's Merge are deterministic, so a
+	// clean pass here guarantees the real pass below cannot fail
+	// half-way and leave p partially merged.
+	for _, pr := range pairs {
+		probe, err := cloneAggregate(pr.dst)
+		if err != nil {
+			return fmt.Errorf("streamagg: merging aggregate %q: %w", pr.name, err)
+		}
+		if err := probe.(Merger).Merge(pr.src); err != nil {
+			return fmt.Errorf("streamagg: merging aggregate %q: %w", pr.name, err)
+		}
+	}
+	for _, pr := range pairs {
+		if err := pr.dst.(Merger).Merge(pr.src); err != nil {
+			return fmt.Errorf("streamagg: merging aggregate %q: %w", pr.name, err)
+		}
+	}
+	p.streamLen.Add(other.StreamLen())
+	return nil
+}
+
+// Clone returns a deep copy of the pipeline at the current minibatch
+// boundary: same names, kinds, and state, sharing nothing with p. The
+// federation root builds its merged serving view from one.
+func (p *Pipeline) Clone() (*Pipeline, error) {
+	data, err := p.MarshalBinary()
+	if err != nil {
+		return nil, err
+	}
+	out := NewPipeline()
+	if err := out.UnmarshalBinary(data); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// cloneAggregate deep-copies any aggregate: the mergeable kinds through
+// their cheap typed clones, everything else through a checkpoint round
+// trip.
+func cloneAggregate(agg Aggregate) (Aggregate, error) {
+	if c, ok := cloneMergeable(agg); ok {
+		return c, nil
+	}
+	data, err := agg.MarshalBinary()
+	if err != nil {
+		return nil, err
+	}
+	out, err := zeroAggregate(agg.Kind())
+	if err != nil {
+		return nil, err
+	}
+	if err := out.UnmarshalBinary(data); err != nil {
+		return nil, err
+	}
+	return out, nil
 }
 
 // kindPipeline tags whole-pipeline checkpoints in the shared envelope

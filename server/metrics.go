@@ -24,7 +24,7 @@ var queryVerbs = []string{"estimate", "value", "heavyhitters", "topk", "rangecou
 // all series exist from the first scrape (no lock is ever taken on the
 // request path to create one lazily).
 var instrumentedHandlers = func() []string {
-	hs := []string{"ingest", "flush", "checkpoint", "restore", "stats", "persist_stats", "healthz", "query_other"}
+	hs := []string{"ingest", "flush", "checkpoint", "restore", "merge", "stats", "persist_stats", "healthz", "query_other"}
 	for _, v := range queryVerbs {
 		hs = append(hs, "query_"+v)
 	}

@@ -10,9 +10,13 @@ package server
 
 import (
 	"context"
+	"fmt"
+	"net/url"
+	"strings"
 	"time"
 
 	streamagg "repro"
+	"repro/federation"
 )
 
 // drainTimeout bounds graceful shutdown once ctx is canceled.
@@ -42,6 +46,16 @@ type RunConfig struct {
 	// zero value serves it; both binaries map -metrics=false here).
 	NoMetrics bool
 
+	// Federation push knobs: a non-empty PushTo turns this server into
+	// an edge node that periodically ships its state to a root's
+	// /v1/merge URL. NodeID must be stable and unique per edge
+	// (required with PushTo); PushEvery defaults to 10s; PushMode is
+	// "full" (default) or "delta".
+	PushTo    string
+	PushEvery time.Duration
+	NodeID    string
+	PushMode  string
+
 	// Logf receives progress lines (pass log.Printf); nil silences them.
 	Logf func(format string, args ...any)
 }
@@ -57,6 +71,57 @@ func (cfg RunConfig) options() ([]streamagg.Option, error) {
 		return nil, err
 	}
 	return append(opts, durOpts...), nil
+}
+
+// NormalizePushURL turns a -push-to value into a full merge URL:
+// a bare host:port gets the http scheme and the /v1/merge path, a URL
+// without a path gets /v1/merge appended, and a full URL passes
+// through.
+func NormalizePushURL(raw string) (string, error) {
+	if !strings.Contains(raw, "://") {
+		raw = "http://" + raw
+	}
+	u, err := url.Parse(raw)
+	if err != nil || u.Host == "" {
+		return "", fmt.Errorf("%w: push target %q", streamagg.ErrBadParam, raw)
+	}
+	if u.Path == "" || u.Path == "/" {
+		u.Path = "/v1/merge"
+	}
+	return u.String(), nil
+}
+
+// pusherFor builds the federation Pusher for an edge server, or nil
+// when cfg.PushTo is empty.
+func pusherFor(cfg RunConfig, srv *Server, logf func(string, ...any)) (*federation.Pusher, error) {
+	if cfg.PushTo == "" {
+		return nil, nil
+	}
+	if cfg.NodeID == "" {
+		return nil, fmt.Errorf("%w: -push-to requires -node-id (a stable, unique edge identity)",
+			streamagg.ErrBadParam)
+	}
+	target, err := NormalizePushURL(cfg.PushTo)
+	if err != nil {
+		return nil, err
+	}
+	modeStr := cfg.PushMode
+	if modeStr == "" {
+		modeStr = "full"
+	}
+	mode, err := federation.ParseMode(modeStr)
+	if err != nil {
+		return nil, err
+	}
+	return federation.NewPusher(federation.PusherConfig{
+		URL:      target,
+		Node:     cfg.NodeID,
+		Source:   srv,
+		Mode:     mode,
+		Interval: cfg.PushEvery,
+		Registry: srv.Metrics(),
+		Logf:     logf,
+	})
 }
 
 // Run blocks until ctx is canceled or serving fails.
@@ -83,6 +148,20 @@ func Run(ctx context.Context, cfg RunConfig) error {
 		logf("recovered from %s: snapshot seq %d + %d replayed batches (stream length %d, fsync=%s)",
 			s.Dir, s.SnapshotSeq, s.ReplayedRecords, pipe.StreamLen(), s.Fsync)
 	}
+	pusher, err := pusherFor(cfg, srv, logf)
+	if err != nil {
+		return err
+	}
+	var pushDone chan struct{}
+	if pusher != nil {
+		pushDone = make(chan struct{})
+		go func() {
+			defer close(pushDone)
+			logf("pushing to %s every %v as node %q (mode %s, epoch %d)",
+				cfg.PushTo, pusher.Interval(), cfg.NodeID, pusher.Mode(), pusher.Epoch())
+			_ = pusher.Run(ctx)
+		}()
+	}
 
 	errCh := make(chan error, 1)
 	go func() {
@@ -93,6 +172,24 @@ func Run(ctx context.Context, cfg RunConfig) error {
 	case err := <-errCh:
 		return err
 	case <-ctx.Done():
+		if pusher != nil {
+			// Final push before the ingestor closes: drain what is
+			// queued so the capture includes it, then ship. Items a
+			// client sneaks in between this and the listener shutdown
+			// stay local (and, on a durable edge, are recovered and
+			// pushed by the next process lifetime).
+			<-pushDone
+			finalCtx, cancel := context.WithTimeout(context.Background(), drainTimeout)
+			if err := srv.Ingestor().Flush(); err != nil {
+				logf("pre-push flush: %v", err)
+			}
+			if err := pusher.Final(finalCtx); err != nil {
+				logf("final push failed: %v", err)
+			} else {
+				logf("final push delivered")
+			}
+			cancel()
+		}
 		logf("shutting down: draining ingest queue")
 		shutdownCtx, cancel := context.WithTimeout(context.Background(), drainTimeout)
 		defer cancel()

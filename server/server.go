@@ -48,6 +48,7 @@ import (
 	"time"
 
 	streamagg "repro"
+	"repro/federation"
 	"repro/metrics"
 )
 
@@ -71,6 +72,13 @@ type Server struct {
 	reg       *metrics.Registry
 	m         *serverMetrics
 	metricsOn atomic.Bool
+
+	// Federation: fed folds POST /v1/merge pushes from edge nodes into
+	// the pipeline and serves the merged global view to queries;
+	// pristine is the pipeline's construction-time checkpoint, the
+	// reset target for delta-mode pushes (Capture).
+	fed      *federation.Root
+	pristine []byte
 
 	// Bounded-ingest validation: the tightest per-value bound among the
 	// pipeline's members (MaxUint64 when none is bounded), and who
@@ -115,6 +123,15 @@ func New(pipe *streamagg.Pipeline, opts ...streamagg.Option) (*Server, error) {
 	if pipe == nil {
 		return nil, fmt.Errorf("%w: nil pipeline", streamagg.ErrBadParam)
 	}
+	// Capture the empty-pipeline checkpoint before the Ingestor runs
+	// durable recovery into pipe: this is what a delta-mode Capture
+	// swaps back in, so a delta is always "everything since the last
+	// push", never "everything since the process started minus the
+	// recovered state".
+	pristine, err := pipe.MarshalBinary()
+	if err != nil {
+		return nil, fmt.Errorf("checkpointing pristine pipeline: %w", err)
+	}
 	// The server's registry goes first so a caller-supplied
 	// WithMetricsRegistry (applied later) wins; either way the Ingestor
 	// tells us which registry it actually publishes to.
@@ -124,15 +141,18 @@ func New(pipe *streamagg.Pipeline, opts ...streamagg.Option) (*Server, error) {
 		return nil, err
 	}
 	s := &Server{
-		pipe:  pipe,
-		ing:   ing,
-		mux:   http.NewServeMux(),
-		start: time.Now(),
-		reg:   ing.MetricsRegistry(),
+		pipe:     pipe,
+		ing:      ing,
+		mux:      http.NewServeMux(),
+		start:    time.Now(),
+		reg:      ing.MetricsRegistry(),
+		pristine: pristine,
 	}
 	s.metricsOn.Store(true)
 	s.computeBound()
 	s.m = newServerMetrics(s.reg, pipe, s.start)
+	s.fed = federation.NewRoot(pipe, s.reg)
+	s.mux.HandleFunc("POST /v1/merge", s.instrument("merge", s.handleMerge))
 	s.mux.HandleFunc("POST /v1/ingest", s.instrument("ingest", s.handleIngest))
 	s.mux.HandleFunc("POST /v1/flush", s.instrument("flush", s.handleFlush))
 	s.mux.HandleFunc("POST /v1/checkpoint", s.instrument("checkpoint", s.handleCheckpoint))
@@ -339,6 +359,80 @@ func (s *Server) handleCheckpoint(w http.ResponseWriter, r *http.Request) {
 	_, _ = w.Write(ckpt)
 }
 
+// Federation returns the merge fan-in target behind POST /v1/merge.
+func (s *Server) Federation() *federation.Root { return s.fed }
+
+// Capture implements federation.Source for this server's pipeline:
+// Capture(false) checkpoints the current state at a quiesced minibatch
+// boundary; Capture(true) additionally resets the pipeline to its
+// construction-time (pristine) state in the same quiesced step, so the
+// returned delta exists only in the outbound payload.
+func (s *Server) Capture(delta bool) ([]byte, error) {
+	if delta {
+		// A delta reset rebuilds the aggregates; the value bound is
+		// config-derived and the pristine state shares it, so no
+		// computeBound republish is needed — but hold the write lock so
+		// no ingest validates against a pipeline mid-swap.
+		s.boundMu.Lock()
+		defer s.boundMu.Unlock()
+		return s.ing.Swap(s.pristine)
+	}
+	return s.ing.Checkpoint()
+}
+
+// handleMerge lands one federation push (see the federation package for
+// envelope and dedup semantics). Replies: 200 applied; 409 with a
+// machine-readable "reason" of "duplicate"/"stale" (already landed,
+// safe to drop) or "incompatible" (will never land); 400 for bodies
+// that don't decode.
+func (s *Server) handleMerge(w http.ResponseWriter, r *http.Request) {
+	body, ok := readBody(w, r, maxCheckpointBody)
+	if !ok {
+		return
+	}
+	env, err := federation.DecodeEnvelope(body)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if err := s.fed.Apply(env); err != nil {
+		var stale *federation.StaleError
+		switch {
+		case errors.As(err, &stale):
+			writeJSON(w, http.StatusConflict, map[string]any{
+				"error":  err.Error(),
+				"reason": stale.Reason(),
+				"epoch":  stale.Epoch,
+				"seq":    stale.Seq,
+			})
+		case federation.Incompatible(err):
+			writeJSON(w, http.StatusConflict, map[string]any{
+				"error":  err.Error(),
+				"reason": "incompatible",
+			})
+		case errors.Is(err, federation.ErrBadEnvelope), errors.Is(err, streamagg.ErrBadParam):
+			writeError(w, http.StatusBadRequest, err)
+		default:
+			writeError(w, http.StatusInternalServerError, err)
+		}
+		return
+	}
+	if env.Mode == federation.ModeDelta {
+		// A delta merged into the base outside the WAL'd ingest path;
+		// snapshot so a crash doesn't silently drop an acknowledged
+		// push. Best-effort, like the background snapshotter: on
+		// failure the push is still applied in memory and the store
+		// records the failure.
+		_ = s.ing.ForceSnapshot()
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"applied": true,
+		"node":    env.Node,
+		"epoch":   env.Epoch,
+		"seq":     env.Seq,
+	})
+}
+
 func (s *Server) handleRestore(w http.ResponseWriter, r *http.Request) {
 	body, ok := readBody(w, r, maxCheckpointBody)
 	if !ok {
@@ -352,6 +446,9 @@ func (s *Server) handleRestore(w http.ResponseWriter, r *http.Request) {
 	err := s.ing.Restore(body)
 	if err == nil {
 		s.computeBound()
+		// The restored base may share the old stream length; drop the
+		// cached federation view rather than risk serving it.
+		s.fed.Invalidate()
 	}
 	s.boundMu.Unlock()
 	if err != nil {
@@ -384,13 +481,17 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 			SpaceWords: agg.SpaceWords(),
 		})
 	}
-	writeJSON(w, http.StatusOK, map[string]any{
+	stats := map[string]any{
 		"uptime_seconds": time.Since(s.start).Seconds(),
 		"stream_len":     s.pipe.StreamLen(),
 		"space_words":    s.pipe.SpaceWords(),
 		"aggregates":     aggs,
 		"ingest":         s.ing.Stats(),
-	})
+	}
+	if nodes := s.fed.Nodes(); len(nodes) > 0 {
+		stats["federation"] = map[string]any{"nodes": nodes}
+	}
+	writeJSON(w, http.StatusOK, stats)
 }
 
 func (s *Server) handlePersistStats(w http.ResponseWriter, r *http.Request) {
@@ -446,10 +547,13 @@ func intParam(r *http.Request, name string, def int) (int, error) {
 // handleQuery dispatches the six query verbs through the Pipeline's
 // keyed surface. Queries see the state as of the last flushed minibatch
 // boundary; clients that need read-your-writes POST /v1/flush (or ingest
-// with "sync":true) first.
+// with "sync":true) first. On a federation root the verbs read the
+// merged global view (local pipeline ⊕ every edge's contribution);
+// without pushes that view IS the local pipeline, at zero extra cost.
 func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	name := r.PathValue("agg")
 	verb := r.PathValue("verb")
+	pipe := s.fed.View()
 	var result any
 	var err error
 	switch verb {
@@ -468,11 +572,11 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		var est int64
-		est, err = s.pipe.Estimate(name, item)
+		est, err = pipe.Estimate(name, item)
 		result = map[string]any{"item": item, "estimate": est}
 	case "value":
 		var v int64
-		v, err = s.pipe.Value(name)
+		v, err = pipe.Value(name)
 		result = map[string]any{"value": v}
 	case "heavyhitters":
 		var phi float64
@@ -487,7 +591,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		var items []streamagg.ItemCount
-		items, err = s.pipe.HeavyHitters(name, phi)
+		items, err = pipe.HeavyHitters(name, phi)
 		result = map[string]any{"phi": phi, "items": itemCounts(items)}
 	case "topk":
 		var k int
@@ -501,7 +605,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		var items []streamagg.ItemCount
-		items, err = s.pipe.TopK(name, k)
+		items, err = pipe.TopK(name, k)
 		result = map[string]any{"k": k, "items": itemCounts(items)}
 	case "rangecount":
 		var lo, hi uint64
@@ -519,7 +623,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		var count int64
-		count, err = s.pipe.RangeCount(name, lo, hi)
+		count, err = pipe.RangeCount(name, lo, hi)
 		result = map[string]any{"lo": lo, "hi": hi, "count": count}
 	case "quantile":
 		var q float64
@@ -533,7 +637,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		var v uint64
-		v, err = s.pipe.Quantile(name, q)
+		v, err = pipe.Quantile(name, q)
 		result = map[string]any{"q": q, "quantile": v}
 	default:
 		writeError(w, http.StatusNotFound, fmt.Errorf("unknown query verb %q", verb))

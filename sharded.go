@@ -394,6 +394,77 @@ func (s *Sharded) Snapshot() (Aggregate, error) {
 	return snap, nil
 }
 
+// Merge absorbs another Sharded aggregate shard-by-shard. Both operands
+// must share the inner kind and the shard count: shardIndex is fixed, so
+// equal shard counts mean shard i of both sides holds the same keyspace
+// slice and the per-shard merges preserve the disjoint-keyspace routing
+// that point queries rely on. Mismatched layouts (or a self-merge)
+// return an error wrapping ErrIncompatibleMerge; the receiver is
+// unchanged on any error — the merge runs on clones and is installed
+// only when every shard pair succeeded.
+func (s *Sharded) Merge(other Aggregate) error {
+	o, ok := other.(*Sharded)
+	if !ok {
+		return fmt.Errorf("%w: cannot merge %s into %s",
+			ErrIncompatibleMerge, other.Kind(), KindSharded)
+	}
+	if o == s {
+		return fmt.Errorf("%w: cannot merge an aggregate with itself", ErrIncompatibleMerge)
+	}
+
+	// Snapshot the argument under its own gate first, before taking our
+	// write lock — the same order freq.go uses, so a concurrent
+	// s.Merge(o) / o.ProcessBatch pair cannot deadlock. (Concurrent
+	// mutual merges remain unsupported, as for every Merger.)
+	var (
+		oInner   Kind
+		oShards  []Aggregate
+		oLen     int64
+		cloneErr error
+	)
+	o.read(func() {
+		oInner, oLen = o.inner, o.streamLen
+		oShards = make([]Aggregate, len(o.shards))
+		for i, sh := range o.shards {
+			c, ok := cloneMergeable(sh)
+			if !ok {
+				cloneErr = fmt.Errorf("%w: %s does not support merging", ErrBadParam, o.inner)
+				return
+			}
+			oShards[i] = c
+		}
+	})
+	if cloneErr != nil {
+		return cloneErr
+	}
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if oInner != s.inner {
+		return fmt.Errorf("%w: sharded inner kinds differ (%s vs %s)",
+			ErrIncompatibleMerge, s.inner, oInner)
+	}
+	if len(oShards) != len(s.shards) {
+		return fmt.Errorf("%w: shard counts differ (%d vs %d)",
+			ErrIncompatibleMerge, len(s.shards), len(oShards))
+	}
+	merged := make([]Aggregate, len(s.shards))
+	for i, sh := range s.shards {
+		c, ok := cloneMergeable(sh)
+		if !ok {
+			return fmt.Errorf("%w: %s does not support merging", ErrBadParam, s.inner)
+		}
+		if err := c.(Merger).Merge(oShards[i]); err != nil {
+			return fmt.Errorf("streamagg: merging shard %d: %w", i, err)
+		}
+		merged[i] = c
+	}
+	s.invalidateSnap()
+	s.shards = merged
+	s.streamLen += oLen
+	return nil
+}
+
 // shardedState is the body of a sharded checkpoint: the inner kind plus
 // each shard's own kind-tagged checkpoint, in shard order.
 type shardedState struct {
