@@ -364,10 +364,37 @@ func (in *Ingestor) appendLocked(items []uint64) {
 	in.signal()
 }
 
-// Put enqueues a single update. See PutBatch.
+// Put enqueues a single update without building a batch slice — the
+// high-rate producer path stays allocation-free (the queue buffer is
+// recycled between flushes, so appends only grow it until the working
+// size is reached). Semantics match PutBatch with one item.
 func (in *Ingestor) Put(item uint64) error {
-	_, err := in.PutBatch([]uint64{item})
-	return err
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	for {
+		if in.closed {
+			return ErrClosed
+		}
+		if in.queueCap-len(in.buf)-in.inFlight >= 1 {
+			if len(in.buf) == 0 {
+				in.firstAt = in.now()
+			}
+			in.buf = append(in.buf, item)
+			in.enqueued.Add(1)
+			in.signal()
+			return nil
+		}
+		switch in.policy {
+		case BackpressureReject:
+			in.rejected.Add(1)
+			return ErrOverloaded
+		case BackpressureDrop:
+			in.dropped.Add(1)
+			return nil
+		default: // BackpressureBlock
+			in.cond.Wait()
+		}
+	}
 }
 
 // PutBatch enqueues a batch of updates, coalescing it with whatever else

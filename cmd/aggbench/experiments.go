@@ -11,6 +11,7 @@ import (
 	"repro/internal/baseline"
 	"repro/internal/bcount"
 	"repro/internal/cms"
+	"repro/internal/countsketch"
 	"repro/internal/css"
 	"repro/internal/hist"
 	"repro/internal/mg"
@@ -959,4 +960,140 @@ func runE16() {
 	t.print()
 	fmt.Println("shape check: merge cost tracks the summary footprint (ns/word roughly")
 	fmt.Println("flat per kind as eps shrinks) and never touches the stream behind it")
+}
+
+// ---------------------------------------------------------------- E17 --
+
+// runE17 profiles the steady-state ingest hot path for time and
+// allocations together: ns/item and allocs/item for the sketch batch
+// paths under both hash schemes — the legacy pairwise-hash-per-row
+// addressing vs the derived one-hash-per-item scheme (Kirsch–
+// Mitzenmacher) — and for the serving-path wrappers (Ingestor flush
+// loop, Sharded partition + ingest) whose scratch reuse is required to
+// hold steady-state allocations at zero per item. Allocation counts come
+// from the runtime's Mallocs counter around the timed region, so they
+// include every goroutine the parallel primitives fork; the fixed
+// fork-join bookkeeping is a handful of objects per batch and shows up
+// as allocs/item ≈ 0 at serving batch sizes.
+func runE17() {
+	const (
+		streamLen = 1 << 21
+		batchSize = 8192
+		d         = 7
+		w         = 1 << 15
+	)
+	stream := workload.Zipf(211, streamLen, 1.1, 1<<18)
+	batches := workload.Batches(stream, batchSize)
+
+	measure := func(f func()) (nsPerItem, itemsPerSec, allocsPerItem float64) {
+		runtime.GC()
+		var before, after runtime.MemStats
+		runtime.ReadMemStats(&before)
+		start := time.Now()
+		f()
+		sec := time.Since(start).Seconds()
+		runtime.ReadMemStats(&after)
+		allocs := float64(after.Mallocs - before.Mallocs)
+		return sec * 1e9 / streamLen, streamLen / sec, allocs / streamLen
+	}
+
+	t := newTable("path", "scheme", "ns/item", "Mitem/s", "allocs/item", "speedup")
+	schemeName := map[int]string{0: "legacy pairwise", 1: "derived"}
+
+	addSketch := func(path string, run func(scheme int) func()) {
+		var legacyNs float64
+		for _, scheme := range []int{0, 1} {
+			body := run(scheme)
+			body() // warm the per-instance scratch outside the clock
+			ns, ips, allocs := measure(body)
+			speedup := "-"
+			if scheme == 0 {
+				legacyNs = ns
+			} else if ns > 0 {
+				speedup = fmt.Sprintf("%.2fx", legacyNs/ns)
+			}
+			t.add(path, schemeName[scheme],
+				fmt.Sprintf("%.1f", ns), fmt.Sprintf("%.1f", ips/1e6),
+				fmt.Sprintf("%.4f", allocs), speedup)
+			recordAllocs("E17", fmt.Sprintf("%s %s", path, schemeName[scheme]),
+				map[string]any{"d": d, "w": w, "batch": batchSize},
+				ns, ips, allocs)
+		}
+	}
+
+	addSketch("cms batch", func(scheme int) func() {
+		s := cms.NewWithDimsScheme(d, w, 7, scheme)
+		return func() {
+			for _, b := range batches {
+				s.ProcessBatch(b)
+			}
+		}
+	})
+	addSketch("countsketch batch", func(scheme int) func() {
+		s := countsketch.NewWithDimsScheme(d, w, 7, scheme)
+		return func() {
+			for _, b := range batches {
+				s.ProcessBatch(b)
+			}
+		}
+	})
+
+	{
+		agg, err := streamagg.New(streamagg.KindCountMin,
+			streamagg.WithEpsilon(1e-4), streamagg.WithDelta(1e-3), streamagg.WithSeed(7))
+		if err != nil {
+			panic(err)
+		}
+		in, err := streamagg.NewIngestor(agg,
+			streamagg.WithBatchSize(batchSize), streamagg.WithQueueCap(4*batchSize))
+		if err != nil {
+			panic(err)
+		}
+		run := func() {
+			for _, b := range batches {
+				if _, err := in.PutBatch(b); err != nil {
+					panic(err)
+				}
+			}
+			if err := in.Flush(); err != nil {
+				panic(err)
+			}
+		}
+		run() // warm queue buffers and sketch scratch
+		ns, ips, allocs := measure(run)
+		if err := in.Close(); err != nil {
+			panic(err)
+		}
+		t.add("ingestor steady-state", "derived",
+			fmt.Sprintf("%.1f", ns), fmt.Sprintf("%.1f", ips/1e6),
+			fmt.Sprintf("%.4f", allocs), "-")
+		recordAllocs("E17", "ingestor steady-state",
+			map[string]any{"batch": batchSize}, ns, ips, allocs)
+	}
+
+	{
+		sh, err := streamagg.NewSharded(streamagg.KindCountMin, 8,
+			streamagg.WithEpsilon(1e-4), streamagg.WithDelta(1e-3), streamagg.WithSeed(7))
+		if err != nil {
+			panic(err)
+		}
+		run := func() {
+			for _, b := range batches {
+				if err := sh.ProcessBatch(b); err != nil {
+					panic(err)
+				}
+			}
+		}
+		run() // warm the partition scratch and every shard
+		ns, ips, allocs := measure(run)
+		t.add("sharded ingest", "derived",
+			fmt.Sprintf("%.1f", ns), fmt.Sprintf("%.1f", ips/1e6),
+			fmt.Sprintf("%.4f", allocs), "-")
+		recordAllocs("E17", "sharded ingest",
+			map[string]any{"batch": batchSize, "shards": 8}, ns, ips, allocs)
+	}
+
+	t.print()
+	fmt.Println("shape check: derived rows are >= 2x the legacy scheme on ns/item, and the")
+	fmt.Println("derived/serving rows hold allocs/item at ~0 (scratch reuse, one hash per item)")
 }

@@ -12,12 +12,17 @@ import (
 )
 
 // benchRecord is one measured configuration of one experiment.
+// AllocsPerItem is reported by the allocation-profiling experiments
+// (E17); it is a measurement, not an identity — benchKey deliberately
+// hashes only Label+Params, so machine-to-machine alloc jitter never
+// splits baselines.
 type benchRecord struct {
-	Experiment  string         `json:"experiment"`
-	Label       string         `json:"label"`
-	Params      map[string]any `json:"params,omitempty"`
-	NsPerItem   float64        `json:"ns_per_item"`
-	ItemsPerSec float64        `json:"items_per_sec"`
+	Experiment    string         `json:"experiment"`
+	Label         string         `json:"label"`
+	Params        map[string]any `json:"params,omitempty"`
+	NsPerItem     float64        `json:"ns_per_item"`
+	ItemsPerSec   float64        `json:"items_per_sec"`
+	AllocsPerItem float64        `json:"allocs_per_item,omitempty"`
 }
 
 var (
@@ -38,6 +43,21 @@ func record(exp, label string, params map[string]any, nsPerItem, itemsPerSec flo
 		Params:      params,
 		NsPerItem:   nsPerItem,
 		ItemsPerSec: itemsPerSec,
+	})
+}
+
+// recordAllocs is record plus an allocations-per-item measurement.
+func recordAllocs(exp, label string, params map[string]any, nsPerItem, itemsPerSec, allocsPerItem float64) {
+	if !jsonOut && !checkOn {
+		return
+	}
+	records[exp] = append(records[exp], benchRecord{
+		Experiment:    exp,
+		Label:         label,
+		Params:        params,
+		NsPerItem:     nsPerItem,
+		ItemsPerSec:   itemsPerSec,
+		AllocsPerItem: allocsPerItem,
 	})
 }
 

@@ -1,15 +1,24 @@
 // Package cms implements the count-min sketch [CM05] with the paper's
 // parallel minibatch ingestion (Section 6, Theorem 6.1). The sketch is a
 // d×w counter array (d = ⌈ln(1/δ)⌉ rows, w = ⌈e/ε⌉ columns) with one
-// pairwise-independent hash per row. A point query returns the minimum of
-// the item's d cells and satisfies f_e <= Query(e) <= f_e + εm with
-// probability at least 1-δ.
+// hash per row. A point query returns the minimum of the item's d cells
+// and satisfies f_e <= Query(e) <= f_e + εm with probability at least
+// 1-δ.
 //
-// Minibatch ingestion first builds a histogram (Theorem 2.3), then — per
-// row, in parallel — groups the (column, freq) pairs by column with the
-// parallel integer sort so every cell is written by exactly one summed
-// update: the CRCW-combining simulation the paper describes. Cost:
-// O(d·max(µ, w)) work and polylog depth.
+// Row addressing comes in two schemes. New sketches use SchemeDerived:
+// one 64-bit base hash per item, with row i's column derived as
+// (g1 + i·g2) mod w (Kirsch–Mitzenmacher [KM08]), so ingesting an item
+// into all d rows costs one hash plus d multiply-adds and the batch path
+// reuses per-instance scratch for zero steady-state allocations.
+// SchemeLegacyPairwise — one pairwise-independent modular hash per row —
+// is kept only so checkpoints written before the derived scheme restore
+// onto the exact cells they were built with.
+//
+// Minibatch ingestion first builds a histogram (Theorem 2.3), then adds
+// each distinct item's total per row. Under the derived scheme each row
+// is owned by one writer goroutine, which preserves the CRCW-combining
+// single-writer property; the legacy path keeps the per-row column
+// sort the paper describes. Cost: O(d·max(µ, w)) work and polylog depth.
 package cms
 
 import (
@@ -20,14 +29,37 @@ import (
 	"repro/internal/parallel"
 )
 
+// Hash-scheme tags, serialized in State.Scheme. The zero value must stay
+// SchemeLegacyPairwise: checkpoints written before the tag existed gob-
+// decode Scheme as 0 and their cells were addressed by pairwise hashing.
+const (
+	// SchemeLegacyPairwise draws one pairwise hash over GF(2^61-1) per
+	// row from math/rand (including the historical aliased key folding
+	// and correlated seed+i*k row seeding — bug-compatible on purpose,
+	// since restored cells are only readable with the hashes that wrote
+	// them). Reachable only by restoring an old checkpoint.
+	SchemeLegacyPairwise = 0
+	// SchemeDerived is the Kirsch–Mitzenmacher derived-row scheme over
+	// the full 64-bit key domain; the default for new sketches.
+	SchemeDerived = 1
+)
+
 // Sketch is a count-min sketch.
 type Sketch struct {
 	d, w     int
 	rows     [][]int64
-	hashes   []hashfn.Pairwise
+	scheme   int
+	base     hashfn.Derived    // SchemeDerived row addressing
+	hashes   []hashfn.Pairwise // SchemeLegacyPairwise row addressing
 	m        int64
 	hashSeed int64 // constructor seed: determines the hash functions
 	seed     int64 // rolling seed for per-batch histogram hashing
+
+	// Per-instance batch scratch, reused across ProcessBatch calls (the
+	// caller's write gate serializes them): the histogram builder plus
+	// the per-entry base-hash pairs shared by all rows.
+	hb     hist.Builder
+	g1, g2 []uint64
 }
 
 // New creates a sketch with error εm (ε in (0,1]) at failure probability
@@ -47,17 +79,34 @@ func New(epsilon, delta float64, seed int64) *Sketch {
 	return NewWithDims(d, w, seed)
 }
 
-// NewWithDims creates a d×w sketch directly.
+// NewWithDims creates a d×w sketch directly, using the derived-row
+// hashing scheme.
 func NewWithDims(d, w int, seed int64) *Sketch {
+	return NewWithDimsScheme(d, w, seed, SchemeDerived)
+}
+
+// NewWithDimsScheme creates a d×w sketch with an explicit hash scheme.
+// SchemeLegacyPairwise exists for checkpoint restoration and for
+// benchmarking the old row addressing; new sketches use SchemeDerived.
+func NewWithDimsScheme(d, w int, seed int64, scheme int) *Sketch {
 	if d < 1 || w < 1 {
 		panic("cms: dimensions must be >= 1")
 	}
-	s := &Sketch{d: d, w: w, hashSeed: seed, seed: seed}
+	if scheme != SchemeLegacyPairwise && scheme != SchemeDerived {
+		panic("cms: unknown hash scheme")
+	}
+	s := &Sketch{d: d, w: w, scheme: scheme, hashSeed: seed, seed: seed}
 	s.rows = make([][]int64, d)
-	s.hashes = make([]hashfn.Pairwise, d)
 	flat := make([]int64, d*w)
 	for i := 0; i < d; i++ {
 		s.rows[i] = flat[i*w : (i+1)*w]
+	}
+	if scheme == SchemeDerived {
+		s.base = hashfn.NewDerived(uint64(w), seed)
+		return s
+	}
+	s.hashes = make([]hashfn.Pairwise, d)
+	for i := 0; i < d; i++ {
 		s.hashes[i] = hashfn.NewPairwise(uint64(w), seed+int64(i)*0x9e37+1)
 	}
 	return s
@@ -69,13 +118,33 @@ func (s *Sketch) Depth() int { return s.d }
 // Width returns w, the number of columns.
 func (s *Sketch) Width() int { return s.w }
 
+// Scheme returns the row-addressing scheme tag.
+func (s *Sketch) Scheme() int { return s.scheme }
+
 // TotalCount returns m, the total weight ingested.
 func (s *Sketch) TotalCount() int64 { return s.m }
 
+// col returns row i's column for item under the sketch's scheme — the
+// reference addressing the sequential paths use; the batch path hoists
+// the base-hash computation out of the row loop.
+func (s *Sketch) col(i int, item uint64) uint64 {
+	if s.scheme == SchemeDerived {
+		return s.base.Hash(item, i)
+	}
+	return s.hashes[i].HashAliased(item)
+}
+
 // Update adds count occurrences of item (the sequential reference path).
 func (s *Sketch) Update(item uint64, count int64) {
-	for i := 0; i < s.d; i++ {
-		s.rows[i][s.hashes[i].Hash(item)] += count
+	if s.scheme == SchemeDerived {
+		g1, g2 := s.base.Base(item)
+		for i := 0; i < s.d; i++ {
+			s.rows[i][s.base.Row(g1, g2, i)] += count
+		}
+	} else {
+		for i := 0; i < s.d; i++ {
+			s.rows[i][s.hashes[i].HashAliased(item)] += count
+		}
 	}
 	s.m += count
 }
@@ -87,32 +156,77 @@ func (s *Sketch) ProcessBatch(items []uint64) {
 		return
 	}
 	s.seed++
+	if s.scheme == SchemeDerived {
+		s.AddHistogram(s.hb.Build(items, s.seed^0x636d73))
+		return
+	}
 	h := hist.Build(items, s.seed^0x636d73)
 	s.AddHistogram(h)
 }
 
-// AddHistogram folds a precomputed histogram into the sketch: per row, in
-// parallel, (column, freq) pairs are grouped by column via the stable
-// integer sort and each column's total is added by a single writer.
+// AddHistogram folds a precomputed histogram into the sketch. Under the
+// derived scheme the base-hash pair is computed once per entry (into
+// reused scratch) and each row is folded by a single owner goroutine —
+// one hash per item, zero allocations in steady state. The legacy
+// scheme keeps the per-row column sort of the CRCW-combining
+// simulation.
 func (s *Sketch) AddHistogram(h []hist.Entry) {
 	p := len(h)
 	if p == 0 {
 		return
 	}
+	if s.scheme == SchemeDerived {
+		s.addHistogramDerived(h)
+	} else {
+		s.addHistogramLegacy(h)
+	}
+	var add int64
+	for _, en := range h {
+		add += en.Freq
+	}
+	s.m += add
+}
+
+// grow returns buf resized to n, reallocating only when capacity grew.
+func grow(buf *[]uint64, n int) []uint64 {
+	if cap(*buf) < n {
+		*buf = make([]uint64, n)
+	}
+	*buf = (*buf)[:n]
+	return *buf
+}
+
+func (s *Sketch) addHistogramDerived(h []hist.Entry) {
+	p := len(h)
+	g1 := grow(&s.g1, p)
+	g2 := grow(&s.g2, p)
+	parallel.ForGrain(p, parallel.DefaultGrain, func(j int) {
+		g1[j], g2[j] = s.base.Base(h[j].Item)
+	})
+	parallel.ForGrain(s.d, 1, func(i int) {
+		row := s.rows[i]
+		for j, en := range h {
+			row[s.base.Row(g1[j], g2[j], i)] += en.Freq
+		}
+	})
+}
+
+func (s *Sketch) addHistogramLegacy(h []hist.Entry) {
+	p := len(h)
 	parallel.ForGrain(s.d, 1, func(i int) {
 		row := s.rows[i]
 		hash := s.hashes[i]
 		if p < 2048 {
 			// Small batches: one writer per row already owns all cells.
 			for _, en := range h {
-				row[hash.Hash(en.Item)] += en.Freq
+				row[hash.HashAliased(en.Item)] += en.Freq
 			}
 			return
 		}
 		cols := make([]uint32, p)
 		idx := make([]int32, p)
 		parallel.ForGrain(p, parallel.DefaultGrain, func(j int) {
-			cols[j] = uint32(hash.Hash(h[j].Item))
+			cols[j] = uint32(hash.HashAliased(h[j].Item))
 			idx[j] = int32(j)
 		})
 		parallel.RadixSortPairs(cols, idx, uint32(s.w))
@@ -132,11 +246,6 @@ func (s *Sketch) AddHistogram(h []hist.Entry) {
 			row[cols[lo]] += total
 		})
 	})
-	var add int64
-	for _, en := range h {
-		add += en.Freq
-	}
-	s.m += add
 }
 
 // Query returns the point estimate for item: the minimum of its d cells,
@@ -153,7 +262,7 @@ func (s *Sketch) Query(item uint64) int64 {
 		func(lo, hi int) int64 {
 			best := int64(1) << 62
 			for i := lo; i < hi; i++ {
-				if v := s.rows[i][s.hashes[i].Hash(item)]; v < best {
+				if v := s.rows[i][s.col(i, item)]; v < best {
 					best = v
 				}
 			}

@@ -10,8 +10,9 @@ package cms
 // RangeSketch answers approximate range-count and quantile queries over a
 // universe of size 2^bits.
 type RangeSketch struct {
-	bits   int
-	levels []*Sketch
+	bits    int
+	levels  []*Sketch
+	shifted []uint64 // per-batch scratch for the truncated-item stream
 }
 
 // NewRange creates a dyadic range sketch over the universe [0, 2^bits)
@@ -47,12 +48,12 @@ func (r *RangeSketch) ProcessBatch(items []uint64) {
 	if len(items) == 0 {
 		return
 	}
+	shifted := grow(&r.shifted, len(items))
 	for l, s := range r.levels {
 		if l == 0 {
 			s.ProcessBatch(items)
 			continue
 		}
-		shifted := make([]uint64, len(items))
 		for i, it := range items {
 			shifted[i] = it >> uint(l)
 		}

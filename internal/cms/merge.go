@@ -20,6 +20,9 @@ func (s *Sketch) Merge(o *Sketch) error {
 	if s.hashSeed != o.hashSeed {
 		return fmt.Errorf("cms: merge hash seed mismatch (%d vs %d)", s.hashSeed, o.hashSeed)
 	}
+	if s.scheme != o.scheme {
+		return fmt.Errorf("cms: merge hash scheme mismatch (%d vs %d)", s.scheme, o.scheme)
+	}
 	parallel.ForGrain(s.d, 1, func(i int) {
 		row, orow := s.rows[i], o.rows[i]
 		for j := range row {
@@ -32,7 +35,7 @@ func (s *Sketch) Merge(o *Sketch) error {
 
 // Clone returns a deep copy of the sketch.
 func (s *Sketch) Clone() *Sketch {
-	c := NewWithDims(s.d, s.w, s.hashSeed)
+	c := NewWithDimsScheme(s.d, s.w, s.hashSeed, s.scheme)
 	c.m = s.m
 	c.seed = s.seed
 	for i := range s.rows {
@@ -54,7 +57,7 @@ func (r *RangeSketch) Merge(o *RangeSketch) error {
 	// leave the stack half-merged.
 	for l := range r.levels {
 		a, b := r.levels[l], o.levels[l]
-		if a.d != b.d || a.w != b.w || a.hashSeed != b.hashSeed {
+		if a.d != b.d || a.w != b.w || a.hashSeed != b.hashSeed || a.scheme != b.scheme {
 			return fmt.Errorf("cms: merge mismatch at level %d", l)
 		}
 	}

@@ -1,0 +1,155 @@
+package cms
+
+import (
+	"bytes"
+	"encoding/gob"
+	"math/rand"
+	"testing"
+)
+
+// legacyStateShape mirrors State as it was serialized before the Scheme
+// tag existed. Gob matches fields by name, so encoding this shape and
+// decoding into State reproduces exactly what restoring a pre-tag
+// checkpoint does.
+type legacyStateShape struct {
+	D, W     int
+	M        int64
+	HashSeed int64
+	Seed     int64
+	Cells    []int64
+}
+
+func TestUntaggedCheckpointRestoresLegacyScheme(t *testing.T) {
+	// A sketch written before the derived scheme existed used pairwise
+	// per-row hashing; its checkpoint has no Scheme field. Restoring it
+	// must select SchemeLegacyPairwise so queries read the cells the
+	// writer addressed.
+	legacy := NewWithDimsScheme(4, 512, 99, SchemeLegacyPairwise)
+	rng := rand.New(rand.NewSource(3))
+	items := make([]uint64, 4096)
+	for i := range items {
+		items[i] = uint64(rng.Intn(300))
+	}
+	legacy.ProcessBatch(items)
+
+	st := legacy.State()
+	old := legacyStateShape{D: st.D, W: st.W, M: st.M, HashSeed: st.HashSeed, Seed: st.Seed, Cells: st.Cells}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(old); err != nil {
+		t.Fatal(err)
+	}
+	var decoded State
+	if err := gob.NewDecoder(bytes.NewReader(buf.Bytes())).Decode(&decoded); err != nil {
+		t.Fatal(err)
+	}
+	if decoded.Scheme != SchemeLegacyPairwise {
+		t.Fatalf("untagged checkpoint decoded Scheme=%d, want legacy (0)", decoded.Scheme)
+	}
+	got, err := FromState(decoded)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Scheme() != SchemeLegacyPairwise {
+		t.Fatalf("restored scheme = %d, want legacy", got.Scheme())
+	}
+	for x := uint64(0); x < 300; x++ {
+		if got.Query(x) != legacy.Query(x) {
+			t.Fatalf("restored legacy sketch disagrees at %d: %d vs %d", x, got.Query(x), legacy.Query(x))
+		}
+	}
+	// The restored sketch must keep ingesting identically.
+	got.ProcessBatch(items)
+	legacy.ProcessBatch(items)
+	for x := uint64(0); x < 300; x++ {
+		if got.Query(x) != legacy.Query(x) {
+			t.Fatalf("post-restore ingest diverged at %d", x)
+		}
+	}
+}
+
+func TestSchemeRoundTrip(t *testing.T) {
+	for _, scheme := range []int{SchemeLegacyPairwise, SchemeDerived} {
+		s := NewWithDimsScheme(3, 256, 7, scheme)
+		s.Update(42, 5)
+		st := s.State()
+		if st.Scheme != scheme {
+			t.Fatalf("State.Scheme = %d, want %d", st.Scheme, scheme)
+		}
+		r, err := FromState(st)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.Scheme() != scheme || r.Query(42) != s.Query(42) {
+			t.Fatalf("scheme %d round trip: scheme=%d query=%d want %d", scheme, r.Scheme(), r.Query(42), s.Query(42))
+		}
+	}
+}
+
+func TestFromStateRejectsUnknownScheme(t *testing.T) {
+	st := NewWithDims(2, 64, 1).State()
+	st.Scheme = 7
+	if _, err := FromState(st); err == nil {
+		t.Fatal("FromState accepted unknown scheme tag")
+	}
+}
+
+func TestMergeSchemeMismatch(t *testing.T) {
+	a := NewWithDimsScheme(3, 128, 5, SchemeDerived)
+	b := NewWithDimsScheme(3, 128, 5, SchemeLegacyPairwise)
+	if err := a.Merge(b); err == nil {
+		t.Fatal("merge across hash schemes must be rejected")
+	}
+	if err := a.Merge(a.Clone()); err != nil {
+		t.Fatalf("merge of clone failed: %v", err)
+	}
+}
+
+func TestCloneKeepsScheme(t *testing.T) {
+	s := NewWithDimsScheme(3, 128, 5, SchemeLegacyPairwise)
+	s.Update(9, 2)
+	c := s.Clone()
+	if c.Scheme() != SchemeLegacyPairwise || c.Query(9) != s.Query(9) {
+		t.Fatal("clone changed scheme or cells")
+	}
+}
+
+func TestLegacyBatchMatchesSequential(t *testing.T) {
+	// The batch==sequential invariant must keep holding on the legacy
+	// path too (restored old checkpoints continue ingesting through it).
+	rng := rand.New(rand.NewSource(11))
+	items := make([]uint64, 6000)
+	for i := range items {
+		items[i] = uint64(rng.Intn(500))
+	}
+	batch := NewWithDimsScheme(4, 300, 77, SchemeLegacyPairwise)
+	seq := NewWithDimsScheme(4, 300, 77, SchemeLegacyPairwise)
+	batch.ProcessBatch(items)
+	for _, it := range items {
+		seq.Update(it, 1)
+	}
+	for x := uint64(0); x < 500; x++ {
+		if batch.Query(x) != seq.Query(x) {
+			t.Fatalf("legacy batch/sequential mismatch at %d", x)
+		}
+	}
+}
+
+func TestDerivedBatchSteadyStateAllocs(t *testing.T) {
+	// One warmed sketch must ingest batches with (amortized) zero
+	// allocations per item: the only allocations left are the fixed
+	// fork-join bookkeeping of the parallel primitives, a handful of
+	// objects per batch regardless of batch size.
+	s := NewWithDims(5, 1<<14, 42)
+	rng := rand.New(rand.NewSource(13))
+	items := make([]uint64, 8192)
+	for i := range items {
+		items[i] = uint64(rng.Intn(4000))
+	}
+	s.ProcessBatch(items) // warm the scratch
+	allocs := testing.AllocsPerRun(10, func() {
+		s.ProcessBatch(items)
+	})
+	if perItem := allocs / float64(len(items)); perItem >= 0.01 {
+		t.Fatalf("derived batch path allocates %.3f objects/item (%.0f/batch), want < 0.01", perItem, allocs)
+	}
+}

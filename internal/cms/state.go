@@ -3,12 +3,16 @@ package cms
 import "fmt"
 
 // State is the serializable form of a Sketch. The hash functions are not
-// serialized; they are redrawn deterministically from HashSeed.
+// serialized; they are redrawn deterministically from HashSeed under the
+// tagged Scheme. Checkpoints written before the tag existed gob-decode
+// Scheme as its zero value, SchemeLegacyPairwise — exactly the hashing
+// that addressed their cells.
 type State struct {
 	D, W     int
 	M        int64
 	HashSeed int64
 	Seed     int64
+	Scheme   int
 	Cells    []int64 // row-major d×w
 }
 
@@ -18,7 +22,7 @@ func (s *Sketch) State() State {
 	for _, row := range s.rows {
 		cells = append(cells, row...)
 	}
-	return State{D: s.d, W: s.w, M: s.m, HashSeed: s.hashSeed, Seed: s.seed, Cells: cells}
+	return State{D: s.d, W: s.w, M: s.m, HashSeed: s.hashSeed, Seed: s.seed, Scheme: s.scheme, Cells: cells}
 }
 
 // maxStateDim bounds each serialized dimension so the d·w product cannot
@@ -34,7 +38,10 @@ func FromState(st State) (*Sketch, error) {
 	if int64(len(st.Cells)) != int64(st.D)*int64(st.W) {
 		return nil, fmt.Errorf("cms: state has %d cells, want %d", len(st.Cells), int64(st.D)*int64(st.W))
 	}
-	s := NewWithDims(st.D, st.W, st.HashSeed)
+	if st.Scheme != SchemeLegacyPairwise && st.Scheme != SchemeDerived {
+		return nil, fmt.Errorf("cms: unknown hash scheme %d", st.Scheme)
+	}
+	s := NewWithDimsScheme(st.D, st.W, st.HashSeed, st.Scheme)
 	s.m = st.M
 	s.seed = st.Seed
 	for i := 0; i < st.D; i++ {

@@ -8,6 +8,12 @@
 // to cell h_i(e) for a ±1 sign hash s_i, and a point query returns the
 // median over rows of s_i(e)·cell. Error is ±ε·‖f‖₂ with probability
 // 1−δ, which beats count-min's εm on heavy-tailed streams.
+//
+// Row addressing mirrors package cms: new sketches use the derived
+// scheme (one base hash per item; row columns and all 64 row signs
+// derived from the pair with multiply-adds), while the legacy
+// two-pairwise-hashes-per-row scheme survives only for checkpoints
+// written before the tag existed.
 package countsketch
 
 import (
@@ -19,15 +25,31 @@ import (
 	"repro/internal/parallel"
 )
 
+// Hash-scheme tags, serialized in State.Scheme; the zero value must stay
+// SchemeLegacyPairwise so untagged checkpoints restore with the hashing
+// that addressed their cells (see package cms for the full story).
+const (
+	SchemeLegacyPairwise = 0
+	SchemeDerived        = 1
+)
+
 // Sketch is a count-sketch.
 type Sketch struct {
 	d, w     int
 	rows     [][]int64
-	cols     []hashfn.Pairwise
-	signs    []hashfn.Pairwise
+	scheme   int
+	base     hashfn.Derived    // SchemeDerived column + sign addressing
+	cols     []hashfn.Pairwise // SchemeLegacyPairwise columns
+	signs    []hashfn.Pairwise // SchemeLegacyPairwise signs
 	m        int64
 	hashSeed int64 // constructor seed: determines the hash functions
 	seed     int64 // rolling seed for per-batch histogram hashing
+
+	// Per-instance batch scratch, reused across ProcessBatch calls under
+	// the caller's write gate: histogram builder, per-entry base-hash
+	// pairs, and per-entry sign words.
+	hb         hist.Builder
+	g1, g2, sw []uint64
 }
 
 // New creates a sketch with w = ⌈3/ε²⌉ columns and d = ⌈ln(1/δ)⌉ rows
@@ -47,18 +69,34 @@ func New(epsilon, delta float64, seed int64) *Sketch {
 	return NewWithDims(d, w, seed)
 }
 
-// NewWithDims creates a d×w sketch directly.
+// NewWithDims creates a d×w sketch directly, using the derived scheme.
 func NewWithDims(d, w int, seed int64) *Sketch {
+	return NewWithDimsScheme(d, w, seed, SchemeDerived)
+}
+
+// NewWithDimsScheme creates a d×w sketch with an explicit hash scheme.
+// SchemeLegacyPairwise exists for checkpoint restoration and for
+// benchmarking the old addressing; new sketches use SchemeDerived.
+func NewWithDimsScheme(d, w int, seed int64, scheme int) *Sketch {
 	if d < 1 || w < 1 {
 		panic("countsketch: dimensions must be >= 1")
 	}
-	s := &Sketch{d: d, w: w, hashSeed: seed, seed: seed}
+	if scheme != SchemeLegacyPairwise && scheme != SchemeDerived {
+		panic("countsketch: unknown hash scheme")
+	}
+	s := &Sketch{d: d, w: w, scheme: scheme, hashSeed: seed, seed: seed}
 	s.rows = make([][]int64, d)
 	flat := make([]int64, d*w)
+	for i := 0; i < d; i++ {
+		s.rows[i] = flat[i*w : (i+1)*w]
+	}
+	if scheme == SchemeDerived {
+		s.base = hashfn.NewDerived(uint64(w), seed)
+		return s
+	}
 	s.cols = make([]hashfn.Pairwise, d)
 	s.signs = make([]hashfn.Pairwise, d)
 	for i := 0; i < d; i++ {
-		s.rows[i] = flat[i*w : (i+1)*w]
 		s.cols[i] = hashfn.NewPairwise(uint64(w), seed+int64(i)*31+5)
 		s.signs[i] = hashfn.NewPairwise(2, seed+int64(i)*57+11)
 	}
@@ -71,42 +109,99 @@ func (s *Sketch) Depth() int { return s.d }
 // Width returns w.
 func (s *Sketch) Width() int { return s.w }
 
+// Scheme returns the row-addressing scheme tag.
+func (s *Sketch) Scheme() int { return s.scheme }
+
 // TotalCount returns the total ingested weight.
 func (s *Sketch) TotalCount() int64 { return s.m }
 
-func (s *Sketch) sign(i int, item uint64) int64 {
-	return 2*int64(s.signs[i].Hash(item)) - 1
+// signFromWord extracts row i's ±1 sign from a derived sign word.
+func signFromWord(sw uint64, i int) int64 {
+	return int64((sw>>(uint(i)&63))&1)*2 - 1
+}
+
+func (s *Sketch) legacySign(i int, item uint64) int64 {
+	return 2*int64(s.signs[i].HashAliased(item)) - 1
 }
 
 // Update adds count occurrences of item (sequential path).
 func (s *Sketch) Update(item uint64, count int64) {
-	for i := 0; i < s.d; i++ {
-		s.rows[i][s.cols[i].Hash(item)] += s.sign(i, item) * count
+	if s.scheme == SchemeDerived {
+		g1, g2 := s.base.Base(item)
+		sw := s.base.SignWord(g1, g2)
+		for i := 0; i < s.d; i++ {
+			s.rows[i][s.base.Row(g1, g2, i)] += signFromWord(sw, i) * count
+		}
+	} else {
+		for i := 0; i < s.d; i++ {
+			s.rows[i][s.cols[i].HashAliased(item)] += s.legacySign(i, item) * count
+		}
 	}
 	s.m += count
 }
 
-// ProcessBatch ingests a minibatch in parallel: histogram + per-row
-// column grouping, mirroring the paper's count-min scheme.
+// grow returns buf resized to n, reallocating only when capacity grew.
+func grow(buf *[]uint64, n int) []uint64 {
+	if cap(*buf) < n {
+		*buf = make([]uint64, n)
+	}
+	*buf = (*buf)[:n]
+	return *buf
+}
+
+// ProcessBatch ingests a minibatch in parallel: histogram, then one base
+// hash per distinct item with each row folded by a single owner
+// goroutine (derived scheme, zero steady-state allocations), or the
+// legacy per-row column grouping for restored old-scheme sketches.
 func (s *Sketch) ProcessBatch(items []uint64) {
 	if len(items) == 0 {
 		return
 	}
 	s.seed++
-	h := hist.Build(items, s.seed^0x6373)
+	var h []hist.Entry
+	if s.scheme == SchemeDerived {
+		h = s.hb.Build(items, s.seed^0x6373)
+		s.processDerived(h)
+	} else {
+		h = hist.Build(items, s.seed^0x6373)
+		s.processLegacy(h)
+	}
+	for _, en := range h {
+		s.m += en.Freq
+	}
+}
+
+func (s *Sketch) processDerived(h []hist.Entry) {
+	p := len(h)
+	g1 := grow(&s.g1, p)
+	g2 := grow(&s.g2, p)
+	sw := grow(&s.sw, p)
+	parallel.ForGrain(p, parallel.DefaultGrain, func(j int) {
+		g1[j], g2[j] = s.base.Base(h[j].Item)
+		sw[j] = s.base.SignWord(g1[j], g2[j])
+	})
+	parallel.ForGrain(s.d, 1, func(i int) {
+		row := s.rows[i]
+		for j, en := range h {
+			row[s.base.Row(g1[j], g2[j], i)] += signFromWord(sw[j], i) * en.Freq
+		}
+	})
+}
+
+func (s *Sketch) processLegacy(h []hist.Entry) {
 	p := len(h)
 	parallel.ForGrain(s.d, 1, func(i int) {
 		row := s.rows[i]
 		if p < 2048 {
 			for _, en := range h {
-				row[s.cols[i].Hash(en.Item)] += s.sign(i, en.Item) * en.Freq
+				row[s.cols[i].HashAliased(en.Item)] += s.legacySign(i, en.Item) * en.Freq
 			}
 			return
 		}
 		colKeys := make([]uint32, p)
 		idx := make([]int32, p)
 		parallel.ForGrain(p, parallel.DefaultGrain, func(j int) {
-			colKeys[j] = uint32(s.cols[i].Hash(h[j].Item))
+			colKeys[j] = uint32(s.cols[i].HashAliased(h[j].Item))
 			idx[j] = int32(j)
 		})
 		parallel.RadixSortPairs(colKeys, idx, uint32(s.w))
@@ -122,22 +217,27 @@ func (s *Sketch) ProcessBatch(items []uint64) {
 			var total int64
 			for j := lo; j < hi; j++ {
 				en := h[idx[j]]
-				total += s.sign(i, en.Item) * en.Freq
+				total += s.legacySign(i, en.Item) * en.Freq
 			}
 			row[colKeys[lo]] += total
 		})
 	})
-	for _, en := range h {
-		s.m += en.Freq
-	}
 }
 
 // Query returns the median-of-rows point estimate for item. It is
 // unbiased; |Query(e) - f_e| <= ε·‖f‖₂ with probability >= 1-δ.
 func (s *Sketch) Query(item uint64) int64 {
 	ests := make([]int64, s.d)
-	for i := 0; i < s.d; i++ {
-		ests[i] = s.sign(i, item) * s.rows[i][s.cols[i].Hash(item)]
+	if s.scheme == SchemeDerived {
+		g1, g2 := s.base.Base(item)
+		sw := s.base.SignWord(g1, g2)
+		for i := 0; i < s.d; i++ {
+			ests[i] = signFromWord(sw, i) * s.rows[i][s.base.Row(g1, g2, i)]
+		}
+	} else {
+		for i := 0; i < s.d; i++ {
+			ests[i] = s.legacySign(i, item) * s.rows[i][s.cols[i].HashAliased(item)]
+		}
 	}
 	sort.Slice(ests, func(a, b int) bool { return ests[a] < ests[b] })
 	mid := s.d / 2

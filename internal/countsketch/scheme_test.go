@@ -1,0 +1,135 @@
+package countsketch
+
+import (
+	"bytes"
+	"encoding/gob"
+	"math/rand"
+	"testing"
+)
+
+// legacyStateShape mirrors State as serialized before the Scheme tag
+// existed; gob matches fields by name, so this reproduces a pre-tag
+// checkpoint restore.
+type legacyStateShape struct {
+	D, W     int
+	M        int64
+	HashSeed int64
+	Seed     int64
+	Cells    []int64
+}
+
+func TestUntaggedCheckpointRestoresLegacyScheme(t *testing.T) {
+	legacy := NewWithDimsScheme(5, 512, 99, SchemeLegacyPairwise)
+	rng := rand.New(rand.NewSource(3))
+	items := make([]uint64, 4096)
+	for i := range items {
+		items[i] = uint64(rng.Intn(300))
+	}
+	legacy.ProcessBatch(items)
+
+	st := legacy.State()
+	old := legacyStateShape{D: st.D, W: st.W, M: st.M, HashSeed: st.HashSeed, Seed: st.Seed, Cells: st.Cells}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(old); err != nil {
+		t.Fatal(err)
+	}
+	var decoded State
+	if err := gob.NewDecoder(bytes.NewReader(buf.Bytes())).Decode(&decoded); err != nil {
+		t.Fatal(err)
+	}
+	if decoded.Scheme != SchemeLegacyPairwise {
+		t.Fatalf("untagged checkpoint decoded Scheme=%d, want legacy (0)", decoded.Scheme)
+	}
+	got, err := FromState(decoded)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for x := uint64(0); x < 300; x++ {
+		if got.Query(x) != legacy.Query(x) {
+			t.Fatalf("restored legacy sketch disagrees at %d: %d vs %d", x, got.Query(x), legacy.Query(x))
+		}
+	}
+	got.ProcessBatch(items)
+	legacy.ProcessBatch(items)
+	for x := uint64(0); x < 300; x++ {
+		if got.Query(x) != legacy.Query(x) {
+			t.Fatalf("post-restore ingest diverged at %d", x)
+		}
+	}
+}
+
+func TestSchemeRoundTrip(t *testing.T) {
+	for _, scheme := range []int{SchemeLegacyPairwise, SchemeDerived} {
+		s := NewWithDimsScheme(3, 256, 7, scheme)
+		s.Update(42, 5)
+		st := s.State()
+		if st.Scheme != scheme {
+			t.Fatalf("State.Scheme = %d, want %d", st.Scheme, scheme)
+		}
+		r, err := FromState(st)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.Scheme() != scheme || r.Query(42) != s.Query(42) {
+			t.Fatalf("scheme %d round trip mismatch", scheme)
+		}
+	}
+}
+
+func TestFromStateRejectsUnknownScheme(t *testing.T) {
+	st := NewWithDims(2, 64, 1).State()
+	st.Scheme = -1
+	if _, err := FromState(st); err == nil {
+		t.Fatal("FromState accepted unknown scheme tag")
+	}
+}
+
+func TestMergeSchemeMismatch(t *testing.T) {
+	a := NewWithDimsScheme(3, 128, 5, SchemeDerived)
+	b := NewWithDimsScheme(3, 128, 5, SchemeLegacyPairwise)
+	if err := a.Merge(b); err == nil {
+		t.Fatal("merge across hash schemes must be rejected")
+	}
+	c := a.Clone()
+	if c.Scheme() != SchemeDerived {
+		t.Fatal("clone dropped scheme")
+	}
+	if err := a.Merge(c); err != nil {
+		t.Fatalf("merge of clone failed: %v", err)
+	}
+}
+
+func TestLegacyBatchMatchesSequential(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	items := make([]uint64, 6000)
+	for i := range items {
+		items[i] = uint64(rng.Intn(500))
+	}
+	batch := NewWithDimsScheme(5, 300, 77, SchemeLegacyPairwise)
+	seq := NewWithDimsScheme(5, 300, 77, SchemeLegacyPairwise)
+	batch.ProcessBatch(items)
+	for _, it := range items {
+		seq.Update(it, 1)
+	}
+	for x := uint64(0); x < 500; x++ {
+		if batch.Query(x) != seq.Query(x) {
+			t.Fatalf("legacy batch/sequential mismatch at %d", x)
+		}
+	}
+}
+
+func TestDerivedBatchSteadyStateAllocs(t *testing.T) {
+	s := NewWithDims(5, 1<<14, 42)
+	rng := rand.New(rand.NewSource(13))
+	items := make([]uint64, 8192)
+	for i := range items {
+		items[i] = uint64(rng.Intn(4000))
+	}
+	s.ProcessBatch(items) // warm the scratch
+	allocs := testing.AllocsPerRun(10, func() {
+		s.ProcessBatch(items)
+	})
+	if perItem := allocs / float64(len(items)); perItem >= 0.01 {
+		t.Fatalf("derived batch path allocates %.3f objects/item (%.0f/batch), want < 0.01", perItem, allocs)
+	}
+}

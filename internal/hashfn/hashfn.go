@@ -70,8 +70,14 @@ func NewPoly(k int, r uint64, seed int64) *Poly {
 }
 
 // Hash returns the hash of x in [0, Range()). Horner evaluation, O(k).
+//
+// The key is pre-mixed with Mix64 before the field reduction: folding the
+// raw key mod 2^61-1 would alias x and x+(2^61-1) deterministically in
+// every function drawn from the family, a cross-input correlation the
+// independence analysis assumes away. After mixing, keys that collide mod
+// the prime share no structure with each other.
 func (p *Poly) Hash(x uint64) uint64 {
-	x %= MersennePrime61
+	x = Mix64(x) % MersennePrime61
 	acc := p.coef[len(p.coef)-1]
 	for i := len(p.coef) - 2; i >= 0; i-- {
 		acc = addMod61(mulMod61(acc, x), p.coef[i])
@@ -100,8 +106,20 @@ func NewPairwise(r uint64, seed int64) Pairwise {
 	return Pairwise{a: a, b: b, r: r}
 }
 
-// Hash returns the hash of x in [0, Range()).
+// Hash returns the hash of x in [0, Range()). As with Poly.Hash, the key
+// is pre-mixed with Mix64 so the full 64-bit domain injects into the
+// field without the deterministic x vs x+(2^61-1) aliasing the bare
+// mod-p folding produced.
 func (h Pairwise) Hash(x uint64) uint64 {
+	return addMod61(mulMod61(h.a, Mix64(x)%MersennePrime61), h.b) % h.r
+}
+
+// HashAliased is the pre-fix evaluation: the raw key folded mod 2^61-1
+// before hashing, which collapses x and x+(2^61-1) in every function of
+// the family. It exists only so sketches restored from checkpoints
+// written before the fix keep addressing the cells they were built with;
+// new code must use Hash.
+func (h Pairwise) HashAliased(x uint64) uint64 {
 	return addMod61(mulMod61(h.a, x%MersennePrime61), h.b) % h.r
 }
 
@@ -115,3 +133,75 @@ func Mix64(x uint64) uint64 {
 	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
 	return x ^ (x >> 31)
 }
+
+// SplitMix64 advances a splitmix64 state and returns the next value of
+// the sequence — the recommended way to derive any number of independent
+// sub-seeds from one base seed. Unlike feeding seed, seed+1, seed+2 ...
+// to an LCG, consecutive outputs share no affine structure.
+func SplitMix64(state *uint64) uint64 {
+	*state += 0x9e3779b97f4a7c15
+	return Mix64(*state)
+}
+
+// Derived is the Kirsch–Mitzenmacher derived-row family used by the
+// multi-row sketches: one base hash per key yields a pair (g1, g2), and
+// row i addresses column (g1 + i*g2) reduced to [0, w). Evaluating d
+// rows therefore costs one hash plus d multiply-adds instead of d
+// modular polynomial evaluations, and the count-min/count-sketch error
+// bounds are preserved asymptotically [KM08]. The base hash covers the
+// full 64-bit key domain (no Mersenne folding), so the aliasing bug
+// fixed in Poly/Pairwise cannot occur here by construction.
+type Derived struct {
+	s1, s2 uint64
+	w      uint64
+}
+
+// NewDerived draws a derived-row family with output range [0, w). The
+// per-function salts come from splitmixing the seed, so families drawn
+// from adjacent seeds (per-level dyadic stacks, per-shard instances) are
+// decorrelated.
+func NewDerived(w uint64, seed int64) Derived {
+	if w < 1 {
+		panic("hashfn: NewDerived requires w >= 1")
+	}
+	st := uint64(seed)
+	s1 := SplitMix64(&st)
+	s2 := SplitMix64(&st)
+	return Derived{s1: s1, s2: s2, w: w}
+}
+
+// Base computes the per-key base hash pair. g2 is forced odd so the row
+// stride g2 is a unit mod 2^64 and distinct rows cannot share a column
+// sequence. Callers on the batch path compute Base once per item and
+// reuse it across all rows.
+func (d Derived) Base(x uint64) (g1, g2 uint64) {
+	g1 = Mix64(x ^ d.s1)
+	g2 = Mix64(g1^d.s2) | 1
+	return g1, g2
+}
+
+// Row derives row i's column from the base pair: (g1 + i*g2) mapped to
+// [0, w) by the multiply-shift range reduction (Lemire), which replaces
+// the modulo division with one widening multiply.
+func (d Derived) Row(g1, g2 uint64, i int) uint64 {
+	hi, _ := bits.Mul64(g1+uint64(i)*g2, d.w)
+	return hi
+}
+
+// SignWord derives 64 per-row ±1 sign bits from the base pair through an
+// extra mix, decorrelating signs from the column sequence; bit (i mod
+// 64) drives row i's sign. Count-sketch uses it for the unbiased
+// estimator.
+func (d Derived) SignWord(g1, g2 uint64) uint64 {
+	return Mix64(g1 ^ bits.RotateLeft64(g2, 31) ^ d.s2)
+}
+
+// Hash returns row i's column for key x — the convenience form; hot
+// paths use Base once and Row per row.
+func (d Derived) Hash(x uint64, i int) uint64 {
+	g1, g2 := d.Base(x)
+	return d.Row(g1, g2, i)
+}
+
+// Range returns the size of the hash output range.
+func (d Derived) Range() uint64 { return d.w }

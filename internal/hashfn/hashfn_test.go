@@ -135,6 +135,157 @@ func TestPairwiseCollisionRate(t *testing.T) {
 	}
 }
 
+// TestMersenneAliasingFixed is the regression test for the hash-domain
+// aliasing bug: before the Mix64 pre-mixing, x and x+(2^61-1) were
+// folded to the same field element and therefore collided in *every*
+// function of the Poly and Pairwise families — a cross-row correlation
+// the sketch error analyses assume cannot happen. After the fix the two
+// keys must land in different cells in at least one of a handful of
+// independently drawn rows.
+func TestMersenneAliasingFixed(t *testing.T) {
+	const rows = 8
+	keys := []uint64{0, 1, 12345, 1 << 40, MersennePrime61 - 1}
+	check := func(name string, hash func(row int, x uint64) uint64) {
+		for _, x := range keys {
+			y := x + MersennePrime61 // aliased mod 2^61-1 before the fix
+			separated := false
+			for i := 0; i < rows && !separated; i++ {
+				separated = hash(i, x) != hash(i, y)
+			}
+			if !separated {
+				t.Errorf("%s: %d and %d collide in all %d rows (Mersenne aliasing)", name, x, y, rows)
+			}
+		}
+	}
+	polys := make([]*Poly, rows)
+	pairs := make([]Pairwise, rows)
+	st := uint64(41)
+	for i := range polys {
+		polys[i] = NewPoly(4, 1<<16, int64(SplitMix64(&st)))
+		pairs[i] = NewPairwise(1<<16, int64(SplitMix64(&st)))
+	}
+	check("Poly", func(i int, x uint64) uint64 { return polys[i].Hash(x) })
+	check("Pairwise", func(i int, x uint64) uint64 { return pairs[i].Hash(x) })
+	d := NewDerived(1<<16, 97)
+	check("Derived", func(i int, x uint64) uint64 { return d.Hash(x, i) })
+
+	// And the bug-compatible legacy evaluation must still alias: that is
+	// the behavior scheme-0 checkpoint restores depend on.
+	h := pairs[0]
+	for _, x := range keys {
+		if h.HashAliased(x) != h.HashAliased(x+MersennePrime61) {
+			t.Errorf("HashAliased(%d) no longer aliases x+p — legacy restores would break", x)
+		}
+	}
+}
+
+func TestDerivedRangeAndDeterminism(t *testing.T) {
+	d := NewDerived(977, 5)
+	d2 := NewDerived(977, 5)
+	for x := uint64(0); x < 20000; x += 7 {
+		g1, g2 := d.Base(x)
+		for i := 0; i < 6; i++ {
+			v := d.Row(g1, g2, i)
+			if v >= 977 {
+				t.Fatalf("Row(%d, row %d) = %d out of range", x, i, v)
+			}
+			if v != d2.Hash(x, i) {
+				t.Fatal("same seed, different derived hash")
+			}
+		}
+	}
+	if d.Range() != 977 {
+		t.Fatalf("Range = %d", d.Range())
+	}
+	d3 := NewDerived(977, 6)
+	diff := 0
+	for x := uint64(0); x < 1000; x++ {
+		if d.Hash(x, 0) != d3.Hash(x, 0) {
+			diff++
+		}
+	}
+	if diff < 900 {
+		t.Fatalf("adjacent seeds nearly identical: only %d/1000 differ", diff)
+	}
+}
+
+// TestDerivedCrossRowIndependence checks that collisions between two
+// keys are independent across derived rows: the per-row collision rate
+// should be about 1/w, and with w >> 1 no random pair should collide in
+// every row (the failure mode both the aliasing bug and correlated row
+// seeds produce).
+func TestDerivedCrossRowIndependence(t *testing.T) {
+	const (
+		w      = 1 << 10
+		rows   = 6
+		trials = 20000
+	)
+	d := NewDerived(w, 23)
+	rng := rand.New(rand.NewSource(29))
+	rowCollisions := 0
+	for i := 0; i < trials; i++ {
+		x, y := rng.Uint64(), rng.Uint64()
+		if x == y {
+			continue
+		}
+		xg1, xg2 := d.Base(x)
+		yg1, yg2 := d.Base(y)
+		all := true
+		for r := 0; r < rows; r++ {
+			if d.Row(xg1, xg2, r) == d.Row(yg1, yg2, r) {
+				rowCollisions++
+			} else {
+				all = false
+			}
+		}
+		if all {
+			t.Fatalf("pair (%d, %d) collides in all %d rows", x, y, rows)
+		}
+	}
+	// Expected rowCollisions ~ trials*rows/w ~= 117; generous slack.
+	if expect := trials * rows / w; rowCollisions > 5*expect+20 {
+		t.Fatalf("per-row collision rate too high: %d collisions, expected ~%d", rowCollisions, expect)
+	}
+}
+
+func TestDerivedSignWordBalance(t *testing.T) {
+	d := NewDerived(1<<10, 11)
+	const samples = 1 << 14
+	ones := 0
+	for x := uint64(0); x < samples; x++ {
+		g1, g2 := d.Base(x)
+		if d.SignWord(g1, g2)&1 == 1 {
+			ones++
+		}
+	}
+	if ones < samples*45/100 || ones > samples*55/100 {
+		t.Fatalf("sign bit 0 unbalanced: %d/%d ones", ones, samples)
+	}
+}
+
+func TestDerivedPanics(t *testing.T) {
+	mustPanic(t, func() { NewDerived(0, 1) })
+}
+
+func TestSplitMix64(t *testing.T) {
+	st := uint64(0)
+	seen := make(map[uint64]bool)
+	for i := 0; i < 10000; i++ {
+		v := SplitMix64(&st)
+		if seen[v] {
+			t.Fatalf("SplitMix64 repeated a value after %d draws", i)
+		}
+		seen[v] = true
+	}
+	// Restarting from the same state must reproduce the sequence.
+	a, b := uint64(77), uint64(77)
+	for i := 0; i < 100; i++ {
+		if SplitMix64(&a) != SplitMix64(&b) {
+			t.Fatal("SplitMix64 not deterministic")
+		}
+	}
+}
+
 func TestMix64(t *testing.T) {
 	seen := make(map[uint64]bool)
 	for x := uint64(0); x < 10000; x++ {

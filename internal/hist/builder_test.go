@@ -1,0 +1,92 @@
+package hist
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func histToMap(es []Entry) map[uint64]int64 {
+	m := make(map[uint64]int64)
+	for _, e := range es {
+		m[e.Item] += e.Freq
+	}
+	return m
+}
+
+func TestBuilderMatchesBuild(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	var b Builder
+	for _, mu := range []int{1, 2, 17, 1000, 8192, 40000} {
+		items := make([]uint64, mu)
+		for i := range items {
+			items[i] = uint64(rng.Intn(mu/2 + 1))
+		}
+		got := histToMap(b.Build(items, int64(mu)))
+		want := BuildMap(items, int64(mu))
+		if len(got) != len(want) {
+			t.Fatalf("mu=%d: %d distinct items, want %d", mu, len(got), len(want))
+		}
+		for it, f := range want {
+			if got[it] != f {
+				t.Fatalf("mu=%d item %d: freq %d want %d", mu, it, got[it], f)
+			}
+		}
+	}
+}
+
+func TestBuilderEmpty(t *testing.T) {
+	var b Builder
+	if es := b.Build(nil, 1); es != nil {
+		t.Fatalf("empty batch produced %d entries", len(es))
+	}
+}
+
+func TestBuilderReuseAcrossBatches(t *testing.T) {
+	// Back-to-back batches must not leak state: a slot used in batch 1
+	// must read as empty in batch 2.
+	var b Builder
+	first := []uint64{1, 1, 2, 3, 3, 3}
+	second := []uint64{4, 4, 5}
+	b.Build(first, 9)
+	got := histToMap(b.Build(second, 10))
+	if len(got) != 2 || got[4] != 2 || got[5] != 1 {
+		t.Fatalf("stale table state: %v", got)
+	}
+}
+
+func TestBuilderFallbackBeyondTableCap(t *testing.T) {
+	var b Builder
+	items := make([]uint64, maxTableItems+1)
+	for i := range items {
+		items[i] = uint64(i % 1000)
+	}
+	got := histToMap(b.Build(items, 3))
+	if len(got) != 1000 {
+		t.Fatalf("fallback path: %d distinct items, want 1000", len(got))
+	}
+	for it, f := range got {
+		want := int64(len(items) / 1000)
+		if it < uint64(len(items)%1000) {
+			want++
+		}
+		if f != want {
+			t.Fatalf("item %d: freq %d want %d", it, f, want)
+		}
+	}
+}
+
+func TestBuilderZeroAllocSteadyState(t *testing.T) {
+	var b Builder
+	items := make([]uint64, 8192)
+	rng := rand.New(rand.NewSource(21))
+	for i := range items {
+		items[i] = uint64(rng.Intn(2000))
+	}
+	b.Build(items, 1) // warm the buffers
+	allocs := testing.AllocsPerRun(20, func() {
+		b.Build(items, 2)
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state Build allocates %.1f times per batch, want 0", allocs)
+	}
+}

@@ -38,7 +38,6 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
-	"io"
 	"math"
 	"net"
 	"net/http"
@@ -246,9 +245,17 @@ type ingestRequest struct {
 // readBody reads a capped request body, mapping only actual cap hits to
 // 413 (other read failures — resets, timeouts — are the client's 400).
 func readBody(w http.ResponseWriter, r *http.Request, limit int64) ([]byte, bool) {
-	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, limit))
+	var buf bytes.Buffer
+	return readBodyInto(&buf, w, r, limit)
+}
+
+// readBodyInto is readBody reading into a caller-owned (typically
+// pooled) buffer; the returned bytes alias it.
+func readBodyInto(buf *bytes.Buffer, w http.ResponseWriter, r *http.Request, limit int64) ([]byte, bool) {
+	buf.Reset()
+	_, err := buf.ReadFrom(http.MaxBytesReader(w, r.Body, limit))
 	if err == nil {
-		return body, true
+		return buf.Bytes(), true
 	}
 	var tooBig *http.MaxBytesError
 	if errors.As(err, &tooBig) {
@@ -259,17 +266,35 @@ func readBody(w http.ResponseWriter, r *http.Request, limit int64) ([]byte, bool
 	return nil, false
 }
 
+// ingestScratch holds one ingest request's reusable buffers: the raw
+// body, the decoded fields (json.Unmarshal refills the existing Items
+// backing array), and the merged items+hashed-strings slice. Pooled —
+// the hot ingest path allocates nothing once the pool is warm. Safe to
+// recycle because PutBatchContext copies the items before returning.
+type ingestScratch struct {
+	body   bytes.Buffer
+	req    ingestRequest
+	merged []uint64
+}
+
+var ingestPool = sync.Pool{New: func() any { return new(ingestScratch) }}
+
 func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
-	body, ok := readBody(w, r, maxIngestBody)
+	sc := ingestPool.Get().(*ingestScratch)
+	defer ingestPool.Put(sc)
+	body, ok := readBodyInto(&sc.body, w, r, maxIngestBody)
 	if !ok {
 		return
 	}
-	var req ingestRequest
+	sc.req.Items = sc.req.Items[:0]
+	sc.req.Strings = sc.req.Strings[:0]
+	sc.req.Sync = false
+	req := &sc.req
 	var err error
 	if trimmed := bytes.TrimLeft(body, " \t\r\n"); len(trimmed) > 0 && trimmed[0] == '[' {
 		err = json.Unmarshal(trimmed, &req.Items)
 	} else {
-		err = json.Unmarshal(body, &req)
+		err = json.Unmarshal(body, req)
 	}
 	if err != nil {
 		writeError(w, http.StatusBadRequest, fmt.Errorf("malformed ingest body: %w", err))
@@ -277,11 +302,12 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 	}
 	items := req.Items
 	if len(req.Strings) > 0 {
-		merged := make([]uint64, 0, len(items)+len(req.Strings))
+		merged := sc.merged[:0]
 		merged = append(merged, items...)
 		for _, key := range req.Strings {
 			merged = append(merged, streamagg.HashString(key))
 		}
+		sc.merged = merged
 		items = merged
 	}
 	// Validate bounded-kind items before they enter the queue: a value

@@ -72,6 +72,11 @@ type Sharded struct {
 	// under snapMu but read lock-free.
 	snapHits   atomic.Int64
 	snapMisses atomic.Int64
+
+	// Per-instance partition scratch, reused across ProcessBatch calls
+	// (which hold the gate's write lock), so steady-state ingest splits
+	// the minibatch without allocating.
+	part partScratch
 }
 
 // NewSharded creates a sharded aggregate: shards independent instances
@@ -123,10 +128,33 @@ func shardIndex(item uint64, shards int) int {
 	return int(x % uint64(shards))
 }
 
-// partitionByShard splits items into per-shard sub-batches, preserving
-// stream order within each shard (a stable counting-sort scatter:
-// per-chunk counts, prefix offsets, parallel scatter).
-func partitionByShard(items []uint64, shards int) [][]uint64 {
+// partScratch holds the reusable buffers of the counting-sort partition:
+// per-item shard ids, the flattened chunks×shards count/offset matrices,
+// the slice headers handed to the shards, and one backing array that all
+// sub-batches are carved from. Owned by one Sharded instance and used
+// under its write gate.
+type partScratch struct {
+	ids     []uint16
+	counts  []int // chunks*shards, row-major by chunk
+	offsets []int // chunks*shards, row-major by chunk
+	totals  []int
+	out     [][]uint64
+	buf     []uint64 // backing storage for every shard's sub-batch
+}
+
+func growInts(buf *[]int, n int) []int {
+	if cap(*buf) < n {
+		*buf = make([]int, n)
+	}
+	*buf = (*buf)[:n]
+	return *buf
+}
+
+// partition splits items into per-shard sub-batches, preserving stream
+// order within each shard (a stable counting-sort scatter: per-chunk
+// counts, prefix offsets, parallel scatter). The returned slices alias
+// the scratch and are valid until the next call.
+func (ps *partScratch) partition(items []uint64, shards int) [][]uint64 {
 	n := len(items)
 	if shards == 1 {
 		return [][]uint64{items}
@@ -138,36 +166,49 @@ func partitionByShard(items []uint64, shards int) [][]uint64 {
 	if chunks < 1 {
 		chunks = 1
 	}
-	ids := make([]uint16, n)
-	counts := make([][]int, chunks)
+	if cap(ps.ids) < n {
+		ps.ids = make([]uint16, n)
+	}
+	ids := ps.ids[:n]
+	counts := growInts(&ps.counts, chunks*shards)
 	bounds := func(c int) (lo, hi int) { return c * n / chunks, (c + 1) * n / chunks }
 	parallel.ForGrain(chunks, 1, func(c int) {
-		cnt := make([]int, shards)
+		cnt := counts[c*shards : (c+1)*shards]
+		for j := range cnt {
+			cnt[j] = 0
+		}
 		lo, hi := bounds(c)
 		for i := lo; i < hi; i++ {
 			id := shardIndex(items[i], shards)
 			ids[i] = uint16(id)
 			cnt[id]++
 		}
-		counts[c] = cnt
 	})
-	// offsets[c][j]: where chunk c starts writing within shard j's batch.
-	totals := make([]int, shards)
-	offsets := make([][]int, chunks)
-	for c := 0; c < chunks; c++ {
-		off := make([]int, shards)
-		for j := 0; j < shards; j++ {
-			off[j] = totals[j]
-			totals[j] += counts[c][j]
-		}
-		offsets[c] = off
+	// offsets[c*shards+j]: where chunk c starts writing within shard j's
+	// batch.
+	totals := growInts(&ps.totals, shards)
+	for j := range totals {
+		totals[j] = 0
 	}
-	out := make([][]uint64, shards)
+	offsets := growInts(&ps.offsets, chunks*shards)
+	for c := 0; c < chunks; c++ {
+		for j := 0; j < shards; j++ {
+			offsets[c*shards+j] = totals[j]
+			totals[j] += counts[c*shards+j]
+		}
+	}
+	if cap(ps.out) < shards {
+		ps.out = make([][]uint64, shards)
+	}
+	out := ps.out[:shards]
+	buf := grow(&ps.buf, n)
+	start := 0
 	for j := range out {
-		out[j] = make([]uint64, totals[j])
+		out[j] = buf[start : start+totals[j] : start+totals[j]]
+		start += totals[j]
 	}
 	parallel.ForGrain(chunks, 1, func(c int) {
-		off := offsets[c]
+		off := offsets[c*shards : (c+1)*shards]
 		lo, hi := bounds(c)
 		for i := lo; i < hi; i++ {
 			j := ids[i]
@@ -176,6 +217,22 @@ func partitionByShard(items []uint64, shards int) [][]uint64 {
 		}
 	})
 	return out
+}
+
+// grow returns buf resized to n, reallocating only when capacity grew.
+func grow(buf *[]uint64, n int) []uint64 {
+	if cap(*buf) < n {
+		*buf = make([]uint64, n)
+	}
+	*buf = (*buf)[:n]
+	return *buf
+}
+
+// partitionByShard is the standalone form of partition, used by tests;
+// the ingest path goes through the Sharded instance's reused scratch.
+func partitionByShard(items []uint64, shards int) [][]uint64 {
+	var ps partScratch
+	return ps.partition(items, shards)
 }
 
 // ProcessBatch hash-partitions the minibatch and ingests every shard's
@@ -191,7 +248,7 @@ func (s *Sharded) ProcessBatch(items []uint64) error {
 			return nil
 		}
 		s.invalidateSnap() // even a partial failure mutates some shards
-		parts := partitionByShard(items, len(s.shards))
+		parts := s.part.partition(items, len(s.shards))
 		errs := make([]error, len(parts))
 		parallel.ForGrain(len(parts), 1, func(i int) {
 			if len(parts[i]) == 0 {
