@@ -1,8 +1,11 @@
 package streamagg
 
 import (
+	"context"
 	"math/rand"
 	"testing"
+
+	"repro/trace"
 )
 
 // Steady-state allocation regression tests. testing.AllocsPerRun counts
@@ -72,6 +75,46 @@ func TestIngestorSteadyStateAllocs(t *testing.T) {
 	})
 	if perItem := allocs / float64(len(items)); perItem >= 0.01 {
 		t.Fatalf("ingestor flush path allocates %.4f objects/item (%.0f/batch), want < 0.01", perItem, allocs)
+	}
+}
+
+// TestIngestorTracingDisabledAllocs pins the tracing integration's
+// zero-cost-when-off invariant: an Ingestor carrying a rate-0 tracer
+// must keep the full enqueue+flush cycle — including the nil flush,
+// WAL, and apply spans and the batch-context bookkeeping — under the
+// same per-item allocation budget as an untraced one.
+func TestIngestorTracingDisabledAllocs(t *testing.T) {
+	agg, err := New(KindCountMin, WithEpsilon(0.001), WithDelta(0.01))
+	if err != nil {
+		t.Fatal(err)
+	}
+	in, err := NewIngestor(agg, WithBatchSize(4096),
+		WithTracer(trace.New(trace.Config{SampleRate: 0})))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer in.Close()
+	items := allocItems(4096, 2000, 11)
+	ctx := context.Background()
+	for i := 0; i < 4; i++ { // warm buffers and scratch
+		if _, err := in.PutBatchSpan(ctx, items, trace.SpanContext{}); err != nil {
+			t.Fatal(err)
+		}
+		if err := in.Flush(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	allocs := testing.AllocsPerRun(10, func() {
+		if _, err := in.PutBatchSpan(ctx, items, trace.SpanContext{}); err != nil {
+			t.Fatal(err)
+		}
+		if err := in.Flush(); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if perItem := allocs / float64(len(items)); perItem >= 0.01 {
+		t.Fatalf("tracing-disabled ingest allocates %.4f objects/item (%.0f/batch), want < 0.01",
+			perItem, allocs)
 	}
 }
 

@@ -32,6 +32,7 @@ import (
 
 	"repro/metrics"
 	"repro/persist"
+	"repro/trace"
 )
 
 // ErrOverloaded reports an ingest refused because the queue is full and
@@ -138,6 +139,15 @@ type Ingestor struct {
 	spare   []uint64  // recycled buffer for the next fill
 	firstAt time.Time // arrival of the oldest buffered item
 
+	// Tracing (WithTracer): batchSC is the trace context of the first
+	// sampled producer contributing to the current buffer — the link the
+	// flush worker parents its flush/WAL/apply spans onto, carried across
+	// the MPSC boundary under mu. Zero when no contributor was sampled;
+	// tracer nil when tracing is off (every span call is then a no-op on
+	// a nil *trace.Span, allocation-free).
+	tracer  *trace.Tracer
+	batchSC trace.SpanContext
+
 	inFlight int // items in the batch currently inside the sink
 
 	// Observability: every counter below lives in the metrics registry
@@ -188,6 +198,7 @@ var ingestorOptions = map[string]bool{
 	"WithFsync":           true,
 	"WithSnapshotEvery":   true,
 	"WithMetricsRegistry": true,
+	"WithTracer":          true,
 	"withClock":           true,
 }
 
@@ -232,6 +243,7 @@ func NewIngestor(sink BatchProcessor, opts ...Option) (*Ingestor, error) {
 		maxLatency: c.maxLatency,
 		queueCap:   c.queueCap,
 		policy:     c.backpressure,
+		tracer:     c.tracer,
 		now:        c.clock,
 		wake:       make(chan struct{}, 1),
 		doneCh:     make(chan struct{}),
@@ -304,6 +316,11 @@ func (in *Ingestor) initMetrics(reg *metrics.Registry) {
 // The serving layer renders it at GET /metrics.
 func (in *Ingestor) MetricsRegistry() *metrics.Registry { return in.reg }
 
+// Tracer returns the tracer recording this Ingestor's batch lifecycle
+// spans, or nil without WithTracer. The serving layer shares it across
+// layers and exports it at GET /debug/traces.
+func (in *Ingestor) Tracer() *trace.Tracer { return in.tracer }
+
 // openDurable opens the data directory and recovers the sink's state —
 // newest valid snapshot, then WAL tail replay at the original minibatch
 // boundaries — before the worker starts accepting live traffic.
@@ -342,6 +359,14 @@ func (in *Ingestor) openDurable(c config) error {
 	}
 	in.store = st
 	return nil
+}
+
+// noteSpanLocked links the current buffer to the first sampled
+// producer's trace. Caller holds mu and has just appended items.
+func (in *Ingestor) noteSpanLocked(sc trace.SpanContext) {
+	if sc.Sampled && !in.batchSC.IsValid() {
+		in.batchSC = sc
+	}
 }
 
 // signal wakes the worker if it is parked (non-blocking; a pending token
@@ -417,6 +442,17 @@ func (in *Ingestor) PutBatch(items []uint64) (int, error) {
 // worker will still flush). Serving handlers use this so a disconnected
 // client does not leave its goroutine parked on a full queue.
 func (in *Ingestor) PutBatchContext(ctx context.Context, items []uint64) (int, error) {
+	return in.PutBatchSpan(ctx, items, trace.SpanContext{})
+}
+
+// PutBatchSpan is PutBatchContext carrying the producer's trace
+// context across the MPSC queue boundary: when sc belongs to a sampled
+// trace, the minibatch these items coalesce into links its flush, WAL
+// append, and sink apply spans onto that trace. Batches coalesce many
+// producers' items, so the link is first-sampled-wins — one causal
+// thread per minibatch, not one per item. A zero sc (the unsampled or
+// tracing-off case) costs nothing.
+func (in *Ingestor) PutBatchSpan(ctx context.Context, items []uint64, sc trace.SpanContext) (int, error) {
 	if len(items) == 0 {
 		return 0, nil
 	}
@@ -443,6 +479,7 @@ func (in *Ingestor) PutBatchContext(ctx context.Context, items []uint64) (int, e
 		free := in.queueCap - len(in.buf) - in.inFlight
 		if len(items) <= free {
 			in.appendLocked(items)
+			in.noteSpanLocked(sc)
 			return accepted + len(items), nil
 		}
 		switch in.policy {
@@ -452,12 +489,14 @@ func (in *Ingestor) PutBatchContext(ctx context.Context, items []uint64) (int, e
 		case BackpressureDrop:
 			if free > 0 {
 				in.appendLocked(items[:free])
+				in.noteSpanLocked(sc)
 			}
 			in.dropped.Add(int64(len(items) - free))
 			return accepted + free, nil
 		default: // BackpressureBlock
 			if free > 0 {
 				in.appendLocked(items[:free])
+				in.noteSpanLocked(sc)
 				items = items[free:]
 				accepted += free
 			}
@@ -502,11 +541,12 @@ func (in *Ingestor) worker() {
 			continue
 		}
 		var cause *metrics.Counter
+		var causeName string
 		switch {
 		case n >= in.batchSize:
-			cause = in.sizeFlushes
+			cause, causeName = in.sizeFlushes, "size"
 		case in.closed || in.flushReq > in.processed.Value():
-			cause = in.drainFlushes
+			cause, causeName = in.drainFlushes, "drain"
 		default:
 			wait := in.maxLatency - in.now().Sub(in.firstAt)
 			if wait > 0 {
@@ -519,18 +559,32 @@ func (in *Ingestor) worker() {
 				}
 				continue
 			}
-			cause = in.timerFlushes
+			cause, causeName = in.timerFlushes, "timer"
 		}
 		batch := in.buf
+		batchSC := in.batchSC
+		in.batchSC = trace.SpanContext{}
 		in.buf = in.spare[:0]
 		in.spare = nil
 		in.inFlight = len(batch)
 		cause.Inc()
-		in.flushWait.ObserveDuration(in.now().Sub(in.firstAt))
+		wait := in.now().Sub(in.firstAt)
+		in.flushWait.ObserveDuration(wait)
 		in.cond.Broadcast() // space freed: unpark blocked producers
 		in.mu.Unlock()
 
-		err := in.commit(batch)
+		// The flush span joins the first sampled contributor's trace
+		// (Child never roots one of its own) — on the unsampled path
+		// every span here is nil and the calls are free.
+		span := in.tracer.Child("ingest.flush", batchSC)
+		span.SetInt("items", int64(len(batch)))
+		span.SetAttr("cause", causeName)
+		span.SetInt("queue_wait_us", wait.Microseconds())
+		err := in.commit(batch, span.Context())
+		if err != nil {
+			span.SetAttr("error", err.Error())
+		}
+		span.End()
 
 		in.mu.Lock()
 		in.processed.Add(int64(len(batch)))
@@ -556,15 +610,28 @@ func (in *Ingestor) worker() {
 // sink sees it — a batch whose effects are queryable is always
 // recoverable. An append failure leaves the batch unapplied rather than
 // applied-but-unlogged.
-func (in *Ingestor) commit(batch []uint64) error {
+func (in *Ingestor) commit(batch []uint64, parent trace.SpanContext) error {
 	if in.store != nil {
-		if _, err := in.store.Append(batch); err != nil {
+		ws := in.tracer.Child("persist.wal_append", parent)
+		seq, err := in.store.Append(batch)
+		if err != nil {
+			ws.SetAttr("error", err.Error())
+			ws.End()
 			return err
 		}
+		ws.SetInt("seq", int64(seq))
+		ws.SetInt("items", int64(len(batch)))
+		ws.End()
 	}
+	as := in.tracer.Child("sink.apply", parent)
+	as.SetInt("items", int64(len(batch)))
 	start := in.now()
 	err := in.sink.ProcessBatch(batch)
 	in.applySeconds.ObserveDuration(in.now().Sub(start))
+	if err != nil {
+		as.SetAttr("error", err.Error())
+	}
+	as.End()
 	return err
 }
 

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"os"
 	"runtime"
@@ -22,6 +23,7 @@ import (
 	"repro/internal/wsum"
 	"repro/metrics"
 	"repro/persist"
+	"repro/trace"
 )
 
 // ---------------------------------------------------------------- E1 --
@@ -1096,4 +1098,99 @@ func runE17() {
 	t.print()
 	fmt.Println("shape check: derived rows are >= 2x the legacy scheme on ns/item, and the")
 	fmt.Println("derived/serving rows hold allocs/item at ~0 (scratch reuse, one hash per item)")
+}
+
+// ---------------------------------------------------------------- E18 --
+
+// runE18 measures the distributed-tracing subsystem's cost on the
+// steady-state ingest path, the same loop E17's "ingestor steady-state"
+// row times: no tracer at all, a tracer with sampling off (the
+// production default — nil spans everywhere, so this must be free), and
+// sampling every batch's trace (the debugging ceiling: one enqueue
+// parent plus flush/WAL-less apply spans recorded per minibatch,
+// amortized across its items).
+func runE18() {
+	const (
+		streamLen = 1 << 21
+		batchSize = 8192
+	)
+	stream := workload.Zipf(223, streamLen, 1.1, 1<<18)
+	batches := workload.Batches(stream, batchSize)
+
+	measure := func(f func()) (nsPerItem, itemsPerSec, allocsPerItem float64) {
+		runtime.GC()
+		var before, after runtime.MemStats
+		runtime.ReadMemStats(&before)
+		start := time.Now()
+		f()
+		sec := time.Since(start).Seconds()
+		runtime.ReadMemStats(&after)
+		allocs := float64(after.Mallocs - before.Mallocs)
+		return sec * 1e9 / streamLen, streamLen / sec, allocs / streamLen
+	}
+
+	t := newTable("tracing", "ns/item", "Mitem/s", "allocs/item", "overhead")
+	var baseNs float64
+	for _, cfg := range []struct {
+		label string
+		rate  float64
+		trace bool
+	}{
+		{"off (no tracer)", 0, false},
+		{"rate 0 (disabled)", 0, true},
+		{"rate 1 (every batch)", 1, true},
+	} {
+		agg, err := streamagg.New(streamagg.KindCountMin,
+			streamagg.WithEpsilon(1e-4), streamagg.WithDelta(1e-3), streamagg.WithSeed(7))
+		if err != nil {
+			panic(err)
+		}
+		opts := []streamagg.Option{
+			streamagg.WithBatchSize(batchSize), streamagg.WithQueueCap(4 * batchSize),
+		}
+		var tr *trace.Tracer
+		if cfg.trace {
+			tr = trace.New(trace.Config{SampleRate: cfg.rate})
+			opts = append(opts, streamagg.WithTracer(tr))
+		}
+		in, err := streamagg.NewIngestor(agg, opts...)
+		if err != nil {
+			panic(err)
+		}
+		ctx := context.Background()
+		run := func() {
+			for _, b := range batches {
+				// Mirror the serving path: at rate 1 every batch enters
+				// under a sampled enqueue context; at rate 0 the span is
+				// nil and the context zero-valued, exactly like an
+				// untraced HTTP request.
+				span := tr.Start("bench.ingest", trace.SpanContext{})
+				if _, err := in.PutBatchSpan(ctx, b, span.Context()); err != nil {
+					panic(err)
+				}
+				span.End()
+			}
+			if err := in.Flush(); err != nil {
+				panic(err)
+			}
+		}
+		run() // warm queue buffers, sketch scratch, and (rate 1) the span ring
+		ns, ips, allocs := measure(run)
+		if err := in.Close(); err != nil {
+			panic(err)
+		}
+		overhead := "-"
+		if baseNs == 0 {
+			baseNs = ns
+		} else if baseNs > 0 {
+			overhead = fmt.Sprintf("%+.1f%%", (ns/baseNs-1)*100)
+		}
+		t.add(cfg.label, fmt.Sprintf("%.1f", ns), fmt.Sprintf("%.1f", ips/1e6),
+			fmt.Sprintf("%.4f", allocs), overhead)
+		recordAllocs("E18", cfg.label,
+			map[string]any{"batch": batchSize, "rate": cfg.rate}, ns, ips, allocs)
+	}
+	t.print()
+	fmt.Println("shape check: the rate-0 row matches the no-tracer row (nil spans, zero")
+	fmt.Println("allocations); rate 1 pays a few spans per 8192-item batch — noise-level ns/item")
 }

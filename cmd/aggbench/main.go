@@ -15,8 +15,9 @@
 // axis; E13 the serving layer's async minibatcher; E14 the durability
 // subsystem's WAL cost per fsync policy; E15 the observability
 // subsystem's instrumentation cost on the ingest hot path; E17 the
-// hashing scheme and allocation profile of the steady-state ingest path.
-// With -json, the perf-trajectory experiments (E11–E17) also write
+// hashing scheme and allocation profile of the steady-state ingest path;
+// E18 the distributed-tracing span overhead with sampling off and on.
+// With -json, the perf-trajectory experiments (E11–E18) also write
 // BENCH_<experiment>.json files with machine-readable measurements.
 package main
 
@@ -34,7 +35,7 @@ type experiment struct {
 }
 
 func main() {
-	which := flag.String("experiment", "all", "experiment id (E1..E17) or 'all'")
+	which := flag.String("experiment", "all", "experiment id (E1..E18) or 'all'")
 	flag.BoolVar(&jsonOut, "json", false, "also write BENCH_<experiment>.json measurement files")
 	check := flag.Bool("check", false, "compare measurements against committed BENCH_*.json; exit 1 on regression")
 	tolerance := flag.Float64("check-tolerance", 0.15, "fractional items/sec drop tolerated by -check")
@@ -59,6 +60,7 @@ func main() {
 		{"E15", "observability: instrumentation cost on the ingest hot path (vs E13)", runE15},
 		{"E16", "federation: merge cost vs summary size per mergeable kind", runE16},
 		{"E17", "hashing + allocation profile: derived one-hash-per-item scheme, zero-alloc batch path", runE17},
+		{"E18", "tracing: span overhead on the ingest path, sampling off vs on", runE18},
 	}
 
 	want := strings.ToUpper(*which)

@@ -17,7 +17,14 @@
 //	         [-batch 8192] [-latency 5ms] [-queue N] [-backpressure block|reject|drop]
 //	         [-data-dir DIR] [-fsync always|interval|never] [-snapshot-every N]
 //	         [-parallelism N] [-metrics=true|false]
+//	         [-trace-sample P] [-debug-addr host:port]
 //	         [-push-to URL -node-id ID] [-push-every 10s] [-push-mode full|delta]
+//
+// With -trace-sample P (0 < P <= 1) the server records spans for the
+// sampled fraction of requests — through enqueue, flush, WAL append,
+// sink apply, and federation push — served at GET /debug/traces.
+// -debug-addr exposes net/http/pprof on a separate listener (off by
+// default; keep it loopback-only).
 //
 // With -push-to the server is a federation edge: it keeps serving local
 // ingest and queries while periodically shipping its summaries to the
@@ -39,7 +46,7 @@ package main
 import (
 	"context"
 	"flag"
-	"log"
+	"log/slog"
 	"os"
 	"os/signal"
 	"syscall"
@@ -64,12 +71,15 @@ func main() {
 	snapEvery := flag.Int("snapshot-every", 0, "snapshot after N logged minibatches (default 4096; needs -data-dir)")
 	par := flag.Int("parallelism", 0, "worker budget for parallel ingestion (default GOMAXPROCS)")
 	metricsOn := flag.Bool("metrics", true, "serve the Prometheus exposition at GET /metrics")
+	traceSample := flag.Float64("trace-sample", 0, "span sampling probability in [0,1] (0 disables tracing; traces at GET /debug/traces)")
+	debugAddr := flag.String("debug-addr", "", "separate listener for net/http/pprof, e.g. localhost:6060 (default off)")
 	pushTo := flag.String("push-to", "", "federation root URL to push summaries to (host:port or full /v1/merge URL)")
 	pushEvery := flag.Duration("push-every", 0, "interval between federation pushes (default 10s; needs -push-to)")
 	nodeID := flag.String("node-id", "", "stable unique edge identity for federation dedup (required with -push-to)")
 	pushMode := flag.String("push-mode", "", "federation push mode: full (idempotent, default) or delta (small payloads)")
 	flag.Parse()
 
+	logger := slog.New(slog.NewTextHandler(os.Stderr, nil))
 	if *par > 0 {
 		streamagg.SetParallelism(*par)
 	}
@@ -79,7 +89,7 @@ func main() {
 			"sketch=count-min,eps=1e-4,seed=7",
 			"dist=count-min-range,bits=20",
 		}
-		log.Printf("no -agg flags; serving demo aggregates %v", specs)
+		logger.Info("no -agg flags; serving demo aggregates", "specs", specs)
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -95,13 +105,16 @@ func main() {
 		Fsync:         *fsync,
 		SnapshotEvery: *snapEvery,
 		NoMetrics:     !*metricsOn,
+		TraceSample:   *traceSample,
+		DebugAddr:     *debugAddr,
 		PushTo:        *pushTo,
 		PushEvery:     *pushEvery,
 		NodeID:        *nodeID,
 		PushMode:      *pushMode,
-		Logf:          log.Printf,
+		Logger:        logger,
 	})
 	if err != nil {
-		log.Fatal(err)
+		logger.Error("serve failed", "err", err)
+		os.Exit(1)
 	}
 }

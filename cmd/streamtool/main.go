@@ -21,12 +21,15 @@
 //	streamtool serve [-addr :8080] [-agg "spec1;spec2"] [-batch 8192]
 //	                 [-latency 5ms] [-queue N] [-backpressure block]
 //	                 [-data-dir DIR] [-fsync always] [-snapshot-every N]
-//	                 [-metrics true|false]
+//	                 [-metrics true|false] [-trace-sample P] [-debug-addr host:port]
 //	                 [-push-to URL -node-id ID] [-push-every 10s] [-push-mode full|delta]
 //	    HTTP ingest/query server over a pipeline of aggregates (the
 //	    server package; see cmd/aggserve for the standalone binary).
 //	    With -data-dir the server is durable and recovers on restart;
-//	    -metrics false disables the GET /metrics exposition.
+//	    -metrics false disables the GET /metrics exposition;
+//	    -trace-sample P records spans for that fraction of requests at
+//	    GET /debug/traces; -debug-addr serves net/http/pprof on its own
+//	    listener.
 //
 //	streamtool inspect <data-dir>
 //	    Print a durability directory's manifest, snapshots, WAL
@@ -46,7 +49,7 @@ import (
 	"bufio"
 	"context"
 	"fmt"
-	"log"
+	"log/slog"
 	"os"
 	"os/signal"
 	"strconv"
@@ -192,11 +195,13 @@ func runServe(args []string) {
 		Fsync:         f.str("fsync", ""),
 		SnapshotEvery: int(f.int("snapshot-every", 0)),
 		NoMetrics:     !metricsOn,
+		TraceSample:   f.float("trace-sample", 0),
+		DebugAddr:     f.str("debug-addr", ""),
 		PushTo:        f.str("push-to", ""),
 		PushEvery:     pushEvery,
 		NodeID:        f.str("node-id", ""),
 		PushMode:      f.str("push-mode", ""),
-		Logf:          log.Printf,
+		Logger:        slog.New(slog.NewTextHandler(os.Stderr, nil)),
 	})
 	if err != nil {
 		fail(err)
@@ -245,10 +250,10 @@ func runPush(args []string) {
 		fail(err)
 	}
 	pusher, err := federation.NewPusher(federation.PusherConfig{
-		URL:  url,
-		Node: node,
-		Mode: mode,
-		Logf: log.Printf,
+		URL:    url,
+		Node:   node,
+		Mode:   mode,
+		Logger: slog.New(slog.NewTextHandler(os.Stderr, nil)),
 		Source: federation.SourceFunc(func(delta bool) ([]byte, error) {
 			ckpt, err := pipe.MarshalBinary()
 			if err != nil || !delta {
@@ -279,7 +284,7 @@ func runPush(args []string) {
 		total += int64(len(ts))
 		if time.Since(last) >= every {
 			if err := pusher.Push(ctx); err != nil {
-				log.Printf("streamtool: push failed (will retry next interval): %v", err)
+				fmt.Fprintf(os.Stderr, "streamtool: push failed (will retry next interval): %v\n", err)
 			} else {
 				pushes++
 			}

@@ -7,11 +7,13 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log/slog"
 	"net/http"
 	"strings"
 	"time"
 
 	"repro/metrics"
+	"repro/trace"
 )
 
 // Source supplies the Pusher's payloads. Capture(false) returns the
@@ -66,8 +68,18 @@ type PusherConfig struct {
 	Client *http.Client
 	// Registry receives the push-path instruments (nil: private).
 	Registry *metrics.Registry
-	// Logf, when set, receives one line per retry/failure (e.g. log.Printf).
-	Logf func(format string, args ...any)
+	// Logger receives one record per retry/failure, with the push's
+	// trace and span IDs attached when the push is sampled (nil:
+	// discard).
+	Logger *slog.Logger
+	// Tracer, when set, records a federation.push span per push and
+	// propagates its context to the root via the traceparent header, so
+	// the root's merge apply joins the same trace.
+	Tracer *trace.Tracer
+	// Parent, when set, supplies the span context each push span joins —
+	// typically the serving layer's last sampled ingest — linking edge
+	// capture, push, and root merge into one trace.
+	Parent func() trace.SpanContext
 	// RetryBase/RetryMax bound the exponential backoff between attempts
 	// within one push (defaults 200ms / 5s).
 	RetryBase, RetryMax time.Duration
@@ -123,9 +135,10 @@ func NewPusher(cfg PusherConfig) (*Pusher, error) {
 	if cfg.Client == nil {
 		cfg.Client = http.DefaultClient
 	}
-	if cfg.Logf == nil {
-		cfg.Logf = func(string, ...any) {}
+	if cfg.Logger == nil {
+		cfg.Logger = slog.New(slog.DiscardHandler)
 	}
+	cfg.Logger = cfg.Logger.With("node", cfg.Node)
 	reg := cfg.Registry
 	if reg == nil {
 		reg = metrics.NewRegistry()
@@ -187,7 +200,7 @@ func (p *Pusher) Run(ctx context.Context) error {
 			return ctx.Err()
 		case <-ticker.C:
 			if err := p.Push(ctx); err != nil && ctx.Err() == nil {
-				p.cfg.Logf("federation: push to %s failed: %v", p.cfg.URL, err)
+				p.cfg.Logger.Warn("federation push failed", "url", p.cfg.URL, "err", err)
 			}
 		}
 	}
@@ -199,11 +212,33 @@ func (p *Pusher) Run(ctx context.Context) error {
 // mode an empty-handed capture is skipped only by the Source returning
 // an empty payload error — captures themselves are cheap.
 func (p *Pusher) Push(ctx context.Context) error {
+	// The push span covers capture through acknowledgment. It joins the
+	// Parent-supplied context (a sampled ingest at this edge) when one
+	// exists, otherwise the tracer's own sampling decides; its context
+	// travels to the root in the traceparent header.
+	var parent trace.SpanContext
+	if p.cfg.Parent != nil {
+		parent = p.cfg.Parent()
+	}
+	span := p.cfg.Tracer.Start("federation.push", parent)
+	span.SetAttr("node", p.cfg.Node)
+	span.SetAttr("mode", p.cfg.Mode.String())
+	err := p.push(ctx, span)
+	if err != nil {
+		span.SetAttr("error", err.Error())
+	}
+	span.End()
+	return err
+}
+
+func (p *Pusher) push(ctx context.Context, span *trace.Span) error {
 	payload, seq, err := p.nextPayload()
 	if err != nil {
 		p.failed.Inc()
 		return fmt.Errorf("federation: capturing push payload: %w", err)
 	}
+	span.SetInt("seq", int64(seq))
+	span.SetInt("bytes", int64(len(payload)))
 	body, err := EncodeEnvelope(&Envelope{
 		Node:    p.cfg.Node,
 		Epoch:   p.epoch,
@@ -219,13 +254,15 @@ func (p *Pusher) Push(ctx context.Context) error {
 	}
 	backoff := p.cfg.RetryBase
 	for attempt := 1; ; attempt++ {
-		landed, err := p.send(ctx, body)
+		landed, err := p.send(ctx, body, span.Context())
 		if err == nil {
 			if landed {
 				p.sent.Inc()
 				p.pushBytes.Observe(uint64(len(payload)))
+				span.SetAttr("result", "sent")
 			} else {
 				p.dupes.Inc()
+				span.SetAttr("result", "duplicate")
 			}
 			p.lastSeq.Set(int64(seq))
 			p.dropPending()
@@ -243,8 +280,9 @@ func (p *Pusher) Push(ctx context.Context) error {
 			return err
 		}
 		p.retried.Inc()
-		p.cfg.Logf("federation: push seq=%d attempt %d failed (%v), retrying in %v",
-			seq, attempt, err, backoff)
+		args := append(span.LogArgs(),
+			"seq", seq, "attempt", attempt, "err", err, "backoff", backoff)
+		p.cfg.Logger.Warn("federation push retrying", args...)
 		if serr := p.sleep(ctx, backoff); serr != nil {
 			p.failed.Inc()
 			return err
@@ -310,12 +348,15 @@ type mergeReject struct {
 // superseded — the payload's information is at the root either way), a
 // *permanentError when the root permanently rejected it, or a plain
 // error for transient failures worth retrying.
-func (p *Pusher) send(ctx context.Context, body []byte) (bool, error) {
+func (p *Pusher) send(ctx context.Context, body []byte, sc trace.SpanContext) (bool, error) {
 	req, err := http.NewRequestWithContext(ctx, http.MethodPost, p.cfg.URL, bytes.NewReader(body))
 	if err != nil {
 		return false, &permanentError{msg: fmt.Sprintf("federation: building request: %v", err)}
 	}
 	req.Header.Set("Content-Type", "application/octet-stream")
+	if sc.IsValid() {
+		req.Header.Set("traceparent", sc.Traceparent())
+	}
 	resp, err := p.cfg.Client.Do(req)
 	if err != nil {
 		return false, err

@@ -1,0 +1,218 @@
+package metrics
+
+// Prometheus text-exposition conformance: properties a scraper relies
+// on, checked against the rendered output rather than the in-memory
+// state. Escaping must round-trip (a label value with \n, ", or \ in it
+// must parse back to the original), histogram _bucket series must be
+// cumulative and monotone in le order, and the +Inf bucket must equal
+// _count exactly.
+
+import (
+	"fmt"
+	"math/rand"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+)
+
+// unescapeLabel inverts escapeLabel per the exposition format: \\ → \,
+// \" → ", \n → newline.
+func unescapeLabel(s string) string {
+	var b strings.Builder
+	for i := 0; i < len(s); i++ {
+		if s[i] == '\\' && i+1 < len(s) {
+			i++
+			switch s[i] {
+			case 'n':
+				b.WriteByte('\n')
+			case '"', '\\':
+				b.WriteByte(s[i])
+			default:
+				b.WriteByte('\\')
+				b.WriteByte(s[i])
+			}
+			continue
+		}
+		b.WriteByte(s[i])
+	}
+	return b.String()
+}
+
+func TestLabelEscapingRoundTrips(t *testing.T) {
+	values := []string{
+		"plain",
+		"new\nline",
+		`quo"ted`,
+		`back\slash`,
+		`all\three:"x"` + "\n",
+		`trailing\`,
+		`\n`, // literal backslash-n, must not collapse into a newline
+	}
+	for i, v := range values {
+		r := NewRegistry()
+		r.Counter("rt_total", "Round trip.", "v", v).Inc()
+		var b strings.Builder
+		if err := r.WriteText(&b); err != nil {
+			t.Fatal(err)
+		}
+		out := b.String()
+		// Extract the rendered label value: rt_total{v="..."} 1
+		start := strings.Index(out, `rt_total{v="`)
+		if start < 0 {
+			t.Fatalf("case %d: series missing:\n%s", i, out)
+		}
+		rest := out[start+len(`rt_total{v="`):]
+		end := strings.Index(rest, `"} 1`)
+		if end < 0 {
+			t.Fatalf("case %d: series truncated:\n%s", i, out)
+		}
+		escaped := rest[:end]
+		// The rendered value must contain no raw newline — it would
+		// corrupt the line-oriented format. (An unescaped quote would
+		// break the extraction above and fail the round trip below.)
+		if strings.Contains(escaped, "\n") {
+			t.Errorf("case %d: rendered value %q leaks a raw newline", i, escaped)
+		}
+		if got := unescapeLabel(escaped); got != v {
+			t.Errorf("case %d: %q rendered as %q, unescapes to %q", i, v, escaped, got)
+		}
+	}
+}
+
+// parseBuckets extracts (le, cumulative count) pairs plus the _count
+// value for one histogram family from rendered exposition text.
+func parseBuckets(t *testing.T, out, name string) (les []string, cum []int64, count int64) {
+	t.Helper()
+	for _, line := range strings.Split(out, "\n") {
+		if strings.HasPrefix(line, name+"_bucket{") {
+			leStart := strings.Index(line, `le="`) + len(`le="`)
+			leEnd := strings.Index(line[leStart:], `"`) + leStart
+			les = append(les, line[leStart:leEnd])
+			v, err := strconv.ParseInt(line[strings.LastIndexByte(line, ' ')+1:], 10, 64)
+			if err != nil {
+				t.Fatalf("bad bucket line %q: %v", line, err)
+			}
+			cum = append(cum, v)
+		}
+		if strings.HasPrefix(line, name+"_count") {
+			v, err := strconv.ParseInt(line[strings.LastIndexByte(line, ' ')+1:], 10, 64)
+			if err != nil {
+				t.Fatalf("bad count line %q: %v", line, err)
+			}
+			count = v
+		}
+	}
+	return les, cum, count
+}
+
+func TestHistogramBucketsCumulativeAndMonotone(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat_items", "Latencies.", UnitItems)
+	rng := rand.New(rand.NewSource(1))
+	var n int64
+	for i := 0; i < 10000; i++ {
+		h.Observe(uint64(rng.Int63n(1 << uint(rng.Intn(30)))))
+		n++
+	}
+	var b strings.Builder
+	if err := r.WriteText(&b); err != nil {
+		t.Fatal(err)
+	}
+	les, cum, count := parseBuckets(t, b.String(), "lat_items")
+	if len(les) == 0 {
+		t.Fatal("no bucket series rendered")
+	}
+	if les[len(les)-1] != "+Inf" {
+		t.Fatalf("last bucket le=%q, want +Inf", les[len(les)-1])
+	}
+	// Cumulative counts never decrease, and finite le bounds strictly
+	// increase.
+	var prevBound float64 = -1
+	for i := range les {
+		if i > 0 && cum[i] < cum[i-1] {
+			t.Fatalf("bucket %d (le=%s) count %d < previous %d — not cumulative",
+				i, les[i], cum[i], cum[i-1])
+		}
+		if les[i] == "+Inf" {
+			continue
+		}
+		bound, err := strconv.ParseFloat(les[i], 64)
+		if err != nil {
+			t.Fatalf("unparseable le %q", les[i])
+		}
+		if bound <= prevBound {
+			t.Fatalf("le bounds not increasing: %v after %v", bound, prevBound)
+		}
+		prevBound = bound
+	}
+	// The +Inf bucket is exactly the total observation count.
+	if inf := cum[len(cum)-1]; inf != count || count != n {
+		t.Fatalf("+Inf bucket %d, _count %d, observations %d — must all match", inf, count, n)
+	}
+}
+
+func TestSecondsHistogramInfEqualsCount(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat_seconds", "Latency.", UnitSeconds, "handler", "ingest")
+	for i := 0; i < 257; i++ {
+		h.ObserveDuration(time.Duration(i) * time.Millisecond)
+	}
+	var b strings.Builder
+	if err := r.WriteText(&b); err != nil {
+		t.Fatal(err)
+	}
+	_, cum, count := parseBuckets(t, b.String(), "lat_seconds")
+	if len(cum) == 0 || cum[len(cum)-1] != 257 || count != 257 {
+		t.Fatalf("+Inf=%v _count=%d, want both 257", cum, count)
+	}
+}
+
+func TestHistogramExemplar(t *testing.T) {
+	var h Histogram
+	if tid, _ := h.Exemplar(); tid != "" {
+		t.Fatal("fresh histogram has an exemplar")
+	}
+	// Empty trace IDs observe without claiming the exemplar.
+	h.ObserveExemplar(100, "")
+	if tid, _ := h.Exemplar(); tid != "" {
+		t.Fatal("empty trace ID claimed the exemplar")
+	}
+	h.ObserveExemplar(50, "trace-slow")
+	h.ObserveExemplar(10, "trace-fast") // smaller: must not displace
+	if tid, v := h.Exemplar(); tid != "trace-slow" || v != 50 {
+		t.Fatalf("exemplar = (%q, %d), want (trace-slow, 50)", tid, v)
+	}
+	h.ObserveExemplar(500, "trace-slower") // larger: takes over
+	if tid, v := h.Exemplar(); tid != "trace-slower" || v != 500 {
+		t.Fatalf("exemplar = (%q, %d), want (trace-slower, 500)", tid, v)
+	}
+	h.ObserveDurationExemplar(2*time.Second, "trace-slowest")
+	if tid, v := h.Exemplar(); tid != "trace-slowest" || v != uint64(2*time.Second) {
+		t.Fatalf("exemplar = (%q, %d), want (trace-slowest, 2s)", tid, v)
+	}
+	// The exemplar path still feeds the distribution.
+	if _, count, _ := h.Snapshot(); count != 5 {
+		t.Fatalf("count = %d, want 5", count)
+	}
+}
+
+// Exemplar updates are concurrency-safe and settle on the maximum.
+func TestHistogramExemplarConcurrent(t *testing.T) {
+	var h Histogram
+	done := make(chan struct{})
+	for g := 0; g < 4; g++ {
+		go func(g int) {
+			defer func() { done <- struct{}{} }()
+			for i := 0; i < 1000; i++ {
+				h.ObserveExemplar(uint64(g*1000+i), fmt.Sprintf("t%d", g))
+			}
+		}(g)
+	}
+	for g := 0; g < 4; g++ {
+		<-done
+	}
+	if tid, v := h.Exemplar(); tid != "t3" || v != 3999 {
+		t.Fatalf("exemplar = (%q, %d), want (t3, 3999)", tid, v)
+	}
+}

@@ -85,10 +85,18 @@ func (g *Gauge) Add(n int64) { g.v.Add(n) }
 func (g *Gauge) Value() int64 { return g.v.Load() }
 
 // Histogram is a log₂-bucketed distribution of uint64 observations.
-// Observe is two atomic adds; no locks.
+// Observe is two atomic adds; no locks. A histogram can additionally
+// carry one exemplar — the trace ID of its largest exemplar-annotated
+// observation — linking the distribution's tail back to a recorded
+// trace; the exemplar mutex is touched only by the Exemplar methods,
+// which callers invoke on the (rare) sampled path.
 type Histogram struct {
 	unit Unit
 	h    hist.Log2
+
+	exMu    sync.Mutex
+	exTrace string
+	exValue uint64
 }
 
 // Observe records one value in the histogram's raw unit (items, bytes,
@@ -108,6 +116,39 @@ func (h *Histogram) ObserveDuration(d time.Duration) {
 // non-empty bucket; bucket i counts values of bit length i), the total
 // observation count, and the sum in raw units.
 func (h *Histogram) Snapshot() (buckets []int64, count, sum int64) { return h.h.Snapshot() }
+
+// ObserveExemplar records v and, when traceID is non-empty and v is at
+// least as large as the current exemplar, remembers (traceID, v) as the
+// family's slowest-trace exemplar. Pass an empty traceID to observe
+// without touching the exemplar lock.
+func (h *Histogram) ObserveExemplar(v uint64, traceID string) {
+	h.h.Observe(v)
+	if traceID == "" {
+		return
+	}
+	h.exMu.Lock()
+	if v >= h.exValue || h.exTrace == "" {
+		h.exValue, h.exTrace = v, traceID
+	}
+	h.exMu.Unlock()
+}
+
+// ObserveDurationExemplar is ObserveExemplar for durations (UnitSeconds
+// histograms); negative durations clamp to zero.
+func (h *Histogram) ObserveDurationExemplar(d time.Duration, traceID string) {
+	if d < 0 {
+		d = 0
+	}
+	h.ObserveExemplar(uint64(d.Nanoseconds()), traceID)
+}
+
+// Exemplar returns the trace ID and raw-unit value of the largest
+// exemplar-annotated observation, or ("", 0) if none was recorded.
+func (h *Histogram) Exemplar() (traceID string, value uint64) {
+	h.exMu.Lock()
+	defer h.exMu.Unlock()
+	return h.exTrace, h.exValue
+}
 
 // instrument is anything a family can hold and render.
 type instrument interface {

@@ -20,6 +20,7 @@ import (
 	"repro/internal/wsum"
 	"repro/metrics"
 	"repro/persist"
+	"repro/trace"
 )
 
 // config accumulates option values; set tracks which options appeared so
@@ -47,9 +48,11 @@ type config struct {
 	snapshotEvery int
 
 	// Observability: the registry the Ingestor (and its persist store)
-	// publishes instruments to; nil means a private registry. The clock
-	// is a test seam for the latency-deadline path.
+	// publishes instruments to; nil means a private registry. The tracer
+	// records the batch lifecycle as spans; nil disables tracing. The
+	// clock is a test seam for the latency-deadline path.
 	metricsReg *metrics.Registry
+	tracer     *trace.Tracer
 	clock      func() time.Time
 
 	set map[string]bool
@@ -274,6 +277,23 @@ func WithMetricsRegistry(reg *metrics.Registry) Option {
 		}
 		c.metricsReg = reg
 		c.mark("WithMetricsRegistry")
+		return nil
+	}
+}
+
+// WithTracer wires distributed tracing into the Ingestor: a sampled
+// batch's lifecycle is recorded as spans — flush, WAL append, sink
+// apply — parented onto the trace context the producer handed to
+// PutBatchSpan, so one trace follows an item across the async queue
+// boundary. A nil-free tracer with sampling rate 0 (or omitting the
+// option) keeps the ingest path allocation-free. Ingestor only.
+func WithTracer(tr *trace.Tracer) Option {
+	return func(c *config) error {
+		if tr == nil {
+			return fmt.Errorf("%w: nil tracer", ErrBadParam)
+		}
+		c.tracer = tr
+		c.mark("WithTracer")
 		return nil
 	}
 }

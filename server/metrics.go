@@ -10,10 +10,13 @@ package server
 
 import (
 	"net/http"
+	"runtime"
+	"runtime/debug"
 	"time"
 
 	streamagg "repro"
 	"repro/metrics"
+	"repro/trace"
 )
 
 // queryVerbs are the /v1/{agg}/{verb} routes, each its own latency
@@ -24,7 +27,7 @@ var queryVerbs = []string{"estimate", "value", "heavyhitters", "topk", "rangecou
 // all series exist from the first scrape (no lock is ever taken on the
 // request path to create one lazily).
 var instrumentedHandlers = func() []string {
-	hs := []string{"ingest", "flush", "checkpoint", "restore", "merge", "stats", "persist_stats", "healthz", "query_other"}
+	hs := []string{"ingest", "flush", "checkpoint", "restore", "merge", "stats", "persist_stats", "healthz", "readyz", "query_other"}
 	for _, v := range queryVerbs {
 		hs = append(hs, "query_"+v)
 	}
@@ -37,6 +40,7 @@ type serverMetrics struct {
 	inFlight *metrics.Gauge
 	latency  map[string]*metrics.Histogram
 	requests map[string]*metrics.Counter // key: handler + "|" + class
+	spanName map[string]string           // label -> "http.<label>", precomputed (no per-request concat)
 }
 
 // newServerMetrics pre-creates the HTTP instruments and registers the
@@ -47,8 +51,10 @@ func newServerMetrics(reg *metrics.Registry, pipe *streamagg.Pipeline, start tim
 			"Requests currently being served."),
 		latency:  make(map[string]*metrics.Histogram, len(instrumentedHandlers)),
 		requests: make(map[string]*metrics.Counter, len(instrumentedHandlers)*len(statusClasses)),
+		spanName: make(map[string]string, len(instrumentedHandlers)),
 	}
 	for _, h := range instrumentedHandlers {
+		m.spanName[h] = "http." + h
 		m.latency[h] = reg.Histogram("streamagg_http_request_seconds",
 			"Request latency by handler.", metrics.UnitSeconds, "handler", h)
 		for _, c := range statusClasses {
@@ -58,6 +64,24 @@ func newServerMetrics(reg *metrics.Registry, pipe *streamagg.Pipeline, start tim
 	}
 	reg.GaugeFunc("streamagg_uptime_seconds", "Seconds since the server started.",
 		func() float64 { return time.Since(start).Seconds() })
+	// Build and runtime identity, following the Prometheus conventions:
+	// a constant-1 info gauge carrying version labels, the canonical
+	// process start time, and a live goroutine count.
+	version, goversion := "unknown", runtime.Version()
+	if info, ok := debug.ReadBuildInfo(); ok {
+		if info.Main.Version != "" {
+			version = info.Main.Version
+		}
+		if info.GoVersion != "" {
+			goversion = info.GoVersion
+		}
+	}
+	reg.Gauge("app_build_info", "Build metadata; the value is always 1.",
+		"version", version, "goversion", goversion).Set(1)
+	reg.Gauge("process_start_time_seconds", "Unix time the process started.").
+		Set(start.Unix())
+	reg.GaugeFunc("go_goroutines", "Goroutines currently live.",
+		func() float64 { return float64(runtime.NumGoroutine()) })
 	// The callbacks resolve the aggregate by name at render time rather
 	// than capturing the instance: a restore rebuilds the pipeline's
 	// aggregates, and a captured pointer would keep reporting the dead
@@ -119,7 +143,10 @@ func (w *statusWriter) WriteHeader(code int) {
 // instrument wraps a handler under a fixed label ("ingest", "query",
 // ...); the query wildcard resolves to its verb per request. The
 // middleware only touches pre-created instruments — atomic adds, no
-// locks — so it adds nothing measurable to request cost.
+// locks — so it adds nothing measurable to request cost. It is also
+// the tracing entry point: an incoming W3C traceparent joins the
+// caller's trace, otherwise the local sampler decides; on the
+// unsampled path the span is nil and every call below is free.
 func (s *Server) instrument(name string, h http.HandlerFunc) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		label := name
@@ -129,12 +156,22 @@ func (s *Server) instrument(name string, h http.HandlerFunc) http.HandlerFunc {
 				label = "query_other"
 			}
 		}
+		parent, _ := trace.ParseTraceparent(r.Header.Get("traceparent"))
+		span := s.tracer.Start(s.m.spanName[label], parent)
+		if span != nil {
+			span.SetAttr("method", r.Method)
+			span.SetAttr("path", r.URL.Path)
+			r = r.WithContext(trace.ContextWithSpan(r.Context(), span))
+		}
 		s.m.inFlight.Add(1)
 		defer s.m.inFlight.Add(-1)
 		sw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
 		start := time.Now()
 		h(sw, r)
-		s.m.latency[label].ObserveDuration(time.Since(start))
+		elapsed := time.Since(start)
+		span.SetInt("status", int64(sw.code))
+		span.End()
+		s.m.latency[label].ObserveDurationExemplar(elapsed, span.TraceIDString())
 		class := sw.code / 100
 		if class < 1 || class > 5 {
 			class = 5

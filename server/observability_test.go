@@ -199,6 +199,10 @@ func TestServerMetricsEndpoint(t *testing.T) {
 		"streamagg_wal_last_seq",
 		"streamagg_recovery_snapshot_loaded",
 		"streamagg_snapshot_failures_total",
+		// Build/runtime identity.
+		`app_build_info{goversion="`,
+		"process_start_time_seconds",
+		"go_goroutines",
 	} {
 		if !strings.Contains(out, family) {
 			t.Errorf("exposition missing %s", family)

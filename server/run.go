@@ -11,6 +11,9 @@ package server
 import (
 	"context"
 	"fmt"
+	"log/slog"
+	"net/http"
+	"net/http/pprof"
 	"net/url"
 	"strings"
 	"time"
@@ -46,6 +49,16 @@ type RunConfig struct {
 	// zero value serves it; both binaries map -metrics=false here).
 	NoMetrics bool
 
+	// TraceSample is the root-span sampling probability in [0, 1] for
+	// the server's tracer (0, the zero value, records nothing and costs
+	// nothing). Sampled traces are served at GET /debug/traces.
+	TraceSample float64
+
+	// DebugAddr, when non-empty, serves net/http/pprof on its own
+	// listener (e.g. "localhost:6060") — separate from Addr so the
+	// profiling surface is never exposed where the data plane is.
+	DebugAddr string
+
 	// Federation push knobs: a non-empty PushTo turns this server into
 	// an edge node that periodically ships its state to a root's
 	// /v1/merge URL. NodeID must be stable and unique per edge
@@ -56,8 +69,8 @@ type RunConfig struct {
 	NodeID    string
 	PushMode  string
 
-	// Logf receives progress lines (pass log.Printf); nil silences them.
-	Logf func(format string, args ...any)
+	// Logger receives progress records; nil discards them.
+	Logger *slog.Logger
 }
 
 // options assembles the Ingestor option list from the flag values.
@@ -92,8 +105,10 @@ func NormalizePushURL(raw string) (string, error) {
 }
 
 // pusherFor builds the federation Pusher for an edge server, or nil
-// when cfg.PushTo is empty.
-func pusherFor(cfg RunConfig, srv *Server, logf func(string, ...any)) (*federation.Pusher, error) {
+// when cfg.PushTo is empty. The pusher shares the server's tracer and
+// parents its push spans on the last sampled ingest, so a trace
+// recorded at this edge continues through the root's merge.
+func pusherFor(cfg RunConfig, srv *Server, logger *slog.Logger) (*federation.Pusher, error) {
 	if cfg.PushTo == "" {
 		return nil, nil
 	}
@@ -120,15 +135,30 @@ func pusherFor(cfg RunConfig, srv *Server, logf func(string, ...any)) (*federati
 		Mode:     mode,
 		Interval: cfg.PushEvery,
 		Registry: srv.Metrics(),
-		Logf:     logf,
+		Logger:   logger,
+		Tracer:   srv.Tracer(),
+		Parent:   srv.LastIngestContext,
 	})
+}
+
+// debugServer serves net/http/pprof on addr. The default mux is
+// deliberately avoided: only the profiling routes exist here, and only
+// on this listener.
+func debugServer(addr string) *http.Server {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return &http.Server{Addr: addr, Handler: mux, ReadHeaderTimeout: 10 * time.Second}
 }
 
 // Run blocks until ctx is canceled or serving fails.
 func Run(ctx context.Context, cfg RunConfig) error {
-	logf := cfg.Logf
-	if logf == nil {
-		logf = func(string, ...any) {}
+	logger := cfg.Logger
+	if logger == nil {
+		logger = slog.New(slog.DiscardHandler)
 	}
 	pipe := streamagg.NewPipeline()
 	if err := AddSpecs(pipe, cfg.Specs); err != nil {
@@ -143,12 +173,35 @@ func Run(ctx context.Context, cfg RunConfig) error {
 		return err
 	}
 	srv.SetMetricsEnabled(!cfg.NoMetrics)
+	if cfg.TraceSample < 0 || cfg.TraceSample > 1 {
+		return fmt.Errorf("%w: trace sample rate %v (want in [0, 1])",
+			streamagg.ErrBadParam, cfg.TraceSample)
+	}
+	srv.Tracer().SetSampleRate(cfg.TraceSample)
+	if cfg.TraceSample > 0 {
+		logger.Info("tracing enabled", "sample_rate", cfg.TraceSample)
+	}
 	if st := srv.Ingestor().Persist(); st != nil {
 		s := st.Stats()
-		logf("recovered from %s: snapshot seq %d + %d replayed batches (stream length %d, fsync=%s)",
-			s.Dir, s.SnapshotSeq, s.ReplayedRecords, pipe.StreamLen(), s.Fsync)
+		logger.Info("recovered",
+			"dir", s.Dir, "snapshot_seq", s.SnapshotSeq, "replayed_batches", s.ReplayedRecords,
+			"stream_len", pipe.StreamLen(), "fsync", s.Fsync)
 	}
-	pusher, err := pusherFor(cfg, srv, logf)
+	if cfg.DebugAddr != "" {
+		ds := debugServer(cfg.DebugAddr)
+		go func() {
+			logger.Info("debug listener (pprof) serving", "addr", cfg.DebugAddr)
+			if err := ds.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+				logger.Warn("debug listener failed", "addr", cfg.DebugAddr, "err", err)
+			}
+		}()
+		defer func() {
+			closeCtx, cancel := context.WithTimeout(context.Background(), time.Second)
+			defer cancel()
+			_ = ds.Shutdown(closeCtx)
+		}()
+	}
+	pusher, err := pusherFor(cfg, srv, logger)
 	if err != nil {
 		return err
 	}
@@ -157,15 +210,16 @@ func Run(ctx context.Context, cfg RunConfig) error {
 		pushDone = make(chan struct{})
 		go func() {
 			defer close(pushDone)
-			logf("pushing to %s every %v as node %q (mode %s, epoch %d)",
-				cfg.PushTo, pusher.Interval(), cfg.NodeID, pusher.Mode(), pusher.Epoch())
+			logger.Info("pushing",
+				"target", cfg.PushTo, "interval", pusher.Interval(), "node", cfg.NodeID,
+				"mode", pusher.Mode().String(), "epoch", pusher.Epoch())
 			_ = pusher.Run(ctx)
 		}()
 	}
 
 	errCh := make(chan error, 1)
 	go func() {
-		logf("serving on %s (%d aggregates)", cfg.Addr, pipe.Len())
+		logger.Info("serving", "addr", cfg.Addr, "aggregates", pipe.Len())
 		errCh <- srv.ListenAndServe(cfg.Addr)
 	}()
 	select {
@@ -181,23 +235,23 @@ func Run(ctx context.Context, cfg RunConfig) error {
 			<-pushDone
 			finalCtx, cancel := context.WithTimeout(context.Background(), drainTimeout)
 			if err := srv.Ingestor().Flush(); err != nil {
-				logf("pre-push flush: %v", err)
+				logger.Warn("pre-push flush failed", "err", err)
 			}
 			if err := pusher.Final(finalCtx); err != nil {
-				logf("final push failed: %v", err)
+				logger.Warn("final push failed", "err", err)
 			} else {
-				logf("final push delivered")
+				logger.Info("final push delivered")
 			}
 			cancel()
 		}
-		logf("shutting down: draining ingest queue")
+		logger.Info("shutting down: draining ingest queue")
 		shutdownCtx, cancel := context.WithTimeout(context.Background(), drainTimeout)
 		defer cancel()
 		if err := srv.Shutdown(shutdownCtx); err != nil {
 			return err
 		}
 		st := srv.Ingestor().Stats()
-		logf("drained %d items in %d batches", st.Processed, st.Batches)
+		logger.Info("drained", "items", st.Processed, "batches", st.Batches)
 		return nil
 	}
 }

@@ -49,6 +49,7 @@ import (
 	streamagg "repro"
 	"repro/federation"
 	"repro/metrics"
+	"repro/trace"
 )
 
 // Request-body caps: ingest requests are bounded to keep one client from
@@ -71,6 +72,16 @@ type Server struct {
 	reg       *metrics.Registry
 	m         *serverMetrics
 	metricsOn atomic.Bool
+
+	// Tracing: tracer samples and retains spans (rate 0 by default —
+	// the disabled path stays allocation-free); lastIngest remembers the
+	// most recent sampled ingest root so the federation pusher can join
+	// its trace (edge capture → push → root merge as one trace);
+	// notReady, when non-nil, is the reason /readyz answers 503
+	// (restore replay in progress, graceful drain).
+	tracer     *trace.Tracer
+	lastIngest atomic.Pointer[trace.SpanContext]
+	notReady   atomic.Pointer[string]
 
 	// Federation: fed folds POST /v1/merge pushes from edge nodes into
 	// the pipeline and serves the merged global view to queries;
@@ -131,11 +142,16 @@ func New(pipe *streamagg.Pipeline, opts ...streamagg.Option) (*Server, error) {
 	if err != nil {
 		return nil, fmt.Errorf("checkpointing pristine pipeline: %w", err)
 	}
-	// The server's registry goes first so a caller-supplied
-	// WithMetricsRegistry (applied later) wins; either way the Ingestor
-	// tells us which registry it actually publishes to.
+	// The server's defaults go first so caller-supplied options (applied
+	// later) win; either way the Ingestor tells us which registry and
+	// tracer it actually publishes to. The default tracer samples
+	// nothing — tracing is armed per deployment via WithTracer or
+	// Tracer().SetSampleRate.
 	ing, err := streamagg.NewIngestor(pipe,
-		append([]streamagg.Option{streamagg.WithMetricsRegistry(metrics.NewRegistry())}, opts...)...)
+		append([]streamagg.Option{
+			streamagg.WithMetricsRegistry(metrics.NewRegistry()),
+			streamagg.WithTracer(trace.New(trace.Config{SampleRate: 0})),
+		}, opts...)...)
 	if err != nil {
 		return nil, err
 	}
@@ -145,6 +161,7 @@ func New(pipe *streamagg.Pipeline, opts ...streamagg.Option) (*Server, error) {
 		mux:      http.NewServeMux(),
 		start:    time.Now(),
 		reg:      ing.MetricsRegistry(),
+		tracer:   ing.Tracer(),
 		pristine: pristine,
 	}
 	s.metricsOn.Store(true)
@@ -159,7 +176,9 @@ func New(pipe *streamagg.Pipeline, opts ...streamagg.Option) (*Server, error) {
 	s.mux.HandleFunc("GET /v1/stats", s.instrument("stats", s.handleStats))
 	s.mux.HandleFunc("GET /v1/persist/stats", s.instrument("persist_stats", s.handlePersistStats))
 	s.mux.HandleFunc("GET /healthz", s.instrument("healthz", s.handleHealthz))
+	s.mux.HandleFunc("GET /readyz", s.instrument("readyz", s.handleReadyz))
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.mux.Handle("GET /debug/traces", s.tracer.Handler())
 	s.mux.HandleFunc("GET /v1/{agg}/{verb}", s.instrument("query", s.handleQuery))
 	s.hs = &http.Server{Handler: s.mux, ReadHeaderTimeout: 10 * time.Second}
 	return s, nil
@@ -171,6 +190,21 @@ func (s *Server) SetMetricsEnabled(on bool) { s.metricsOn.Store(on) }
 
 // Metrics returns the server's observability registry.
 func (s *Server) Metrics() *metrics.Registry { return s.reg }
+
+// Tracer returns the server's span tracer (never nil; sampling rate 0
+// unless configured otherwise).
+func (s *Server) Tracer() *trace.Tracer { return s.tracer }
+
+// LastIngestContext returns the span context of the most recent sampled
+// ingest request (zero value if none was sampled yet). The federation
+// pusher uses it to parent its push span, so one trace follows data
+// from edge capture through the root's merge.
+func (s *Server) LastIngestContext() trace.SpanContext {
+	if p := s.lastIngest.Load(); p != nil {
+		return *p
+	}
+	return trace.SpanContext{}
+}
 
 // Handler returns the route table, for mounting under httptest or an
 // outer mux.
@@ -209,6 +243,10 @@ func (s *Server) Serve(l net.Listener) error {
 // running in the background — the caller's kill window, not the queue
 // depth, bounds how long shutdown takes.
 func (s *Server) Shutdown(ctx context.Context) error {
+	// Fail readiness first: a load balancer probing /readyz stops
+	// routing new work while in-flight requests finish.
+	reason := "draining"
+	s.notReady.Store(&reason)
 	httpErr := s.hs.Shutdown(ctx)
 	drained := make(chan error, 1)
 	go func() { drained <- s.ing.Close() }()
@@ -333,8 +371,22 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 	}
 	// Context-aware: a client that disconnects while parked on a full
 	// queue (BackpressureBlock) unblocks instead of leaking the handler.
-	accepted, err := s.ing.PutBatchContext(r.Context(), items)
+	// On a sampled request the enqueue span's context rides into the
+	// queue with the items, so the eventual flush joins this trace; on
+	// the unsampled path every span below is nil and free.
+	span := trace.SpanFromContext(r.Context())
+	enq := s.tracer.Child("ingest.enqueue", span.Context())
+	enq.SetInt("items", int64(len(items)))
+	accepted, err := s.ing.PutBatchSpan(r.Context(), items, enq.Context())
 	s.boundMu.RUnlock()
+	enq.SetInt("accepted", int64(accepted))
+	if err != nil {
+		enq.SetAttr("error", err.Error())
+	}
+	enq.End()
+	if sc := span.Context(); sc.Sampled {
+		s.lastIngest.Store(&sc)
+	}
 	if err != nil {
 		code := http.StatusInternalServerError
 		switch {
@@ -421,7 +473,20 @@ func (s *Server) handleMerge(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
-	if err := s.fed.Apply(env); err != nil {
+	// When the pushing edge sampled this trace, the middleware joined it
+	// via traceparent; the apply span then completes the cross-node
+	// picture: edge capture → push → root merge, one trace ID.
+	span := trace.SpanFromContext(r.Context())
+	apply := s.tracer.Child("federation.apply", span.Context())
+	apply.SetAttr("node", env.Node)
+	apply.SetInt("epoch", int64(env.Epoch))
+	apply.SetInt("seq", int64(env.Seq))
+	applyErr := s.fed.Apply(env)
+	if applyErr != nil {
+		apply.SetAttr("error", applyErr.Error())
+	}
+	apply.End()
+	if err := applyErr; err != nil {
 		var stale *federation.StaleError
 		switch {
 		case errors.As(err, &stale):
@@ -467,7 +532,12 @@ func (s *Server) handleRestore(w http.ResponseWriter, r *http.Request) {
 	// Restore rebuilds the aggregates from the envelope, whose
 	// parameters (e.g. a WindowSum bound) need not match the serving
 	// config — republish the enqueue-time validation limit. The write
-	// lock excludes in-flight ingest validate+enqueue pairs.
+	// lock excludes in-flight ingest validate+enqueue pairs. Readiness
+	// fails for the duration: queries answered mid-rebuild would mix
+	// old and new state.
+	reason := "restoring"
+	s.notReady.Store(&reason)
+	defer s.notReady.CompareAndSwap(&reason, nil)
 	s.boundMu.Lock()
 	err := s.ing.Restore(body)
 	if err == nil {
@@ -517,6 +587,21 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	if nodes := s.fed.Nodes(); len(nodes) > 0 {
 		stats["federation"] = map[string]any{"nodes": nodes}
 	}
+	// Exemplars: the trace behind each handler's slowest observed
+	// request, when tracing has sampled one — the bridge from "p99 is
+	// bad" to the exact trace that caused it.
+	slowest := make(map[string]any)
+	for label, h := range s.m.latency {
+		if tid, v := h.Exemplar(); tid != "" {
+			slowest[label] = map[string]any{
+				"trace_id": tid,
+				"seconds":  float64(v) / 1e9,
+			}
+		}
+	}
+	if len(slowest) > 0 {
+		stats["slowest"] = slowest
+	}
 	writeJSON(w, http.StatusOK, stats)
 }
 
@@ -529,8 +614,24 @@ func (s *Server) handlePersistStats(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, st.Stats())
 }
 
+// handleHealthz is the liveness probe: the process is up and serving
+// HTTP. It never reports anything else — restart-worthy conditions
+// (deadlock, OOM) can't answer at all, and everything softer belongs to
+// readiness.
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+// handleReadyz is the readiness probe: 503 with a reason while the
+// server should not receive traffic (restore replay in progress,
+// graceful drain), 200 otherwise.
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	if reason := s.notReady.Load(); reason != nil {
+		writeJSON(w, http.StatusServiceUnavailable,
+			map[string]string{"status": "unavailable", "reason": *reason})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ready"})
 }
 
 // param helpers: every malformed value is a 400 with the offending name.

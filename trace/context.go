@@ -1,0 +1,25 @@
+package trace
+
+// In-process propagation through context.Context, for the HTTP
+// middleware → handler hop. The WithValue allocation happens only on
+// the sampled path: nothing stores a nil span, and SpanFromContext on a
+// context without one returns nil — the universal no-op span.
+
+import "context"
+
+type ctxKey struct{}
+
+// ContextWithSpan returns ctx carrying span. A nil span returns ctx
+// unchanged (no allocation on the unsampled path).
+func ContextWithSpan(ctx context.Context, span *Span) context.Context {
+	if span == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, ctxKey{}, span)
+}
+
+// SpanFromContext returns the span carried by ctx, or nil.
+func SpanFromContext(ctx context.Context) *Span {
+	span, _ := ctx.Value(ctxKey{}).(*Span)
+	return span
+}

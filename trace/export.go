@@ -1,0 +1,150 @@
+package trace
+
+// JSON export of the completed-span ring, grouped into traces, behind
+// GET /debug/traces. This is the cold read path: the handler copies the
+// ring once under the tracer lock and does all grouping, filtering, and
+// encoding on the copy.
+
+import (
+	"encoding/json"
+	"net/http"
+	"sort"
+	"strconv"
+	"time"
+)
+
+// SpanJSON is one span in the /debug/traces response.
+type SpanJSON struct {
+	SpanID     string            `json:"span_id"`
+	ParentID   string            `json:"parent_id,omitempty"`
+	Name       string            `json:"name"`
+	Start      time.Time         `json:"start"`
+	DurationUS float64           `json:"duration_us"`
+	Attrs      map[string]string `json:"attrs,omitempty"`
+}
+
+// TraceJSON is one trace — every retained span sharing a trace ID —
+// in the /debug/traces response.
+type TraceJSON struct {
+	TraceID    string     `json:"trace_id"`
+	Root       string     `json:"root"`
+	Start      time.Time  `json:"start"`
+	DurationMS float64    `json:"duration_ms"`
+	Spans      []SpanJSON `json:"spans"`
+}
+
+// Traces groups the retained spans by trace ID, newest trace first,
+// keeping traces whose wall-clock extent (first span start to last span
+// end) is at least minDur and, when handler is non-empty, that contain
+// a span with that exact name. At most limit traces are returned
+// (limit <= 0 means no cap). Incomplete traces — some spans still open
+// or already overwritten — are reported from what the ring retains.
+func (t *Tracer) Traces(minDur time.Duration, handler string, limit int) []TraceJSON {
+	spans := t.Snapshot()
+	byTrace := make(map[TraceID][]SpanData)
+	for _, s := range spans {
+		byTrace[s.Trace] = append(byTrace[s.Trace], s)
+	}
+	out := make([]TraceJSON, 0, len(byTrace))
+	for tid, ss := range byTrace {
+		sort.Slice(ss, func(i, j int) bool { return ss[i].Start.Before(ss[j].Start) })
+		start, end := ss[0].Start, ss[0].Start.Add(ss[0].Duration)
+		root := ss[0].Name
+		match := handler == ""
+		js := make([]SpanJSON, 0, len(ss))
+		for i := range ss {
+			s := &ss[i]
+			if s.Name == handler {
+				match = true
+			}
+			if s.Parent.IsZero() {
+				root = s.Name
+			}
+			if e := s.Start.Add(s.Duration); e.After(end) {
+				end = e
+			}
+			sj := SpanJSON{
+				SpanID:     s.ID.String(),
+				Name:       s.Name,
+				Start:      s.Start,
+				DurationUS: float64(s.Duration.Microseconds()),
+			}
+			if !s.Parent.IsZero() {
+				sj.ParentID = s.Parent.String()
+			}
+			if attrs := s.Attrs(); len(attrs) > 0 {
+				sj.Attrs = make(map[string]string, len(attrs))
+				for _, a := range attrs {
+					sj.Attrs[a.Key] = a.Value
+				}
+			}
+			js = append(js, sj)
+		}
+		dur := end.Sub(start)
+		if !match || dur < minDur {
+			continue
+		}
+		out = append(out, TraceJSON{
+			TraceID:    tid.String(),
+			Root:       root,
+			Start:      start,
+			DurationMS: float64(dur.Microseconds()) / 1e3,
+			Spans:      js,
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Start.After(out[j].Start) })
+	if limit > 0 && len(out) > limit {
+		out = out[:limit]
+	}
+	return out
+}
+
+// Handler serves the ring as JSON, for mounting at GET /debug/traces.
+// Query parameters: min_ms filters out traces shorter than the given
+// milliseconds, handler keeps only traces containing a span with that
+// exact name, limit caps the trace count (default 100).
+func (t *Tracer) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		q := r.URL.Query()
+		minMS, err := parseFloat(q.Get("min_ms"), 0)
+		if err != nil {
+			httpError(w, "bad query parameter min_ms")
+			return
+		}
+		limit, err := parseInt(q.Get("limit"), 100)
+		if err != nil {
+			httpError(w, "bad query parameter limit")
+			return
+		}
+		decisions, spans, retained := t.Stats()
+		resp := map[string]any{
+			"sample_rate":    t.SampleRate(),
+			"root_decisions": decisions,
+			"spans_started":  spans,
+			"spans_retained": retained,
+			"traces":         t.Traces(time.Duration(minMS*float64(time.Millisecond)), q.Get("handler"), limit),
+		}
+		w.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(w).Encode(resp)
+	})
+}
+
+func httpError(w http.ResponseWriter, msg string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusBadRequest)
+	_ = json.NewEncoder(w).Encode(map[string]string{"error": msg})
+}
+
+func parseFloat(s string, def float64) (float64, error) {
+	if s == "" {
+		return def, nil
+	}
+	return strconv.ParseFloat(s, 64)
+}
+
+func parseInt(s string, def int) (int, error) {
+	if s == "" {
+		return def, nil
+	}
+	return strconv.Atoi(s)
+}

@@ -1,0 +1,402 @@
+// Package trace is a zero-dependency distributed-tracing kernel for the
+// streamagg serving stack, the causal complement to the metrics
+// package: where /metrics answers "how much / how fast", a trace answers
+// "where did *this* request or batch go" across the async queue
+// boundary, the WAL, the sink, and the federation edge→root HTTP hop.
+//
+// The design constraints mirror metrics/: no external dependencies, and
+// nothing on the hot path when tracing is off. Sampling is decided once
+// at the root of a trace by a lock-free probabilistic sampler; an
+// unsampled (or disabled) path sees only nil *Span values, every method
+// of which is a no-op — zero allocations, one atomic load per decision.
+// Sampled spans carry bounded key/value attributes and land, on End, in
+// a fixed-size ring buffer of completed spans that GET /debug/traces
+// exports as JSON grouped into traces.
+//
+// Context propagates two ways: in-process as a SpanContext value
+// (producers hand it to the Ingestor, which carries it through the MPSC
+// queue to the flush worker), and across HTTP as a W3C traceparent
+// header — an incoming sampled traceparent joins the caller's trace
+// regardless of the local sampling rate, which is what lets one trace
+// span edge capture → push → root merge.
+package trace
+
+import (
+	"encoding/hex"
+	"fmt"
+	"math"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// TraceID identifies one trace (16 bytes, per W3C trace-context).
+type TraceID [16]byte
+
+// SpanID identifies one span within a trace (8 bytes).
+type SpanID [8]byte
+
+// IsZero reports whether the ID is the invalid all-zero value.
+func (t TraceID) IsZero() bool { return t == TraceID{} }
+
+// IsZero reports whether the ID is the invalid all-zero value.
+func (s SpanID) IsZero() bool { return s == SpanID{} }
+
+// String renders the ID as 32 lowercase hex digits.
+func (t TraceID) String() string { return hex.EncodeToString(t[:]) }
+
+// String renders the ID as 16 lowercase hex digits.
+func (s SpanID) String() string { return hex.EncodeToString(s[:]) }
+
+// SpanContext is the propagated part of a span: enough to parent a
+// child onto its trace, in-process or across an HTTP hop. The zero
+// value is invalid and means "no trace".
+type SpanContext struct {
+	Trace   TraceID
+	Span    SpanID
+	Sampled bool
+}
+
+// IsValid reports whether sc refers to a real span.
+func (sc SpanContext) IsValid() bool { return !sc.Trace.IsZero() && !sc.Span.IsZero() }
+
+// Traceparent renders sc as a W3C traceparent header value
+// (version 00): 00-<trace-id>-<parent-id>-<trace-flags>.
+func (sc SpanContext) Traceparent() string {
+	flags := "00"
+	if sc.Sampled {
+		flags = "01"
+	}
+	return "00-" + sc.Trace.String() + "-" + sc.Span.String() + "-" + flags
+}
+
+// ParseTraceparent parses a W3C traceparent header value. It accepts
+// any version whose first four fields follow the version-00 layout
+// (the spec's forward-compatibility rule), and rejects the all-zero
+// trace and span IDs the spec declares invalid.
+func ParseTraceparent(h string) (SpanContext, bool) {
+	// version(2) - traceid(32) - spanid(16) - flags(2)
+	if len(h) < 55 || h[2] != '-' || h[35] != '-' || h[52] != '-' {
+		return SpanContext{}, false
+	}
+	if len(h) > 55 && h[55] != '-' {
+		return SpanContext{}, false
+	}
+	if h[0] == 'f' && h[1] == 'f' { // version 0xff is forbidden
+		return SpanContext{}, false
+	}
+	var sc SpanContext
+	if _, err := hex.Decode(sc.Trace[:], []byte(h[3:35])); err != nil {
+		return SpanContext{}, false
+	}
+	if _, err := hex.Decode(sc.Span[:], []byte(h[36:52])); err != nil {
+		return SpanContext{}, false
+	}
+	var flags [1]byte
+	if _, err := hex.Decode(flags[:], []byte(h[53:55])); err != nil {
+		return SpanContext{}, false
+	}
+	if !sc.IsValid() {
+		return SpanContext{}, false
+	}
+	sc.Sampled = flags[0]&1 != 0
+	return sc, true
+}
+
+// MaxAttrs bounds the key/value attributes one span can hold; extras
+// are dropped (and counted on the span) rather than allocated.
+const MaxAttrs = 8
+
+// Attr is one span attribute.
+type Attr struct {
+	Key   string `json:"key"`
+	Value string `json:"value"`
+}
+
+// SpanData is a completed span as stored in the tracer's ring buffer.
+type SpanData struct {
+	Trace    TraceID
+	ID       SpanID
+	Parent   SpanID // zero for a trace's root span
+	Name     string
+	Start    time.Time
+	Duration time.Duration
+	Dropped  int // attributes discarded past MaxAttrs
+	attrs    [MaxAttrs]Attr
+	nattrs   int
+}
+
+// Attrs returns the span's recorded attributes.
+func (d *SpanData) Attrs() []Attr { return d.attrs[:d.nattrs] }
+
+// Span is a live span. A nil *Span is the not-sampled/disabled case:
+// every method is a no-op on it, so instrumented code never branches on
+// whether tracing is active.
+type Span struct {
+	tracer *Tracer
+	data   SpanData
+}
+
+// Context returns the span's propagation context (zero for nil).
+func (s *Span) Context() SpanContext {
+	if s == nil {
+		return SpanContext{}
+	}
+	return SpanContext{Trace: s.data.Trace, Span: s.data.ID, Sampled: true}
+}
+
+// TraceIDString returns the span's trace ID in hex ("" for nil) — the
+// form logs and histogram exemplars carry.
+func (s *Span) TraceIDString() string {
+	if s == nil {
+		return ""
+	}
+	return s.data.Trace.String()
+}
+
+// SetAttr records one string attribute (no-op on nil; attributes past
+// MaxAttrs are counted as dropped).
+func (s *Span) SetAttr(key, value string) {
+	if s == nil {
+		return
+	}
+	if s.data.nattrs >= MaxAttrs {
+		s.data.Dropped++
+		return
+	}
+	s.data.attrs[s.data.nattrs] = Attr{Key: key, Value: value}
+	s.data.nattrs++
+}
+
+// SetInt records one integer attribute (no-op on nil).
+func (s *Span) SetInt(key string, value int64) {
+	s.SetAttr(key, fmt.Sprintf("%d", value))
+}
+
+// LogArgs returns ("trace_id", ..., "span_id", ...) key/value pairs for
+// a slog call, so every log record emitted under a span carries its
+// identity. Nil for a nil span — slog drops nothing.
+func (s *Span) LogArgs() []any {
+	if s == nil {
+		return nil
+	}
+	return []any{"trace_id", s.data.Trace.String(), "span_id", s.data.ID.String()}
+}
+
+// End completes the span and commits it to the tracer's ring buffer.
+// Safe (and a no-op) on nil; calling End twice records twice — don't.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	s.data.Duration = time.Since(s.data.Start)
+	s.tracer.record(&s.data)
+}
+
+// DefaultRingSize is the completed-span ring capacity when Config
+// leaves it zero: enough for a few hundred multi-span traces.
+const DefaultRingSize = 4096
+
+// Config configures a Tracer.
+type Config struct {
+	// SampleRate is the probability in [0, 1] that a new root span
+	// starts a recorded trace. 0 disables local sampling (incoming
+	// sampled traceparents are still honored); 1 records everything.
+	SampleRate float64
+	// RingSize is the completed-span ring capacity (default 4096).
+	RingSize int
+}
+
+// Tracer makes sampling decisions, allocates IDs, and retains completed
+// spans in a fixed-size ring. A nil *Tracer is valid and permanently
+// disabled: Start/Child on it return nil spans. All methods are safe
+// for concurrent use.
+type Tracer struct {
+	// threshold is the sampler gate: a trace is sampled when a uniform
+	// random uint64 is <= threshold (0 = never, MaxUint64 = always).
+	// One atomic load on the never path, no locks anywhere.
+	threshold atomic.Uint64
+	rng       atomic.Uint64 // splitmix64 state for IDs + sampling
+
+	mu       sync.Mutex
+	ring     []SpanData // fixed-size circular buffer of completed spans
+	n        uint64     // total spans ever recorded; ring[(n-1)%len] is newest
+	started  atomic.Int64
+	sampled_ atomic.Int64
+}
+
+// New builds a Tracer. See Config for the knobs.
+func New(cfg Config) *Tracer {
+	size := cfg.RingSize
+	if size <= 0 {
+		size = DefaultRingSize
+	}
+	t := &Tracer{ring: make([]SpanData, size)}
+	t.rng.Store(uint64(time.Now().UnixNano()) | 1)
+	t.SetSampleRate(cfg.SampleRate)
+	return t
+}
+
+// SetSampleRate replaces the sampling probability (clamped to [0, 1])
+// at runtime; in-flight traces keep their original decision.
+func (t *Tracer) SetSampleRate(p float64) {
+	switch {
+	case t == nil:
+	case p <= 0:
+		t.threshold.Store(0)
+	case p >= 1:
+		t.threshold.Store(math.MaxUint64)
+	default:
+		t.threshold.Store(uint64(p * float64(math.MaxUint64)))
+	}
+}
+
+// SampleRate returns the current sampling probability.
+func (t *Tracer) SampleRate() float64 {
+	if t == nil {
+		return 0
+	}
+	th := t.threshold.Load()
+	switch th {
+	case 0:
+		return 0
+	case math.MaxUint64:
+		return 1
+	}
+	return float64(th) / float64(math.MaxUint64)
+}
+
+// next advances the shared splitmix64 state. The atomic add gives every
+// caller a distinct state; the finalizer whitens it. Lock-free.
+func (t *Tracer) next() uint64 {
+	x := t.rng.Add(0x9E3779B97F4A7C15)
+	x ^= x >> 30
+	x *= 0xBF58476D1CE4E5B9
+	x ^= x >> 27
+	x *= 0x94D049BB133111EB
+	return x ^ (x >> 31)
+}
+
+// sample is the root sampling decision.
+func (t *Tracer) sample() bool {
+	th := t.threshold.Load()
+	if th == 0 {
+		return false
+	}
+	if th == math.MaxUint64 {
+		return true
+	}
+	return t.next() <= th
+}
+
+// newSpanID returns a nonzero span ID.
+func (t *Tracer) newSpanID() SpanID {
+	var id SpanID
+	for i := 0; i < 4 && id.IsZero(); i++ {
+		putUint64(id[:], t.next())
+	}
+	if id.IsZero() {
+		id[7] = 1
+	}
+	return id
+}
+
+func putUint64(b []byte, v uint64) {
+	_ = b[7]
+	for i := 0; i < 8; i++ {
+		b[i] = byte(v >> (56 - 8*i))
+	}
+}
+
+// Start begins a span. With a valid parent the span joins the parent's
+// trace and inherits its sampling decision (a sampled caller is
+// recorded regardless of the local rate; an unsampled caller is not).
+// Without one, Start makes a fresh sampling decision and, if sampled,
+// roots a new trace. Returns nil — the universal no-op span — whenever
+// nothing will be recorded, including on a nil Tracer.
+func (t *Tracer) Start(name string, parent SpanContext) *Span {
+	if t == nil {
+		return nil
+	}
+	if parent.IsValid() {
+		if !parent.Sampled {
+			return nil
+		}
+		return t.newSpan(name, parent.Trace, parent.Span)
+	}
+	t.started.Add(1)
+	if !t.sample() {
+		return nil
+	}
+	var tid TraceID
+	for tid.IsZero() {
+		putUint64(tid[:8], t.next())
+		putUint64(tid[8:], t.next())
+	}
+	return t.newSpan(name, tid, SpanID{})
+}
+
+// Child begins a span only if parent is a valid sampled context — the
+// join-only form for interior pipeline stages (flush, WAL append, sink
+// apply), which must never root a trace of their own.
+func (t *Tracer) Child(name string, parent SpanContext) *Span {
+	if t == nil || !parent.IsValid() || !parent.Sampled {
+		return nil
+	}
+	return t.newSpan(name, parent.Trace, parent.Span)
+}
+
+func (t *Tracer) newSpan(name string, tid TraceID, parent SpanID) *Span {
+	t.sampled_.Add(1)
+	return &Span{tracer: t, data: SpanData{
+		Trace:  tid,
+		ID:     t.newSpanID(),
+		Parent: parent,
+		Name:   name,
+		Start:  time.Now(),
+	}}
+}
+
+// record commits one completed span to the ring, overwriting the
+// oldest when full.
+func (t *Tracer) record(d *SpanData) {
+	t.mu.Lock()
+	t.ring[t.n%uint64(len(t.ring))] = *d
+	t.n++
+	t.mu.Unlock()
+}
+
+// Stats reports the tracer's lifetime counters: root sampling decisions
+// made, spans started, and completed spans currently retained.
+func (t *Tracer) Stats() (decisions, spans, retained int64) {
+	if t == nil {
+		return 0, 0, 0
+	}
+	t.mu.Lock()
+	n := t.n
+	size := uint64(len(t.ring))
+	t.mu.Unlock()
+	if n > size {
+		n = size
+	}
+	return t.started.Load(), t.sampled_.Load(), int64(n)
+}
+
+// Snapshot copies the retained completed spans, oldest first.
+func (t *Tracer) Snapshot() []SpanData {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	size := uint64(len(t.ring))
+	count := t.n
+	if count > size {
+		count = size
+	}
+	out := make([]SpanData, 0, count)
+	for i := uint64(0); i < count; i++ {
+		out = append(out, t.ring[(t.n-count+i)%size])
+	}
+	return out
+}
