@@ -16,8 +16,11 @@
 // subsystem's WAL cost per fsync policy; E15 the observability
 // subsystem's instrumentation cost on the ingest hot path; E17 the
 // hashing scheme and allocation profile of the steady-state ingest path;
-// E18 the distributed-tracing span overhead with sampling off and on.
-// With -json, the perf-trajectory experiments (E11–E18) also write
+// E18 the distributed-tracing span overhead with sampling off and on;
+// E19 the client-observed serving latency under an open-loop mixed
+// workload (internal/loadgen driving an in-process server), whose
+// committed p99 SLO the -check gate enforces.
+// With -json, the perf-trajectory experiments (E11–E19) also write
 // BENCH_<experiment>.json files with machine-readable measurements.
 package main
 
@@ -35,7 +38,7 @@ type experiment struct {
 }
 
 func main() {
-	which := flag.String("experiment", "all", "experiment id (E1..E18) or 'all'")
+	which := flag.String("experiment", "all", "experiment id (E1..E19) or 'all'")
 	flag.BoolVar(&jsonOut, "json", false, "also write BENCH_<experiment>.json measurement files")
 	check := flag.Bool("check", false, "compare measurements against committed BENCH_*.json; exit 1 on regression")
 	tolerance := flag.Float64("check-tolerance", 0.15, "fractional items/sec drop tolerated by -check")
@@ -61,6 +64,7 @@ func main() {
 		{"E16", "federation: merge cost vs summary size per mergeable kind", runE16},
 		{"E17", "hashing + allocation profile: derived one-hash-per-item scheme, zero-alloc batch path", runE17},
 		{"E18", "tracing: span overhead on the ingest path, sampling off vs on", runE18},
+		{"E19", "open-loop serving latency under mixed load (client-observed, SLO-gated)", runE19},
 	}
 
 	want := strings.ToUpper(*which)

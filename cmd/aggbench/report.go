@@ -9,6 +9,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"os"
+	"sort"
 )
 
 // benchRecord is one measured configuration of one experiment.
@@ -16,13 +17,24 @@ import (
 // (E17); it is a measurement, not an identity — benchKey deliberately
 // hashes only Label+Params, so machine-to-machine alloc jitter never
 // splits baselines.
+//
+// The load-harness experiment (E19) adds the open-loop fields: the
+// offered vs achieved rate, the client-observed latency percentiles in
+// milliseconds (p50/p90/p99/p999/max, coordinated-omission-safe), and
+// an optional p99 SLO in milliseconds. A committed row's SLOP99Ms is an
+// enforceable contract: -check fails when the fresh run's p99 exceeds
+// it. All are omitempty so earlier BENCH files are untouched.
 type benchRecord struct {
-	Experiment    string         `json:"experiment"`
-	Label         string         `json:"label"`
-	Params        map[string]any `json:"params,omitempty"`
-	NsPerItem     float64        `json:"ns_per_item"`
-	ItemsPerSec   float64        `json:"items_per_sec"`
-	AllocsPerItem float64        `json:"allocs_per_item,omitempty"`
+	Experiment     string             `json:"experiment"`
+	Label          string             `json:"label"`
+	Params         map[string]any     `json:"params,omitempty"`
+	NsPerItem      float64            `json:"ns_per_item"`
+	ItemsPerSec    float64            `json:"items_per_sec"`
+	AllocsPerItem  float64            `json:"allocs_per_item,omitempty"`
+	OfferedPerSec  float64            `json:"offered_per_sec,omitempty"`
+	AchievedPerSec float64            `json:"achieved_per_sec,omitempty"`
+	LatencyMs      map[string]float64 `json:"latency_ms,omitempty"`
+	SLOP99Ms       float64            `json:"slo_p99_ms,omitempty"`
 }
 
 var (
@@ -43,6 +55,28 @@ func record(exp, label string, params map[string]any, nsPerItem, itemsPerSec flo
 		Params:      params,
 		NsPerItem:   nsPerItem,
 		ItemsPerSec: itemsPerSec,
+	})
+}
+
+// recordLoad registers one open-loop load measurement: the rate pair,
+// the latency percentile map (milliseconds), and the p99 SLO the row
+// commits to (0 = no latency contract, e.g. a deliberately-overloaded
+// capacity probe). itemsPerSec is the throughput the existing -check
+// regression gate compares; pass 0 to exempt a row whose volume is a
+// random mix share rather than a stable measurement.
+func recordLoad(exp, label string, params map[string]any, offered, achieved, itemsPerSec float64, latencyMs map[string]float64, sloP99Ms float64) {
+	if !jsonOut && !checkOn {
+		return
+	}
+	records[exp] = append(records[exp], benchRecord{
+		Experiment:     exp,
+		Label:          label,
+		Params:         params,
+		ItemsPerSec:    itemsPerSec,
+		OfferedPerSec:  offered,
+		AchievedPerSec: achieved,
+		LatencyMs:      latencyMs,
+		SLOP99Ms:       sloP99Ms,
 	})
 }
 
@@ -107,46 +141,84 @@ func benchKey(r benchRecord) string {
 }
 
 // checkRegressions compares every in-memory record against the
-// committed BENCH_<experiment>.json baseline in the working directory
-// and reports rows whose items/sec dropped by more than tol. Rows
-// missing from the baseline (new measurements) and rows without a
-// throughput (ItemsPerSec 0) are skipped. Returns the regression count.
+// committed BENCH_<experiment>.json baseline in the working directory.
+// Two gates run per matched row: items/sec must not drop by more than
+// tol, and when the baseline row carries a p99 SLO (slo_p99_ms), the
+// fresh run's p99 must not exceed it.
+//
+// A missing or malformed baseline file is a failure, not a skip: every
+// row that therefore went uncompared is listed by key so CI output
+// says exactly what escaped the gate and how to fix it (run with -json
+// and commit the file). Rows absent from an existing baseline are
+// listed too but don't fail the check — they're new measurements the
+// baseline predates. Returns the total problem count (regressions, SLO
+// breaches, and unusable baseline files).
 func checkRegressions(tol float64) int {
-	regressions := 0
-	for exp, recs := range records {
+	problems := 0
+	exps := make([]string, 0, len(records))
+	for exp := range records {
+		exps = append(exps, exp)
+	}
+	sort.Strings(exps)
+	for _, exp := range exps {
+		recs := records[exp]
 		path := fmt.Sprintf("BENCH_%s.json", exp)
-		data, err := os.ReadFile(path)
-		if err != nil {
-			fmt.Printf("perf check %s: no committed baseline (%v), skipping\n", exp, err)
-			continue
-		}
 		var baseline []benchRecord
-		if err := json.Unmarshal(data, &baseline); err != nil {
-			fmt.Printf("perf check %s: unreadable baseline: %v\n", exp, err)
+		data, err := os.ReadFile(path)
+		if err == nil {
+			err = json.Unmarshal(data, &baseline)
+		}
+		if err != nil {
+			problems++
+			fmt.Printf("perf check %s: FAIL: baseline %s unusable: %v\n", exp, path, err)
+			fmt.Printf("perf check %s: %d rows went uncompared:\n", exp, len(recs))
+			for _, r := range recs {
+				fmt.Printf("  uncompared: %s\n", benchKey(r))
+			}
+			fmt.Printf("perf check %s: regenerate with 'aggbench -experiment %s -json' and commit %s\n",
+				exp, exp, path)
 			continue
 		}
 		base := make(map[string]benchRecord, len(baseline))
 		for _, r := range baseline {
 			base[benchKey(r)] = r
 		}
-		compared := 0
+		compared, bad := 0, 0
 		for _, r := range recs {
 			b, ok := base[benchKey(r)]
-			if !ok || b.ItemsPerSec <= 0 || r.ItemsPerSec <= 0 {
+			if !ok {
+				fmt.Printf("perf check %s: no baseline row for %s in %s (new measurement; refresh the file to gate it)\n",
+					exp, benchKey(r), path)
 				continue
 			}
-			compared++
-			delta := (r.ItemsPerSec - b.ItemsPerSec) / b.ItemsPerSec
-			if delta < -tol {
-				regressions++
-				fmt.Printf("perf check %s REGRESSION %q: %.3g -> %.3g items/s (%+.1f%%, tolerance %.0f%%)\n",
-					exp, r.Label, b.ItemsPerSec, r.ItemsPerSec, delta*100, tol*100)
+			if b.ItemsPerSec > 0 && r.ItemsPerSec > 0 {
+				compared++
+				delta := (r.ItemsPerSec - b.ItemsPerSec) / b.ItemsPerSec
+				if delta < -tol {
+					bad++
+					fmt.Printf("perf check %s REGRESSION %q: %.3g -> %.3g items/s (%+.1f%%, tolerance %.0f%%)\n",
+						exp, r.Label, b.ItemsPerSec, r.ItemsPerSec, delta*100, tol*100)
+				}
+			}
+			if b.SLOP99Ms > 0 {
+				compared++
+				p99, ok := r.LatencyMs["p99"]
+				if !ok {
+					bad++
+					fmt.Printf("perf check %s SLO FAIL %q: baseline commits p99 <= %.0fms but the fresh run reported no p99\n",
+						exp, r.Label, b.SLOP99Ms)
+				} else if p99 > b.SLOP99Ms {
+					bad++
+					fmt.Printf("perf check %s SLO BREACH %q: p99 %.2fms exceeds the committed SLO %.0fms\n",
+						exp, r.Label, p99, b.SLOP99Ms)
+				}
 			}
 		}
-		fmt.Printf("perf check %s: %d rows compared against %s, %d regressions\n",
-			exp, compared, path, regressions)
+		problems += bad
+		fmt.Printf("perf check %s: %d comparisons against %s, %d failures\n",
+			exp, compared, path, bad)
 	}
-	return regressions
+	return problems
 }
 
 // writeJSONReports dumps every recorded experiment to

@@ -1,0 +1,143 @@
+package hist
+
+import (
+	"math"
+	"sync"
+	"testing"
+)
+
+func TestLog2MergePreservesCountsAndSum(t *testing.T) {
+	var a, b Log2
+	for i := uint64(0); i < 1000; i++ {
+		a.Observe(i)
+	}
+	for i := uint64(0); i < 500; i++ {
+		b.Observe(i * 3)
+	}
+	var want Log2
+	for i := uint64(0); i < 1000; i++ {
+		want.Observe(i)
+	}
+	for i := uint64(0); i < 500; i++ {
+		want.Observe(i * 3)
+	}
+
+	a.Merge(&b)
+	gotB, gotC, gotS := a.Snapshot()
+	wantB, wantC, wantS := want.Snapshot()
+	if gotC != wantC || gotS != wantS {
+		t.Fatalf("merged count/sum = %d/%d, want %d/%d", gotC, gotS, wantC, wantS)
+	}
+	if len(gotB) != len(wantB) {
+		t.Fatalf("merged buckets len = %d, want %d", len(gotB), len(wantB))
+	}
+	for i := range gotB {
+		if gotB[i] != wantB[i] {
+			t.Fatalf("bucket %d = %d, want %d", i, gotB[i], wantB[i])
+		}
+	}
+	if a.Count() != wantC {
+		t.Fatalf("Count() = %d, want %d", a.Count(), wantC)
+	}
+}
+
+// TestLog2MergeConcurrent merges per-worker histograms while the
+// workers are still observing — the load harness's reporting tick does
+// exactly this — and asserts nothing is lost once the workers finish
+// and a final merge runs.
+func TestLog2MergeConcurrent(t *testing.T) {
+	const workers, perWorker = 8, 10000
+	parts := make([]Log2, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				parts[w].Observe(uint64(w*perWorker + i))
+			}
+		}(w)
+	}
+	// Tick merges into throwaway totals while observes are in flight:
+	// must not race (run under -race) and must never over-count.
+	for k := 0; k < 4; k++ {
+		var tick Log2
+		for w := range parts {
+			tick.Merge(&parts[w])
+		}
+		if c := tick.Count(); c > workers*perWorker {
+			t.Fatalf("mid-flight merge over-counted: %d > %d", c, workers*perWorker)
+		}
+	}
+	wg.Wait()
+	var total Log2
+	for w := range parts {
+		total.Merge(&parts[w])
+	}
+	if c := total.Count(); c != workers*perWorker {
+		t.Fatalf("final merged count = %d, want %d", c, workers*perWorker)
+	}
+}
+
+func TestLog2QuantileBounds(t *testing.T) {
+	// A known distribution: values 1..n uniformly once each. The true
+	// q-quantile is q*n; the log2 estimate must be within a factor of 2
+	// (the bucket width) of the truth.
+	var h Log2
+	const n = 1 << 16
+	for i := uint64(1); i <= n; i++ {
+		h.Observe(i)
+	}
+	for _, q := range []float64{0.5, 0.9, 0.99, 0.999} {
+		got := h.Quantile(q)
+		truth := q * n
+		if got < truth/2 || got > truth*2 {
+			t.Errorf("Quantile(%v) = %.0f, want within 2x of %.0f", q, got, truth)
+		}
+	}
+}
+
+func TestLog2QuantileEdgeCases(t *testing.T) {
+	var h Log2
+	if got := h.Quantile(0.99); got != 0 {
+		t.Fatalf("empty histogram quantile = %v, want 0", got)
+	}
+	h.Observe(0)
+	h.Observe(0)
+	if got := h.Quantile(0.5); got != 0 {
+		t.Fatalf("all-zero quantile = %v, want 0", got)
+	}
+	var one Log2
+	one.Observe(1000)
+	for _, q := range []float64{0, 0.5, 1} {
+		got := one.Quantile(q)
+		if got < 512 || got > 1024 {
+			t.Fatalf("single-value Quantile(%v) = %v, want in its bucket [512, 1024]", q, got)
+		}
+	}
+	// Out-of-range q clamps rather than panics.
+	if got := one.Quantile(-1); math.IsNaN(got) {
+		t.Fatal("Quantile(-1) = NaN")
+	}
+	if got := one.Quantile(2); math.IsNaN(got) {
+		t.Fatal("Quantile(2) = NaN")
+	}
+}
+
+// TestLog2QuantileMonotone pins that percentile extraction is monotone
+// in q — the property the p50 <= p90 <= p99 <= p99.9 report relies on.
+func TestLog2QuantileMonotone(t *testing.T) {
+	var h Log2
+	for i := 0; i < 10000; i++ {
+		h.Observe(uint64(i * i % 100003))
+	}
+	buckets, count, _ := h.Snapshot()
+	prev := -1.0
+	for q := 0.0; q <= 1.0; q += 0.01 {
+		v := Log2Quantile(buckets, count, q)
+		if v < prev {
+			t.Fatalf("Quantile(%v) = %v < previous %v", q, v, prev)
+		}
+		prev = v
+	}
+}

@@ -1,0 +1,328 @@
+// Package loadgen is an open-loop HTTP load harness for the streamagg
+// server: a rate-gated, multi-worker generator that drives ingest and
+// the six query verbs at a fixed offered rate and reports the latency a
+// client actually observes.
+//
+// Open loop means the arrival schedule never waits for the server. Each
+// operation i has an intended start time start + i/rate; workers sleep
+// until that instant and then issue, and when the server (or a previous
+// slow response) makes a worker late, it works through its backlog
+// back-to-back — the per-tick quota is exactly the operations whose
+// intended time has passed. Latency is always measured against the
+// intended start, so a 200 ms server stall shows up in the tail of
+// every operation it delayed, not just the one the server was slow on.
+// Closed-loop harnesses that time only service latency systematically
+// hide that queueing delay (coordinated omission); this one exists so
+// the repo's BENCH trajectory can't.
+package loadgen
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"strconv"
+	"time"
+)
+
+// Config parameterizes one run.
+type Config struct {
+	// Target is the server's base URL, e.g. "http://127.0.0.1:8080".
+	Target string
+	// Rate is the offered arrival rate in operations/second across all
+	// workers. Required.
+	Rate float64
+	// Workers is the number of concurrent issuing goroutines (each
+	// paces its own 1/Workers share of the schedule). Default 1.
+	Workers int
+	// Duration is the measured window. Required.
+	Duration time.Duration
+	// Warmup runs the same schedule before the measured window;
+	// operations whose intended start falls in it are excluded from the
+	// report.
+	Warmup time.Duration
+	// Mix is the weighted operation mix (see ParseMix).
+	Mix Mix
+	// Keys selects the item/probe distribution.
+	Keys Keys
+	// Batch is the number of items per ingest operation. Default 64.
+	Batch int
+	// Timeout bounds each request. Default 10s.
+	Timeout time.Duration
+	// Client overrides the HTTP client (tests); nil builds one with
+	// keep-alive sized to Workers.
+	Client *http.Client
+	// OnTick, when non-nil, receives a live progress sample every
+	// TickEvery (default 1s).
+	OnTick    func(Tick)
+	TickEvery time.Duration
+
+	// onIssue observes every issued operation (test hook for the pacer
+	// contract): the mix entry, the intended start, and the actual
+	// issue instant.
+	onIssue func(entry int, intended, issued time.Time)
+}
+
+func (cfg *Config) setDefaults() error {
+	if cfg.Target == "" {
+		return fmt.Errorf("loadgen: empty target URL")
+	}
+	if cfg.Rate <= 0 {
+		return fmt.Errorf("loadgen: rate %v ops/s (want > 0)", cfg.Rate)
+	}
+	if cfg.Duration <= 0 {
+		return fmt.Errorf("loadgen: duration %v (want > 0)", cfg.Duration)
+	}
+	if len(cfg.Mix) == 0 {
+		return fmt.Errorf("loadgen: empty mix")
+	}
+	if cfg.Workers <= 0 {
+		cfg.Workers = 1
+	}
+	if cfg.Batch <= 0 {
+		cfg.Batch = 64
+	}
+	if cfg.Timeout <= 0 {
+		cfg.Timeout = 10 * time.Second
+	}
+	if cfg.TickEvery <= 0 {
+		cfg.TickEvery = time.Second
+	}
+	return nil
+}
+
+// engine is one run's shared state.
+type engine struct {
+	cfg          Config
+	client       *http.Client
+	ctx          context.Context
+	pool         []uint64
+	cum          []float64 // cumulative mix weights
+	start        time.Time
+	measureStart time.Time
+	totalOps     int64
+	meas         []*recorder // one per worker, measured window
+	warm         *recorder   // shared, warmup ops
+}
+
+// Run executes the configured load and returns the report over the
+// measured window. Canceling ctx stops issuing early; whatever
+// completed is still reported.
+func Run(ctx context.Context, cfg Config) (*Report, error) {
+	if err := cfg.setDefaults(); err != nil {
+		return nil, err
+	}
+	pool, err := cfg.Keys.pool()
+	if err != nil {
+		return nil, fmt.Errorf("loadgen: %w", err)
+	}
+	totalOps := int64(cfg.Rate * (cfg.Warmup + cfg.Duration).Seconds())
+	if totalOps < 1 {
+		return nil, fmt.Errorf("loadgen: rate %v over %v yields no operations", cfg.Rate, cfg.Duration)
+	}
+	client := cfg.Client
+	if client == nil {
+		client = &http.Client{
+			Timeout: cfg.Timeout,
+			Transport: &http.Transport{
+				MaxIdleConns:        cfg.Workers * 2,
+				MaxIdleConnsPerHost: cfg.Workers * 2,
+			},
+		}
+	}
+	e := &engine{
+		cfg:      cfg,
+		client:   client,
+		ctx:      ctx,
+		pool:     pool,
+		cum:      make([]float64, len(cfg.Mix)),
+		totalOps: totalOps,
+		meas:     make([]*recorder, cfg.Workers),
+		warm:     newRecorder(len(cfg.Mix)),
+	}
+	var sum float64
+	for i, m := range cfg.Mix {
+		sum += m.Weight
+		e.cum[i] = sum
+	}
+	for w := range e.meas {
+		e.meas[w] = newRecorder(len(cfg.Mix))
+	}
+	e.start = time.Now()
+	e.measureStart = e.start.Add(cfg.Warmup)
+
+	tickDone := make(chan struct{})
+	if cfg.OnTick != nil {
+		go e.tickLoop(tickDone)
+	}
+	done := make(chan struct{}, cfg.Workers)
+	for w := 0; w < cfg.Workers; w++ {
+		go func(w int) {
+			defer func() { done <- struct{}{} }()
+			e.worker(w)
+		}(w)
+	}
+	for w := 0; w < cfg.Workers; w++ {
+		<-done
+	}
+	measured := time.Since(e.measureStart)
+	close(tickDone)
+	if measured < 0 {
+		measured = 0
+	}
+	return buildReport(cfg, e.meas, measured), nil
+}
+
+// worker paces and issues operations w, w+Workers, w+2·Workers, ... of
+// the global schedule. The request is fully built before the wait so
+// generation cost never eats into the arrival gap, and the wait targets
+// the operation's absolute intended time — lateness never accumulates
+// into the schedule, only into the measured latency.
+func (e *engine) worker(w int) {
+	rng := rand.New(rand.NewSource(e.cfg.Keys.Seed + int64(w)*1_000_003))
+	poolPos := w
+	timer := time.NewTimer(time.Hour)
+	defer timer.Stop()
+	if !timer.Stop() {
+		<-timer.C
+	}
+	var body bytes.Buffer
+	perOp := float64(time.Second) / e.cfg.Rate
+	for i := int64(w); i < e.totalOps; i += int64(e.cfg.Workers) {
+		intended := e.start.Add(time.Duration(float64(i) * perOp))
+		entry := e.drawEntry(rng)
+		method, url, items := e.buildOp(entry, &poolPos, rng, &body)
+		if d := time.Until(intended); d > 0 {
+			timer.Reset(d)
+			select {
+			case <-e.ctx.Done():
+				return
+			case <-timer.C:
+			}
+		} else if e.ctx.Err() != nil {
+			return
+		}
+		if e.cfg.onIssue != nil {
+			e.cfg.onIssue(entry, intended, time.Now())
+		}
+		class := e.execute(method, url, body.Bytes())
+		lat := time.Since(intended)
+		rec := e.meas[w]
+		if intended.Before(e.measureStart) {
+			rec = e.warm
+		}
+		if class != class2xx {
+			items = 0
+		}
+		rec.entries[entry].observe(class, lat, items)
+	}
+}
+
+// drawEntry picks a mix entry with probability proportional to weight.
+func (e *engine) drawEntry(rng *rand.Rand) int {
+	r := rng.Float64() * e.cum[len(e.cum)-1]
+	for i, c := range e.cum {
+		if r < c {
+			return i
+		}
+	}
+	return len(e.cum) - 1
+}
+
+// buildOp renders one operation into (method, url, body); body is only
+// used for ingest and returns the item count it carries.
+func (e *engine) buildOp(entry int, poolPos *int, rng *rand.Rand, body *bytes.Buffer) (method, url string, items int) {
+	m := e.cfg.Mix[entry]
+	nextKey := func() uint64 {
+		k := e.pool[*poolPos%len(e.pool)]
+		*poolPos += e.cfg.Workers
+		return k
+	}
+	switch m.Verb {
+	case "ingest":
+		body.Reset()
+		body.WriteByte('[')
+		for j := 0; j < e.cfg.Batch; j++ {
+			if j > 0 {
+				body.WriteByte(',')
+			}
+			body.Write(strconv.AppendUint(nil, nextKey(), 10))
+		}
+		body.WriteByte(']')
+		return http.MethodPost, e.cfg.Target + "/v1/ingest", e.cfg.Batch
+	case "estimate":
+		return http.MethodGet,
+			fmt.Sprintf("%s/v1/%s/estimate?item=%d", e.cfg.Target, m.Agg, nextKey()), 0
+	case "value":
+		return http.MethodGet, fmt.Sprintf("%s/v1/%s/value", e.cfg.Target, m.Agg), 0
+	case "heavyhitters":
+		return http.MethodGet, fmt.Sprintf("%s/v1/%s/heavyhitters?phi=0.01", e.cfg.Target, m.Agg), 0
+	case "topk":
+		return http.MethodGet, fmt.Sprintf("%s/v1/%s/topk?k=10", e.cfg.Target, m.Agg), 0
+	case "rangecount":
+		lo := nextKey() &^ 4095
+		return http.MethodGet,
+			fmt.Sprintf("%s/v1/%s/rangecount?lo=%d&hi=%d", e.cfg.Target, m.Agg, lo, lo+4095), 0
+	case "quantile":
+		qs := [...]string{"0.5", "0.9", "0.99"}
+		return http.MethodGet,
+			fmt.Sprintf("%s/v1/%s/quantile?q=%s", e.cfg.Target, m.Agg, qs[rng.Intn(len(qs))]), 0
+	}
+	panic("loadgen: unknown verb " + m.Verb) // ParseMix rejects these
+}
+
+// execute issues the request and classifies the outcome. The body is
+// drained so keep-alive connections are reused.
+func (e *engine) execute(method, url string, body []byte) int {
+	var rd io.Reader
+	if method == http.MethodPost {
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequestWithContext(e.ctx, method, url, rd)
+	if err != nil {
+		return classErr
+	}
+	if rd != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := e.client.Do(req)
+	if err != nil {
+		return classErr
+	}
+	_, _ = io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	return classOf(resp.StatusCode)
+}
+
+// tickLoop drives the live progress callback until done closes.
+func (e *engine) tickLoop(done <-chan struct{}) {
+	tk := time.NewTicker(e.cfg.TickEvery)
+	defer tk.Stop()
+	for {
+		select {
+		case <-done:
+			return
+		case now := <-tk.C:
+			mOps, p50, p99, b5, errs := tickStats(e.meas, len(e.cfg.Mix))
+			wOps, wp50, wp99, wb5, werrs := tickStats([]*recorder{e.warm}, len(e.cfg.Mix))
+			t := Tick{
+				Elapsed:  now.Sub(e.start),
+				Offered:  e.cfg.Rate,
+				Ops:      mOps + wOps,
+				P50Ms:    p50,
+				P99Ms:    p99,
+				Bad5xx:   b5 + wb5,
+				Errors:   errs + werrs,
+				InWarmup: now.Before(e.measureStart),
+			}
+			if t.InWarmup {
+				t.P50Ms, t.P99Ms = wp50, wp99
+			} else if sec := now.Sub(e.measureStart).Seconds(); sec > 0 {
+				t.Achieved = float64(mOps) / sec
+			}
+			e.cfg.OnTick(t)
+		}
+	}
+}

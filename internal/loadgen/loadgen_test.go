@@ -1,0 +1,359 @@
+package loadgen
+
+import (
+	"context"
+	"encoding/json"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestParseMix(t *testing.T) {
+	m, err := ParseMix("ingest=80, estimate@sketch=10,topk@hot=5,quantile@dist=5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m) != 4 {
+		t.Fatalf("len = %d, want 4", len(m))
+	}
+	if m[0].Verb != "ingest" || m[0].Weight != 80 || m[0].Agg != "" {
+		t.Fatalf("entry 0 = %+v", m[0])
+	}
+	if m[1].Label() != "estimate@sketch" {
+		t.Fatalf("label = %q", m[1].Label())
+	}
+	if _, err := ParseMix(DefaultMix); err != nil {
+		t.Fatalf("DefaultMix does not parse: %v", err)
+	}
+
+	bad := []string{
+		"",
+		"ingest",                // no weight
+		"ingest=0",              // zero weight
+		"ingest=-3",             // negative weight
+		"ingest=x",              // non-numeric weight
+		"fly@hot=1",             // unknown verb
+		"estimate=1",            // query verb without @agg
+		"ingest@hot=1",          // ingest with an agg
+		"ingest=1,ingest=2",     // duplicate
+		"topk@hot=1,topk@hot=2", // duplicate with agg
+	}
+	for _, s := range bad {
+		if _, err := ParseMix(s); err == nil {
+			t.Errorf("ParseMix(%q) accepted, want error", s)
+		}
+	}
+}
+
+func TestKeysPool(t *testing.T) {
+	for _, dist := range []string{"zipf", "uniform", "distinct", ""} {
+		pool, err := Keys{Dist: dist, Seed: 1}.pool()
+		if err != nil {
+			t.Fatalf("%s: %v", dist, err)
+		}
+		if len(pool) != keyPoolSize {
+			t.Fatalf("%s: pool size %d", dist, len(pool))
+		}
+	}
+	if _, err := (Keys{Dist: "bogus"}).pool(); err == nil {
+		t.Fatal("bogus dist accepted")
+	}
+	if _, err := (Keys{Dist: "zipf", ZipfS: 0.5}).pool(); err == nil {
+		t.Fatal("zipf s <= 1 accepted")
+	}
+}
+
+// fastHandler answers every route instantly with a 2xx.
+func fastHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusOK)
+		_, _ = w.Write([]byte(`{}`))
+	})
+}
+
+// TestPacerHoldsRateWithoutBursts pins the open-loop pacer's two
+// contracts against a fast server: the achieved rate lands within 5% of
+// the offered rate, and the arrival process stays spread out — the
+// per-tick quota is "operations whose intended time has passed", so a
+// healthy run must not degenerate into periodic bursts (which would
+// understate queueing at the server).
+func TestPacerHoldsRateWithoutBursts(t *testing.T) {
+	ts := httptest.NewServer(fastHandler())
+	defer ts.Close()
+
+	var mu sync.Mutex
+	var issued []time.Time
+	var deviations []time.Duration
+	const rate, dur = 400.0, 1500 * time.Millisecond
+	cfg := Config{
+		Target:   ts.URL,
+		Rate:     rate,
+		Workers:  2,
+		Duration: dur,
+		Mix:      Mix{{Verb: "ingest", Weight: 3}, {Verb: "estimate", Agg: "x", Weight: 1}},
+		Batch:    8,
+		Keys:     Keys{Seed: 11},
+		onIssue: func(_ int, intended, at time.Time) {
+			mu.Lock()
+			issued = append(issued, at)
+			deviations = append(deviations, at.Sub(intended))
+			mu.Unlock()
+		},
+	}
+	rep, err := Run(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Ops == 0 {
+		t.Fatal("no measured ops")
+	}
+	if got := rep.Status["2xx"]; got != rep.Ops {
+		t.Fatalf("2xx = %d of %d ops", got, rep.Ops)
+	}
+	if off := math.Abs(rep.AchievedPerSec-rate) / rate; off > 0.05 {
+		t.Errorf("achieved %.1f ops/s vs offered %.0f: off by %.1f%% (want <= 5%%)",
+			rep.AchievedPerSec, rate, off*100)
+	}
+
+	// Scheduling deviation: with a fast server the pacer issues each
+	// operation near its own intended instant. A bursty pacer (tick
+	// coarsely, fire the whole quota at once) would push most
+	// deviations up to its tick period.
+	mu.Lock()
+	defer mu.Unlock()
+	sort.Slice(deviations, func(i, j int) bool { return deviations[i] < deviations[j] })
+	if p95 := deviations[len(deviations)*95/100]; p95 > 100*time.Millisecond {
+		t.Errorf("p95 issue deviation %v (want <= 100ms: arrivals must track intended times)", p95)
+	}
+
+	// Windowed arrival counts: interior 250ms windows must each hold
+	// roughly their share. Generous bounds absorb CI scheduler noise
+	// while still failing a pacer that dumps per-second bursts.
+	sort.Slice(issued, func(i, j int) bool { return issued[i].Before(issued[j]) })
+	window := 250 * time.Millisecond
+	expect := rate * window.Seconds()
+	first, last := issued[0], issued[len(issued)-1]
+	for w0 := first.Add(window); w0.Add(window).Before(last); w0 = w0.Add(window) {
+		n := 0
+		for _, at := range issued {
+			if !at.Before(w0) && at.Before(w0.Add(window)) {
+				n++
+			}
+		}
+		if float64(n) > 2*expect || float64(n) < expect/2 {
+			t.Errorf("window at +%v holds %d arrivals, want within [%.0f, %.0f]",
+				w0.Sub(first), n, expect/2, 2*expect)
+		}
+	}
+}
+
+// TestCoordinatedOmissionStallInflatesP99 pins the intended-start-time
+// accounting: a handler that freezes exactly once for 200ms must
+// inflate the reported p99 far beyond what service-time measurement
+// would show, because every operation queued behind the stall is
+// charged its full wait. With one worker at 100 ops/s over 2s, a single
+// 200ms stall delays ~20 of ~200 ops by up to the stall — service-time
+// p99 would stay at the fast-path sub-millisecond level (only 1 op in
+// 200 was actually slow), while the CO-safe p99 must exceed half the
+// stall and the max must exceed the stall itself.
+func TestCoordinatedOmissionStallInflatesP99(t *testing.T) {
+	const stall = 200 * time.Millisecond
+	var stalled atomic.Bool
+	var slowServed atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		if stalled.CompareAndSwap(false, true) {
+			time.Sleep(stall)
+		}
+		if time.Since(start) >= stall/2 {
+			slowServed.Add(1)
+		}
+		w.WriteHeader(http.StatusOK)
+		_, _ = w.Write([]byte(`{}`))
+	}))
+	defer ts.Close()
+
+	rep, err := Run(context.Background(), Config{
+		Target:   ts.URL,
+		Rate:     100,
+		Workers:  1,
+		Duration: 2 * time.Second,
+		Mix:      Mix{{Verb: "ingest", Weight: 1}},
+		Batch:    4,
+		Keys:     Keys{Seed: 5},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := slowServed.Load(); n != 1 {
+		t.Fatalf("handler reports %d slow requests, want exactly 1", n)
+	}
+	if rep.Latency.Max < float64(stall/time.Millisecond) {
+		t.Errorf("max %.1fms < stall %v: the stalled op itself lost its wait", rep.Latency.Max, stall)
+	}
+	// The regression being pinned: measuring service time instead of
+	// time-since-intended-start. 1 slow op in ~200 sits below the p99
+	// rank, so a service-time p99 would be the fast-path latency
+	// (well under 50ms even on a noisy runner); the CO-safe p99 sees
+	// the ~20 queued ops and must carry the stall.
+	if rep.Latency.P99 < float64(stall/time.Millisecond)/2 {
+		t.Errorf("p99 %.1fms < %v/2: coordinated omission — queueing delay behind the stall was dropped",
+			rep.Latency.P99, stall)
+	}
+	if rep.Latency.P50 > float64(stall/time.Millisecond) {
+		t.Errorf("p50 %.1fms unexpectedly above the stall: pacing is broken, not just the tail", rep.Latency.P50)
+	}
+}
+
+// TestStatusClassesAndVerbRouting drives a handler that answers each
+// route differently and asserts the per-verb, per-status-class
+// bookkeeping.
+func TestStatusClassesAndVerbRouting(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		switch {
+		case r.URL.Path == "/v1/ingest":
+			w.WriteHeader(http.StatusOK)
+		case r.URL.Path == "/v1/bad/estimate":
+			w.WriteHeader(http.StatusBadRequest)
+		case r.URL.Path == "/v1/down/topk":
+			w.WriteHeader(http.StatusInternalServerError)
+		default:
+			w.WriteHeader(http.StatusNotFound)
+		}
+	}))
+	defer ts.Close()
+
+	rep, err := Run(context.Background(), Config{
+		Target:   ts.URL,
+		Rate:     300,
+		Workers:  3,
+		Duration: time.Second,
+		Mix: Mix{
+			{Verb: "ingest", Weight: 1},
+			{Verb: "estimate", Agg: "bad", Weight: 1},
+			{Verb: "topk", Agg: "down", Weight: 1},
+		},
+		Keys: Keys{Seed: 3},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ing, est, top := rep.Verbs["ingest"], rep.Verbs["estimate@bad"], rep.Verbs["topk@down"]
+	if ing == nil || est == nil || top == nil {
+		t.Fatalf("missing verb reports: %v", rep.Verbs)
+	}
+	if ing.Status["2xx"] != ing.Ops || est.Status["4xx"] != est.Ops || top.Status["5xx"] != top.Ops {
+		t.Fatalf("status routing wrong: ingest=%v estimate=%v topk=%v", ing.Status, est.Status, top.Status)
+	}
+	if rep.Status["5xx"] != top.Ops || rep.Status["4xx"] != est.Ops {
+		t.Fatalf("rollup wrong: %v", rep.Status)
+	}
+	if ing.Items == 0 || rep.Items != ing.Items {
+		t.Fatalf("items: ingest=%d total=%d", ing.Items, rep.Items)
+	}
+	if est.Items != 0 {
+		t.Fatalf("query verb counted items: %d", est.Items)
+	}
+	// The report must round-trip as JSON (the machine-readable contract
+	// aggload's -json flag and the CI smoke rely on).
+	data, err := json.Marshal(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Report
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Ops != rep.Ops || back.Verbs["ingest"].Ops != ing.Ops {
+		t.Fatal("report did not survive a JSON round trip")
+	}
+}
+
+// TestWarmupExcluded pins that operations intended during warmup are
+// kept out of the measured report.
+func TestWarmupExcluded(t *testing.T) {
+	var calls atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		w.WriteHeader(http.StatusOK)
+	}))
+	defer ts.Close()
+	rep, err := Run(context.Background(), Config{
+		Target:   ts.URL,
+		Rate:     200,
+		Workers:  2,
+		Duration: 500 * time.Millisecond,
+		Warmup:   500 * time.Millisecond,
+		Mix:      Mix{{Verb: "value", Agg: "x", Weight: 1}},
+		Keys:     Keys{Seed: 9},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := calls.Load()
+	if rep.Ops >= total {
+		t.Fatalf("measured %d of %d total ops: warmup was not excluded", rep.Ops, total)
+	}
+	// ~100 warmup + ~100 measured; allow slack for edge effects.
+	if rep.Ops < total/4 {
+		t.Fatalf("measured %d of %d: measured window unexpectedly small", rep.Ops, total)
+	}
+}
+
+// TestRunCancel pins that canceling the context stops issuing promptly
+// and still returns a well-formed report.
+func TestRunCancel(t *testing.T) {
+	ts := httptest.NewServer(fastHandler())
+	defer ts.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 300*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	rep, err := Run(ctx, Config{
+		Target:   ts.URL,
+		Rate:     100,
+		Workers:  2,
+		Duration: 30 * time.Second,
+		Mix:      Mix{{Verb: "ingest", Weight: 1}},
+		Keys:     Keys{Seed: 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if el := time.Since(start); el > 5*time.Second {
+		t.Fatalf("Run took %v after a 300ms cancel", el)
+	}
+	if rep == nil {
+		t.Fatal("nil report after cancel")
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	base := Config{Target: "http://x", Rate: 10, Duration: time.Second,
+		Mix: Mix{{Verb: "ingest", Weight: 1}}}
+	cases := []func(*Config){
+		func(c *Config) { c.Target = "" },
+		func(c *Config) { c.Rate = 0 },
+		func(c *Config) { c.Rate = -5 },
+		func(c *Config) { c.Duration = 0 },
+		func(c *Config) { c.Mix = nil },
+	}
+	for i, mutate := range cases {
+		c := base
+		mutate(&c)
+		if _, err := Run(context.Background(), c); err == nil {
+			t.Errorf("case %d: invalid config accepted", i)
+		}
+	}
+	// Sub-one total ops is rejected rather than dividing by zero.
+	c := base
+	c.Rate = 0.1
+	c.Duration = time.Second
+	if _, err := Run(context.Background(), c); err == nil {
+		t.Error("rate*duration < 1 accepted")
+	}
+}

@@ -1,0 +1,144 @@
+package loadgen
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/workload"
+)
+
+// Verb names the harness can drive: ingest plus the server's six query
+// verbs.
+var knownVerbs = map[string]bool{
+	"ingest":       true,
+	"estimate":     true,
+	"value":        true,
+	"heavyhitters": true,
+	"topk":         true,
+	"rangecount":   true,
+	"quantile":     true,
+}
+
+// MixEntry is one weighted operation in the workload mix. Query verbs
+// name the aggregate they hit; ingest targets the whole pipeline.
+type MixEntry struct {
+	Verb   string
+	Agg    string
+	Weight float64
+}
+
+// Label renders the entry the way reports key it: the bare verb for
+// ingest, verb@aggregate for queries.
+func (e MixEntry) Label() string {
+	if e.Agg == "" {
+		return e.Verb
+	}
+	return e.Verb + "@" + e.Agg
+}
+
+// Mix is a weighted operation mix. Ops are drawn independently per
+// request with probability proportional to weight, so the realized mix
+// converges to the configured ratios without imposing any ordering.
+type Mix []MixEntry
+
+// DefaultMix matches aggserve's demo aggregates (hot=freq,
+// sketch=count-min, dist=count-min-range).
+const DefaultMix = "ingest=80,estimate@sketch=8,heavyhitters@hot=3,topk@hot=3,rangecount@dist=3,quantile@dist=3"
+
+// ParseMix parses the verb-mix grammar:
+//
+//	verb[@aggregate]=weight[,verb[@aggregate]=weight]...
+//
+// e.g. "ingest=80,estimate@sketch=10,topk@hot=10". Weights are relative
+// (any positive numbers); query verbs require an @aggregate, ingest
+// forbids one.
+func ParseMix(s string) (Mix, error) {
+	var m Mix
+	seen := map[string]bool{}
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		head, weightStr, ok := strings.Cut(part, "=")
+		if !ok {
+			return nil, fmt.Errorf("bad mix entry %q (want verb[@agg]=weight)", part)
+		}
+		verb, agg, _ := strings.Cut(head, "@")
+		if !knownVerbs[verb] {
+			return nil, fmt.Errorf("bad mix entry %q: unknown verb %q (want %s)",
+				part, verb, strings.Join(verbList(), ", "))
+		}
+		if verb == "ingest" && agg != "" {
+			return nil, fmt.Errorf("bad mix entry %q: ingest targets the whole pipeline, not one aggregate", part)
+		}
+		if verb != "ingest" && agg == "" {
+			return nil, fmt.Errorf("bad mix entry %q: query verb %s needs @aggregate (e.g. %s@sketch=1)",
+				part, verb, verb)
+		}
+		w, err := strconv.ParseFloat(weightStr, 64)
+		if err != nil || w <= 0 {
+			return nil, fmt.Errorf("bad mix entry %q: weight %q (want > 0)", part, weightStr)
+		}
+		e := MixEntry{Verb: verb, Agg: agg, Weight: w}
+		if seen[e.Label()] {
+			return nil, fmt.Errorf("duplicate mix entry %q", e.Label())
+		}
+		seen[e.Label()] = true
+		m = append(m, e)
+	}
+	if len(m) == 0 {
+		return nil, fmt.Errorf("empty mix (want verb[@agg]=weight,...)")
+	}
+	return m, nil
+}
+
+func verbList() []string {
+	out := make([]string, 0, len(knownVerbs))
+	for v := range knownVerbs {
+		out = append(out, v)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Keys selects the key distribution the harness draws items and query
+// probes from, reusing the experiment workload generators so the load
+// profile is the same family the accuracy experiments are stated on.
+type Keys struct {
+	Dist     string  // "zipf", "uniform", or "distinct"
+	ZipfS    float64 // zipf skew (> 1); default 1.1
+	Universe uint64  // key universe; default 1<<18
+	Seed     int64
+}
+
+// keyPoolSize is the number of pre-generated keys workers cycle
+// through; large enough that reuse doesn't distort the distribution at
+// harness time scales, small enough to generate instantly.
+const keyPoolSize = 1 << 16
+
+// pool materializes the key pool.
+func (k Keys) pool() ([]uint64, error) {
+	universe := k.Universe
+	if universe == 0 {
+		universe = 1 << 18
+	}
+	s := k.ZipfS
+	if s == 0 {
+		s = 1.1
+	}
+	switch k.Dist {
+	case "", "zipf":
+		if s <= 1 {
+			return nil, fmt.Errorf("zipf skew %v (want > 1)", s)
+		}
+		return workload.Zipf(k.Seed, keyPoolSize, s, universe-1), nil
+	case "uniform":
+		return workload.Uniform(k.Seed, keyPoolSize, universe), nil
+	case "distinct":
+		return workload.Distinct(uint64(k.Seed), keyPoolSize), nil
+	}
+	return nil, fmt.Errorf("unknown key distribution %q (want zipf, uniform, or distinct)", k.Dist)
+}

@@ -1,0 +1,217 @@
+package loadgen
+
+// Client-side latency accounting. Every completed operation lands in
+// one internal/hist.Log2 atomic histogram keyed by (mix entry, status
+// class); each worker owns a private recorder so the record path is
+// contention-free, and reporting merges the per-worker histograms
+// (hist.Log2.Merge) — live for the terminal ticks, once at the end for
+// the report. Latencies are measured against the operation's *intended*
+// start time, so queueing delay behind a slow server is charged to
+// every operation it delays (coordinated-omission-safe), not only to
+// the one the server was slow on.
+
+import (
+	"sync/atomic"
+	"time"
+
+	"repro/internal/hist"
+)
+
+// Status classes operations are bucketed into. "error" is a transport
+// failure (connect, timeout) with no HTTP status.
+const (
+	class2xx = iota
+	class3xx
+	class4xx
+	class5xx
+	classErr
+	nClasses
+)
+
+var classNames = [nClasses]string{"2xx", "3xx", "4xx", "5xx", "error"}
+
+func classOf(status int) int {
+	switch {
+	case status >= 200 && status < 300:
+		return class2xx
+	case status >= 300 && status < 400:
+		return class3xx
+	case status >= 400 && status < 500:
+		return class4xx
+	case status >= 500:
+		return class5xx
+	}
+	return classErr
+}
+
+// entryRec accumulates one mix entry's outcomes: a latency histogram
+// per status class, the exact maximum (the log₂ buckets only bound it),
+// and the ingest item volume.
+type entryRec struct {
+	lat   [nClasses]hist.Log2
+	maxNs atomic.Uint64
+	items atomic.Int64
+}
+
+func (e *entryRec) observe(class int, d time.Duration, items int) {
+	ns := uint64(max(d, 0))
+	e.lat[class].Observe(ns)
+	for {
+		cur := e.maxNs.Load()
+		if ns <= cur || e.maxNs.CompareAndSwap(cur, ns) {
+			break
+		}
+	}
+	if items > 0 {
+		e.items.Add(int64(items))
+	}
+}
+
+// recorder is one worker's (or the shared warmup) accumulator.
+type recorder struct {
+	entries []entryRec
+}
+
+func newRecorder(n int) *recorder { return &recorder{entries: make([]entryRec, n)} }
+
+// Percentiles is the latency summary of one histogram, in milliseconds.
+// p50–p99.9 are interpolated within log₂ buckets (so they carry the
+// bucket's factor-of-2 resolution); max is exact.
+type Percentiles struct {
+	P50  float64 `json:"p50"`
+	P90  float64 `json:"p90"`
+	P99  float64 `json:"p99"`
+	P999 float64 `json:"p999"`
+	Max  float64 `json:"max"`
+}
+
+func percentilesOf(h *hist.Log2, maxNs uint64) Percentiles {
+	buckets, count, _ := h.Snapshot()
+	q := func(p float64) float64 { return hist.Log2Quantile(buckets, count, p) / 1e6 }
+	ps := Percentiles{P50: q(0.50), P90: q(0.90), P99: q(0.99), P999: q(0.999), Max: float64(maxNs) / 1e6}
+	// The interpolated tail can overshoot the exact max within its
+	// bucket; clamp so the report is internally consistent.
+	if count > 0 {
+		for _, p := range []*float64{&ps.P50, &ps.P90, &ps.P99, &ps.P999} {
+			if *p > ps.Max {
+				*p = ps.Max
+			}
+		}
+	}
+	return ps
+}
+
+// VerbReport is one mix entry's slice of the report.
+type VerbReport struct {
+	Ops     int64            `json:"ops"`
+	Status  map[string]int64 `json:"status"`
+	Latency Percentiles      `json:"latency_ms"`
+	Items   int64            `json:"items,omitempty"`
+}
+
+// Report is the machine-readable result of one run. AchievedPerSec
+// counts completed operations in the measured window against the wall
+// time they actually took; a healthy run achieves the offered rate, an
+// overloaded one reveals the shortfall instead of silently slowing the
+// client down.
+type Report struct {
+	Target          string                 `json:"target"`
+	OfferedPerSec   float64                `json:"offered_per_sec"`
+	AchievedPerSec  float64                `json:"achieved_per_sec"`
+	DurationSeconds float64                `json:"duration_seconds"`
+	WarmupSeconds   float64                `json:"warmup_seconds"`
+	Workers         int                    `json:"workers"`
+	Ops             int64                  `json:"ops"`
+	Items           int64                  `json:"items"`
+	ItemsPerSec     float64                `json:"items_per_sec"`
+	Status          map[string]int64       `json:"status"`
+	Latency         Percentiles            `json:"latency_ms"`
+	Verbs           map[string]*VerbReport `json:"verbs"`
+}
+
+// buildReport merges the per-worker recorders into the final report.
+func buildReport(cfg Config, workers []*recorder, measured time.Duration) *Report {
+	rep := &Report{
+		Target:          cfg.Target,
+		OfferedPerSec:   cfg.Rate,
+		DurationSeconds: cfg.Duration.Seconds(),
+		WarmupSeconds:   cfg.Warmup.Seconds(),
+		Workers:         len(workers),
+		Status:          make(map[string]int64, nClasses),
+		Verbs:           make(map[string]*VerbReport, len(cfg.Mix)),
+	}
+	for c := range classNames {
+		rep.Status[classNames[c]] = 0
+	}
+	var all hist.Log2
+	var allMax uint64
+	for ei, entry := range cfg.Mix {
+		var merged hist.Log2
+		var maxNs uint64
+		vr := &VerbReport{Status: make(map[string]int64, nClasses)}
+		for c := range classNames {
+			vr.Status[classNames[c]] = 0
+		}
+		for _, w := range workers {
+			er := &w.entries[ei]
+			for c := 0; c < nClasses; c++ {
+				n := er.lat[c].Count()
+				vr.Status[classNames[c]] += n
+				vr.Ops += n
+				merged.Merge(&er.lat[c])
+			}
+			if m := er.maxNs.Load(); m > maxNs {
+				maxNs = m
+			}
+			vr.Items += er.items.Load()
+		}
+		vr.Latency = percentilesOf(&merged, maxNs)
+		for c, n := range vr.Status {
+			rep.Status[c] += n
+		}
+		rep.Ops += vr.Ops
+		rep.Items += vr.Items
+		all.Merge(&merged)
+		if maxNs > allMax {
+			allMax = maxNs
+		}
+		rep.Verbs[entry.Label()] = vr
+	}
+	rep.Latency = percentilesOf(&all, allMax)
+	if sec := measured.Seconds(); sec > 0 {
+		rep.AchievedPerSec = float64(rep.Ops) / sec
+		rep.ItemsPerSec = float64(rep.Items) / sec
+	}
+	return rep
+}
+
+// Tick is one live progress sample, delivered to Config.OnTick.
+type Tick struct {
+	Elapsed  time.Duration
+	Offered  float64
+	Achieved float64 // completed measured ops over measured elapsed
+	Ops      int64   // completed ops incl. warmup
+	P50Ms    float64 // over the measured window so far
+	P99Ms    float64
+	Bad5xx   int64
+	Errors   int64
+	InWarmup bool
+}
+
+// tickStats merges the measured recorders just enough for a live line.
+func tickStats(workers []*recorder, nEntries int) (ops int64, p50, p99 float64, bad5xx, errs int64) {
+	var all hist.Log2
+	for _, w := range workers {
+		for ei := 0; ei < nEntries; ei++ {
+			er := &w.entries[ei]
+			for c := 0; c < nClasses; c++ {
+				all.Merge(&er.lat[c])
+			}
+			bad5xx += er.lat[class5xx].Count()
+			errs += er.lat[classErr].Count()
+		}
+	}
+	buckets, count, _ := all.Snapshot()
+	return count, hist.Log2Quantile(buckets, count, 0.5) / 1e6,
+		hist.Log2Quantile(buckets, count, 0.99) / 1e6, bad5xx, errs
+}

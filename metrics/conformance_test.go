@@ -14,6 +14,8 @@ import (
 	"strings"
 	"testing"
 	"time"
+
+	"repro/internal/hist"
 )
 
 // unescapeLabel inverts escapeLabel per the exposition format: \\ → \,
@@ -149,6 +151,88 @@ func TestHistogramBucketsCumulativeAndMonotone(t *testing.T) {
 	// The +Inf bucket is exactly the total observation count.
 	if inf := cum[len(cum)-1]; inf != count || count != n {
 		t.Fatalf("+Inf bucket %d, _count %d, observations %d — must all match", inf, count, n)
+	}
+}
+
+// TestHistogramBucketBoundsMatchLog2 pins the exposition contract the
+// README documents: bucket i's le bound is hist.Log2UpperBound(i) =
+// 2^i−1 — the largest value the bucket holds, an exact inclusive bound
+// for integer observations, not an approximation — rendered verbatim
+// for UnitItems and divided by 1e9 (%g) for UnitSeconds. Anyone
+// recutting the histogram (different base, different rendering) must
+// consciously update both this test and the docs.
+func TestHistogramBucketBoundsMatchLog2(t *testing.T) {
+	r := NewRegistry()
+	items := r.Histogram("bounds_items", "Bucket bound contract.", UnitItems)
+	// Populate a specific high bucket so every le from 0 up renders,
+	// empty interior buckets included.
+	items.Observe(1 << 20)
+	secs := r.Histogram("bounds_seconds", "Bucket bound contract.", UnitSeconds)
+	secs.ObserveDuration(3 * time.Second)
+	var b strings.Builder
+	if err := r.WriteText(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+
+	les, _, _ := parseBuckets(t, out, "bounds_items")
+	if len(les) != 22+1 { // buckets 0..21 (1<<20 has bit length 21) plus +Inf
+		t.Fatalf("rendered %d bucket series, want 23: %v", len(les), les)
+	}
+	for i, le := range les[:len(les)-1] {
+		want := strconv.FormatUint(hist.Log2UpperBound(i), 10)
+		if le != want {
+			t.Errorf("items bucket %d: le=%q, want %q (= 2^%d-1)", i, le, want, i)
+		}
+	}
+
+	les, _, _ = parseBuckets(t, out, "bounds_seconds")
+	if n := len(les); n < 2 || les[n-1] != "+Inf" {
+		t.Fatalf("seconds buckets = %v", les)
+	}
+	for i, le := range les[:len(les)-1] {
+		want := fmt.Sprintf("%g", float64(hist.Log2UpperBound(i))/1e9)
+		if le != want {
+			t.Errorf("seconds bucket %d: le=%q, want %q (= (2^%d-1)/1e9)", i, le, want, i)
+		}
+	}
+}
+
+// The bounds are inclusive exactly the way the Log2 histogram buckets
+// by bit length: 2^k−1 is the last value of bucket k, 2^k the first of
+// bucket k+1. Verified through the rendered text, not the internals.
+func TestHistogramBucketBoundaryInclusive(t *testing.T) {
+	const k = 10
+	r := NewRegistry()
+	h := r.Histogram("edge_items", "Boundary semantics.", UnitItems)
+	h.Observe(1<<k - 1) // last value of bucket k
+	h.Observe(1 << k)   // first value of bucket k+1
+	var b strings.Builder
+	if err := r.WriteText(&b); err != nil {
+		t.Fatal(err)
+	}
+	les, cum, _ := parseBuckets(t, b.String(), "edge_items")
+	leOf := strconv.FormatUint(hist.Log2UpperBound(k), 10)
+	for i, le := range les {
+		var prev int64
+		if i > 0 {
+			prev = cum[i-1]
+		}
+		inBucket := cum[i] - prev
+		switch le {
+		case leOf:
+			if inBucket != 1 {
+				t.Errorf("le=%s holds %d observations, want exactly 1 (2^%d-1)", le, inBucket, k)
+			}
+		case strconv.FormatUint(hist.Log2UpperBound(k+1), 10):
+			if inBucket != 1 {
+				t.Errorf("le=%s holds %d observations, want exactly 1 (2^%d)", le, inBucket, k)
+			}
+		default:
+			if inBucket != 0 {
+				t.Errorf("le=%s holds %d observations, want 0", le, inBucket)
+			}
+		}
 	}
 }
 
