@@ -118,23 +118,44 @@ func NewRoot(base *streamagg.Pipeline, reg *metrics.Registry) *Root {
 	return r
 }
 
+// maxNodeSeries caps how many distinct node IDs get their own metric
+// series. Node IDs arrive off the wire, so without a cap any client
+// POSTing /v1/merge with fresh IDs would grow /metrics forever; nodes
+// past the cap keep full dedup bookkeeping but share one
+// node="overflow" series.
+const maxNodeSeries = 64
+
+// overflowNodeLabel is the shared label value for nodes past the cap.
+const overflowNodeLabel = "overflow"
+
 // node returns (creating if needed) the state for a node ID, wiring its
 // per-node instruments on first sight. Caller holds r.mu.
 func (r *Root) node(id string) *nodeState {
 	ns, ok := r.nodes[id]
 	if !ok {
+		label := id
+		if len(r.nodes) >= maxNodeSeries {
+			label = overflowNodeLabel
+		}
 		ns = &nodeState{
 			lastSeq: r.reg.Gauge("streamagg_federation_node_last_seq",
-				"Last applied push seq per edge node.", "node", id),
+				//agglint:ignore metriclabel bounded: at most maxNodeSeries IDs get a series, the rest fold into "overflow"
+				"Last applied push seq per edge node.", "node", label),
 		}
-		r.reg.GaugeFunc("streamagg_federation_node_staleness_seconds",
-			"Seconds since the last applied push per edge node.", func() float64 {
-				last := ns.lastSeen.Load()
-				if last == 0 {
-					return 0
-				}
-				return time.Duration(r.now().UnixNano() - last).Seconds()
-			}, "node", id)
+		if label == id {
+			// Per-node staleness only below the cap: GetOrCreate keeps
+			// the first registered fn, so a shared overflow series
+			// would pin whichever node happened to arrive first.
+			r.reg.GaugeFunc("streamagg_federation_node_staleness_seconds",
+				"Seconds since the last applied push per edge node.", func() float64 {
+					last := ns.lastSeen.Load()
+					if last == 0 {
+						return 0
+					}
+					return time.Duration(r.now().UnixNano() - last).Seconds()
+					//agglint:ignore metriclabel bounded: only registered while under the maxNodeSeries cap
+				}, "node", label)
+		}
 		r.nodes[id] = ns
 	}
 	return ns

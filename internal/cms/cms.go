@@ -151,6 +151,8 @@ func (s *Sketch) Update(item uint64, count int64) {
 
 // ProcessBatch ingests a minibatch of items with the parallel algorithm
 // of Theorem 6.1.
+//
+//agglint:hotpath
 func (s *Sketch) ProcessBatch(items []uint64) {
 	if len(items) == 0 {
 		return
@@ -170,6 +172,8 @@ func (s *Sketch) ProcessBatch(items []uint64) {
 // one hash per item, zero allocations in steady state. The legacy
 // scheme keeps the per-row column sort of the CRCW-combining
 // simulation.
+//
+//agglint:hotpath
 func (s *Sketch) AddHistogram(h []hist.Entry) {
 	p := len(h)
 	if p == 0 {
@@ -188,6 +192,8 @@ func (s *Sketch) AddHistogram(h []hist.Entry) {
 }
 
 // grow returns buf resized to n, reallocating only when capacity grew.
+//
+//agglint:hotpath
 func grow(buf *[]uint64, n int) []uint64 {
 	if cap(*buf) < n {
 		*buf = make([]uint64, n)
@@ -196,6 +202,7 @@ func grow(buf *[]uint64, n int) []uint64 {
 	return *buf
 }
 
+//agglint:hotpath
 func (s *Sketch) addHistogramDerived(h []hist.Entry) {
 	p := len(h)
 	g1 := grow(&s.g1, p)

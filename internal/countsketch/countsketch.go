@@ -141,6 +141,8 @@ func (s *Sketch) Update(item uint64, count int64) {
 }
 
 // grow returns buf resized to n, reallocating only when capacity grew.
+//
+//agglint:hotpath
 func grow(buf *[]uint64, n int) []uint64 {
 	if cap(*buf) < n {
 		*buf = make([]uint64, n)
@@ -153,6 +155,8 @@ func grow(buf *[]uint64, n int) []uint64 {
 // hash per distinct item with each row folded by a single owner
 // goroutine (derived scheme, zero steady-state allocations), or the
 // legacy per-row column grouping for restored old-scheme sketches.
+//
+//agglint:hotpath
 func (s *Sketch) ProcessBatch(items []uint64) {
 	if len(items) == 0 {
 		return
@@ -171,6 +175,7 @@ func (s *Sketch) ProcessBatch(items []uint64) {
 	}
 }
 
+//agglint:hotpath
 func (s *Sketch) processDerived(h []hist.Entry) {
 	p := len(h)
 	g1 := grow(&s.g1, p)

@@ -1,0 +1,132 @@
+package lint
+
+// A minimal analysistest-style harness: each analyzer gets a fixture
+// package under testdata/src/<name>/, loaded through the production
+// loader (go list -export + the gc importer) so the tests exercise the
+// same path agglint does. Expectations live in the fixtures as
+//
+//	expr // want `regex` `another regex`
+//
+// comments: every finding must match a want on its line, and every
+// want must be consumed by a finding. Double-quoted wants use Go
+// string syntax (backslashes doubled); backquoted wants are raw.
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+type want struct {
+	file string
+	line int
+	re   *regexp.Regexp
+	raw  string
+	hit  bool
+}
+
+// wantTokens matches one quoted expectation: a Go string literal or a
+// raw backquoted one.
+var wantTokens = regexp.MustCompile("\"(?:[^\"\\\\]|\\\\.)*\"|`[^`]*`")
+
+func collectWants(t *testing.T, pkg *Package) []*want {
+	t.Helper()
+	var ws []*want
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				body, ok := strings.CutPrefix(c.Text, "//")
+				if !ok {
+					continue
+				}
+				rest, ok := strings.CutPrefix(strings.TrimSpace(body), "want ")
+				if !ok {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				toks := wantTokens.FindAllString(rest, -1)
+				if len(toks) == 0 {
+					t.Errorf("%s:%d: malformed want comment %q", pos.Filename, pos.Line, c.Text)
+					continue
+				}
+				for _, tok := range toks {
+					pat, err := strconv.Unquote(tok)
+					if err != nil {
+						t.Errorf("%s:%d: bad want token %s: %v", pos.Filename, pos.Line, tok, err)
+						continue
+					}
+					re, err := regexp.Compile(pat)
+					if err != nil {
+						t.Errorf("%s:%d: bad want regexp %q: %v", pos.Filename, pos.Line, pat, err)
+						continue
+					}
+					ws = append(ws, &want{file: pos.Filename, line: pos.Line, re: re, raw: pat})
+				}
+			}
+		}
+	}
+	return ws
+}
+
+// testAnalyzer loads testdata/src/<dir> and diffs the analyzer's
+// findings against the fixture's want comments.
+func testAnalyzer(t *testing.T, a *Analyzer, dir string) {
+	t.Helper()
+	pkgs, err := Load(".", "./testdata/src/"+dir)
+	if err != nil {
+		t.Fatalf("loading fixture %s: %v", dir, err)
+	}
+	if len(pkgs) != 1 {
+		t.Fatalf("fixture %s loaded as %d packages, want 1", dir, len(pkgs))
+	}
+	pkg := pkgs[0]
+	findings, err := Run(pkg.Fset, pkg.Files, pkg.Pkg, pkg.Info, []*Analyzer{a})
+	if err != nil {
+		t.Fatalf("running %s on %s: %v", a.Name, dir, err)
+	}
+	wants := collectWants(t, pkg)
+	for _, f := range findings {
+		matched := false
+		for _, w := range wants {
+			if !w.hit && w.file == f.Pos.Filename && w.line == f.Pos.Line && w.re.MatchString(f.Message) {
+				w.hit = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("unexpected finding: %s", f.String())
+		}
+	}
+	for _, w := range wants {
+		if !w.hit {
+			t.Errorf("%s:%d: no %s finding matched %q", w.file, w.line, a.Name, w.raw)
+		}
+	}
+}
+
+// checkSource type-checks an inline snippet (no imports) and runs the
+// full suite over it — the path the waiver-hygiene tests use.
+func checkSource(t *testing.T, src string) []Finding {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "p.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	info := newInfo()
+	pkg, err := (&types.Config{}).Check("p", fset, []*ast.File{f}, info)
+	if err != nil {
+		t.Fatal(err)
+	}
+	findings, err := Run(fset, []*ast.File{f}, pkg, info, Analyzers())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return findings
+}

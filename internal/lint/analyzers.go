@@ -1,0 +1,12 @@
+package lint
+
+// Analyzers is the full agglint suite, in reporting order.
+func Analyzers() []*Analyzer {
+	return []*Analyzer{
+		GateCheck,
+		HotAlloc,
+		SentErr,
+		SpanCheck,
+		MetricLabel,
+	}
+}

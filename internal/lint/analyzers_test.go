@@ -1,0 +1,68 @@
+package lint
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestGateCheck(t *testing.T)   { testAnalyzer(t, GateCheck, "gatecheck") }
+func TestHotAlloc(t *testing.T)    { testAnalyzer(t, HotAlloc, "hotalloc") }
+func TestSentErr(t *testing.T)     { testAnalyzer(t, SentErr, "senterr") }
+func TestSpanCheck(t *testing.T)   { testAnalyzer(t, SpanCheck, "spancheck") }
+func TestMetricLabel(t *testing.T) { testAnalyzer(t, MetricLabel, "metriclabel") }
+
+// Waiver hygiene: an ignore with a reason silences the finding; a
+// missing reason, an unknown analyzer, or a waiver that matches nothing
+// are themselves findings when the full suite runs.
+
+const violating = `package p
+
+type myErr struct{}
+
+func (myErr) Error() string { return "x" }
+
+var sentinel error = myErr{}
+
+func cmp(err error) bool {
+%s
+}
+`
+
+func findingsFor(t *testing.T, body string) []Finding {
+	t.Helper()
+	src := strings.Replace(violating, "%s", body, 1)
+	return checkSource(t, src)
+}
+
+func TestWaiverSilencesWithReason(t *testing.T) {
+	got := findingsFor(t, "\t//agglint:ignore senterr asserting exact identity on purpose\n\treturn err == sentinel")
+	if len(got) != 0 {
+		t.Fatalf("waived violation still reported: %v", got)
+	}
+}
+
+// A reasonless waiver is malformed and therefore does not suppress: the
+// run reports both the malformed directive and the original violation.
+func TestWaiverRequiresReason(t *testing.T) {
+	got := findingsFor(t, "\t//agglint:ignore senterr\n\treturn err == sentinel")
+	if len(got) != 2 {
+		t.Fatalf("reasonless waiver findings = %v, want malformed-waiver + violation", got)
+	}
+	if !strings.Contains(got[0].Message, "needs a reason") && !strings.Contains(got[1].Message, "needs a reason") {
+		t.Fatalf("no malformed-waiver finding in %v", got)
+	}
+}
+
+func TestWaiverUnknownAnalyzer(t *testing.T) {
+	got := findingsFor(t, "\t//agglint:ignore nosuch not a real analyzer\n\treturn err == nil")
+	if len(got) != 1 || !strings.Contains(got[0].Message, "unknown analyzer") {
+		t.Fatalf("unknown-analyzer waiver findings = %v", got)
+	}
+}
+
+func TestWaiverUnused(t *testing.T) {
+	got := findingsFor(t, "\t//agglint:ignore senterr nothing here violates\n\treturn err == nil")
+	if len(got) != 1 || !strings.Contains(got[0].Message, "unused") {
+		t.Fatalf("unused-waiver findings = %v", got)
+	}
+}

@@ -1,0 +1,401 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// GateCheck enforces the aggregate gate discipline. Every public
+// aggregate embeds the reader-writer gate, and the mergeability
+// guarantees only hold if (1) exported methods touch sketch state only
+// while the gate is held, and (2) nothing re-acquires the gate while it
+// is already held — the lock-bypass and self-deadlock bug classes the
+// gate refactor was built to kill.
+//
+// Recognized guard forms, matched per base variable (the receiver or
+// any other gated value such as a Merge operand):
+//
+//   - a closure passed to x.read / x.ingest / x.ingestErr (any method
+//     of the embedded gate type);
+//   - statements after an explicit x.mu.Lock()/RLock() with no plain
+//     (non-deferred) unlock in between;
+//   - a closure passed to a call that also receives &x.gate
+//     (marshalAgg / unmarshalAgg).
+//
+// Fields typed from sync or sync/atomic are self-synchronizing and
+// exempt.
+var GateCheck = &Analyzer{
+	Name: "gatecheck",
+	Doc:  "gated aggregate state must be accessed under the gate, and the gate must not be re-entered",
+	Run:  runGateCheck,
+}
+
+// findGatedTypes returns the package's gated aggregate types: named
+// structs embedding a field whose struct type carries a sync.RWMutex.
+// The value is the embedded gate field.
+func findGatedTypes(pass *Pass) map[*types.Named]*types.Var {
+	gated := map[*types.Named]*types.Var{}
+	scope := pass.Pkg.Scope()
+	for _, name := range scope.Names() {
+		tn, ok := scope.Lookup(name).(*types.TypeName)
+		if !ok || tn.IsAlias() {
+			continue
+		}
+		named, ok := tn.Type().(*types.Named)
+		if !ok {
+			continue
+		}
+		st, ok := named.Underlying().(*types.Struct)
+		if !ok {
+			continue
+		}
+		for i := 0; i < st.NumFields(); i++ {
+			f := st.Field(i)
+			if f.Embedded() && gateLike(namedOrPointee(f.Type())) {
+				gated[named] = f
+				break
+			}
+		}
+	}
+	return gated
+}
+
+// gateLike reports whether n is a gate-shaped type: a struct with a
+// direct sync.RWMutex field.
+func gateLike(n *types.Named) bool {
+	if n == nil {
+		return false
+	}
+	st, ok := n.Underlying().(*types.Struct)
+	if !ok {
+		return false
+	}
+	for i := 0; i < st.NumFields(); i++ {
+		if isRWMutex(st.Field(i).Type()) {
+			return true
+		}
+	}
+	return false
+}
+
+func isRWMutex(t types.Type) bool {
+	n := namedOrPointee(t)
+	return n != nil && n.Obj().Name() == "RWMutex" && n.Obj().Pkg() != nil && n.Obj().Pkg().Path() == "sync"
+}
+
+// gateCtx is the per-package state shared by the walkers.
+type gateCtx struct {
+	pass      *Pass
+	gated     map[*types.Named]*types.Var
+	acquiring map[*types.Func]bool // methods on gated types that take the gate
+}
+
+func runGateCheck(pass *Pass) error {
+	gated := findGatedTypes(pass)
+	if len(gated) == 0 {
+		return nil
+	}
+	ctx := &gateCtx{pass: pass, gated: gated, acquiring: map[*types.Func]bool{}}
+
+	// Phase 1: which methods on gated types acquire the gate? Needed to
+	// catch `c.mu.Lock(); c.Query()`-style re-entry through an exported
+	// method.
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || fd.Recv == nil {
+				continue
+			}
+			fn, _ := pass.Info.Defs[fd.Name].(*types.Func)
+			if fn == nil {
+				continue
+			}
+			recv := recvNamed(fn)
+			if recv == nil {
+				continue
+			}
+			if _, isGated := gated[recv]; !isGated && !gateLike(recv) {
+				continue
+			}
+			if gateLike(recv) {
+				// Methods defined on the gate itself (read, ingest,
+				// StreamLen, ...) acquire by construction — except pure
+				// accessors with no lock use, which don't exist today.
+				ctx.acquiring[fn] = true
+				continue
+			}
+			recvObj := receiverObj(pass, fd)
+			if recvObj != nil && ctx.bodyAcquires(fd.Body, recvObj) {
+				ctx.acquiring[fn] = true
+			}
+		}
+	}
+
+	// Phase 2: check every function body.
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			ctx.checkFunc(fd)
+		}
+	}
+	return nil
+}
+
+func receiverObj(pass *Pass, fd *ast.FuncDecl) types.Object {
+	if fd.Recv == nil || len(fd.Recv.List) == 0 || len(fd.Recv.List[0].Names) == 0 {
+		return nil
+	}
+	return pass.Info.Defs[fd.Recv.List[0].Names[0]]
+}
+
+// gatedBase resolves expr to (object, gated type) when expr's root is a
+// variable of a gated aggregate type.
+func (ctx *gateCtx) gatedBase(expr ast.Expr) (types.Object, *types.Named) {
+	id := rootIdent(expr)
+	if id == nil {
+		return nil, nil
+	}
+	obj := objOf(ctx.pass.Info, id)
+	if obj == nil {
+		return nil, nil
+	}
+	if _, ok := obj.(*types.Var); !ok {
+		return nil, nil
+	}
+	n := namedOrPointee(obj.Type())
+	if n == nil {
+		return nil, nil
+	}
+	if _, ok := ctx.gated[n]; !ok {
+		return nil, nil
+	}
+	return obj, n
+}
+
+// guardCallBase returns the base object whose gate the call holds while
+// running its closure arguments: gate-method calls (x.read(...)) and
+// marshal/unmarshal-style calls taking &x.gate.
+func (ctx *gateCtx) guardCallBase(call *ast.CallExpr) types.Object {
+	if fn := methodCallee(ctx.pass.Info, call); fn != nil && gateLike(recvNamed(fn)) {
+		sel := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+		if obj, _ := ctx.gatedBase(sel.X); obj != nil {
+			return obj
+		}
+	}
+	for _, arg := range call.Args {
+		un, ok := ast.Unparen(arg).(*ast.UnaryExpr)
+		if !ok || un.Op != token.AND {
+			continue
+		}
+		sel, ok := ast.Unparen(un.X).(*ast.SelectorExpr)
+		if !ok {
+			continue
+		}
+		obj, n := ctx.gatedBase(sel.X)
+		if obj == nil {
+			continue
+		}
+		if field, ok := objOf(ctx.pass.Info, sel.Sel).(*types.Var); ok && field == ctx.gated[n] {
+			return obj
+		}
+	}
+	return nil
+}
+
+// lockEvent is one Lock/Unlock call on a field of a gated value.
+type lockEvent struct {
+	base     types.Object
+	pos      token.Pos
+	acquire  bool
+	rw       bool // on a sync.RWMutex field (the gate itself)
+	deferred bool
+}
+
+// bodyAcquires reports whether body takes recv's gate: a gate-method
+// call, an RWMutex lock, or passing &recv.gate along.
+func (ctx *gateCtx) bodyAcquires(body *ast.BlockStmt, recv types.Object) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if ctx.guardCallBase(call) == recv {
+			found = true
+		}
+		if ev, ok := ctx.lockEventOf(call, false); ok && ev.base == recv && ev.acquire && ev.rw {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// lockEventOf classifies call as a Lock/RLock/Unlock/RUnlock on a
+// mutex-typed field of a gated value.
+func (ctx *gateCtx) lockEventOf(call *ast.CallExpr, deferred bool) (lockEvent, bool) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return lockEvent{}, false
+	}
+	var acquire bool
+	switch sel.Sel.Name {
+	case "Lock", "RLock":
+		acquire = true
+	case "Unlock", "RUnlock":
+	default:
+		return lockEvent{}, false
+	}
+	inner, ok := ast.Unparen(sel.X).(*ast.SelectorExpr)
+	if !ok {
+		return lockEvent{}, false
+	}
+	base, _ := ctx.gatedBase(inner.X)
+	if base == nil {
+		return lockEvent{}, false
+	}
+	fieldType := ctx.pass.Info.TypeOf(inner)
+	return lockEvent{base: base, pos: call.Pos(), acquire: acquire, rw: isRWMutex(fieldType), deferred: deferred}, true
+}
+
+// checkFunc runs both rules over one declared function.
+func (ctx *gateCtx) checkFunc(fd *ast.FuncDecl) {
+	pass := ctx.pass
+
+	// Does the access rule apply? Only to exported methods on gated
+	// types — unexported helpers are documented as
+	// called-with-gate-held internals.
+	var accessRecv *types.Named
+	if fd.Recv != nil && fd.Name.IsExported() {
+		if fn, _ := pass.Info.Defs[fd.Name].(*types.Func); fn != nil {
+			if n := recvNamed(fn); n != nil {
+				if _, ok := ctx.gated[n]; ok {
+					accessRecv = n
+				}
+			}
+		}
+	}
+
+	// Collect lock events once, in source order. Deferred unlocks run
+	// at function exit, so they never end a held region mid-body.
+	var locks []lockEvent
+	deferredCalls := map[*ast.CallExpr]bool{}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.DeferStmt:
+			deferredCalls[n.Call] = true
+		case *ast.CallExpr:
+			if ev, ok := ctx.lockEventOf(n, deferredCalls[n]); ok {
+				locks = append(locks, ev)
+			}
+		}
+		return true
+	})
+
+	// lockHeld reports whether base's lock (needRW: the gate
+	// specifically) is held at pos: a preceding Lock with no plain
+	// (non-deferred) unlock in between.
+	lockHeld := func(base types.Object, pos token.Pos, needRW bool) bool {
+		held := false
+		for _, ev := range locks {
+			if ev.base != base || ev.pos >= pos {
+				continue
+			}
+			if needRW && !ev.rw {
+				continue // a side-mutex, not the gate
+			}
+			switch {
+			case ev.acquire:
+				held = true
+			case !ev.deferred:
+				held = false
+			}
+		}
+		return held
+	}
+
+	// closureGuards reports whether the node stack passes through a
+	// closure argument of a guard call on base.
+	closureGuards := func(stack []ast.Node, base types.Object) bool {
+		for i := len(stack) - 1; i >= 1; i-- {
+			lit, ok := stack[i].(*ast.FuncLit)
+			if !ok {
+				continue
+			}
+			call, ok := stack[i-1].(*ast.CallExpr)
+			if !ok {
+				continue
+			}
+			isArg := false
+			for _, a := range call.Args {
+				if a == ast.Expr(lit) {
+					isArg = true
+				}
+			}
+			if isArg && ctx.guardCallBase(call) == base {
+				return true
+			}
+		}
+		return false
+	}
+
+	var stack []ast.Node
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		stack = append(stack, n)
+		switch n := n.(type) {
+		case *ast.SelectorExpr:
+			if accessRecv == nil {
+				return true
+			}
+			selinfo, ok := pass.Info.Selections[n]
+			if !ok || selinfo.Kind() != types.FieldVal {
+				return true
+			}
+			base, named := ctx.gatedBase(n.X)
+			if base == nil {
+				return true
+			}
+			field, _ := selinfo.Obj().(*types.Var)
+			if field == nil || field == ctx.gated[named] || typeFromSyncFamily(field.Type()) {
+				return true // the gate handle itself, or self-synchronizing
+			}
+			if closureGuards(stack, base) || lockHeld(base, n.Pos(), false) {
+				return true
+			}
+			pass.Reportf(n.Pos(), "%s.%s accesses %s.%s without holding the gate (wrap in %s.read/%s.ingest or lock %s.mu)",
+				named.Obj().Name(), fd.Name.Name, base.Name(), field.Name(), base.Name(), base.Name(), base.Name())
+		case *ast.CallExpr:
+			fn := methodCallee(pass.Info, n)
+			if fn == nil {
+				return true
+			}
+			if !ctx.acquiring[fn] && !gateLike(recvNamed(fn)) {
+				return true
+			}
+			sel, ok := ast.Unparen(n.Fun).(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			base, named := ctx.gatedBase(sel.X)
+			if base == nil {
+				return true
+			}
+			if closureGuards(stack[:len(stack)-1], base) || lockHeld(base, n.Pos(), true) {
+				pass.Reportf(n.Pos(), "%s.%s is called while %s's gate is already held (self-deadlock on the RWMutex)",
+					named.Obj().Name(), sel.Sel.Name, base.Name())
+			}
+		}
+		return true
+	})
+}

@@ -1,0 +1,290 @@
+// Package lint is the repo's invariant-enforcement suite: a small,
+// dependency-free reimplementation of the go/analysis analyzer shape
+// (the container image has no module proxy, so golang.org/x/tools is
+// out of reach) plus the five analyzers that encode this codebase's
+// load-bearing contracts:
+//
+//   - gatecheck:   exported methods on gated aggregates hold the gate
+//     while touching sketch state, and never re-enter it (deadlock).
+//   - hotalloc:    //agglint:hotpath functions stay allocation-free.
+//   - senterr:     sentinel errors go through errors.Is/As and %w.
+//   - spancheck:   every trace span started is ended on all paths.
+//   - metriclabel: metric label values are constant or bounded.
+//
+// The suite runs standalone and as a `go vet -vettool` via cmd/agglint;
+// packages are loaded from export data emitted by `go list -export`
+// (see load.go), so no third-party loader is needed.
+//
+// A finding can be waived in place with
+//
+//	//agglint:ignore <analyzer> <reason>
+//
+// on the offending line or the line directly above it. The reason is
+// mandatory: a bare ignore is itself reported.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Diagnostic is one finding at a position.
+type Diagnostic struct {
+	Pos     token.Pos
+	Message string
+}
+
+// Analyzer is one named check. Run inspects the package in Pass and
+// reports findings via Pass.Reportf.
+type Analyzer struct {
+	Name string
+	Doc  string
+	Run  func(*Pass) error
+}
+
+// Pass is the per-(analyzer, package) invocation state handed to
+// Analyzer.Run — the same contract as golang.org/x/tools/go/analysis,
+// minus facts (none of the five analyzers need cross-package state).
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	Files    []*ast.File
+	Pkg      *types.Package
+	Info     *types.Info
+
+	report func(Diagnostic)
+}
+
+// Reportf records a finding.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// Finding is a resolved diagnostic: analyzer name plus file position.
+type Finding struct {
+	Analyzer string
+	Pos      token.Position
+	Message  string
+}
+
+func (f Finding) String() string {
+	return fmt.Sprintf("%s: %s: %s", f.Pos, f.Analyzer, f.Message)
+}
+
+// suppression is one parsed //agglint:ignore comment.
+type suppression struct {
+	analyzer string
+	line     int // findings on line or line+1 are waived
+	used     bool
+	pos      token.Pos
+	bad      string // non-empty: malformed directive, reported as a finding
+}
+
+const ignoreDirective = "agglint:ignore"
+
+// collectSuppressions parses every //agglint:ignore directive in the
+// files. Malformed directives (missing analyzer or reason) come back
+// with bad set.
+func collectSuppressions(fset *token.FileSet, files []*ast.File) []*suppression {
+	var sups []*suppression
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimPrefix(c.Text, "//")
+				text = strings.TrimSpace(text)
+				if !strings.HasPrefix(text, ignoreDirective) {
+					continue
+				}
+				rest := strings.TrimPrefix(text, ignoreDirective)
+				fields := strings.Fields(rest)
+				s := &suppression{line: fset.Position(c.Pos()).Line, pos: c.Pos()}
+				switch {
+				case len(fields) == 0:
+					s.bad = "agglint:ignore needs an analyzer name and a reason"
+				case len(fields) == 1:
+					s.bad = fmt.Sprintf("agglint:ignore %s needs a reason", fields[0])
+				default:
+					s.analyzer = fields[0]
+				}
+				sups = append(sups, s)
+			}
+		}
+	}
+	return sups
+}
+
+// Run applies the analyzers to one type-checked package and returns the
+// surviving findings sorted by position. Suppressed findings are
+// dropped; malformed or unused suppressions are themselves findings so
+// waivers can't silently rot.
+func Run(fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info, analyzers []*Analyzer) ([]Finding, error) {
+	sups := collectSuppressions(fset, files)
+	var out []Finding
+	for _, a := range analyzers {
+		pass := &Pass{Analyzer: a, Fset: fset, Files: files, Pkg: pkg, Info: info}
+		pass.report = func(d Diagnostic) {
+			p := fset.Position(d.Pos)
+			for _, s := range sups {
+				if s.bad == "" && s.analyzer == a.Name && (s.line == p.Line || s.line == p.Line-1) {
+					s.used = true
+					return
+				}
+			}
+			out = append(out, Finding{Analyzer: a.Name, Pos: p, Message: d.Message})
+		}
+		if err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("%s: %s: %w", pkg.Path(), a.Name, err)
+		}
+	}
+	names := make(map[string]bool, len(analyzers))
+	for _, a := range analyzers {
+		names[a.Name] = true
+	}
+	for _, s := range sups {
+		switch {
+		case s.bad != "":
+			out = append(out, Finding{Analyzer: "agglint", Pos: fset.Position(s.pos), Message: s.bad})
+		case !names[s.analyzer]:
+			// Only complain about unknown names when the full suite ran;
+			// a single-analyzer test run would misfire otherwise.
+			if len(analyzers) > 1 {
+				out = append(out, Finding{Analyzer: "agglint", Pos: fset.Position(s.pos),
+					Message: fmt.Sprintf("agglint:ignore names unknown analyzer %q", s.analyzer)})
+			}
+		case !s.used && len(analyzers) > 1:
+			out = append(out, Finding{Analyzer: "agglint", Pos: fset.Position(s.pos),
+				Message: fmt.Sprintf("unused agglint:ignore for %s (nothing to waive here)", s.analyzer)})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i].Pos, out[j].Pos
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Column != b.Column {
+			return a.Column < b.Column
+		}
+		return out[i].Analyzer < out[j].Analyzer
+	})
+	return out, nil
+}
+
+// ---- shared syntax/type helpers used by several analyzers ----
+
+// rootIdent peels selectors, parens, stars, and index expressions off
+// expr and returns the base identifier, or nil: `(*c).impl.rows[i]` → c.
+func rootIdent(expr ast.Expr) *ast.Ident {
+	for {
+		switch e := expr.(type) {
+		case *ast.Ident:
+			return e
+		case *ast.SelectorExpr:
+			expr = e.X
+		case *ast.ParenExpr:
+			expr = e.X
+		case *ast.StarExpr:
+			expr = e.X
+		case *ast.UnaryExpr:
+			expr = e.X
+		case *ast.IndexExpr:
+			expr = e.X
+		case *ast.CallExpr:
+			expr = e.Fun
+		default:
+			return nil
+		}
+	}
+}
+
+// objOf resolves an identifier to its object via Uses or Defs.
+func objOf(info *types.Info, id *ast.Ident) types.Object {
+	if o := info.Uses[id]; o != nil {
+		return o
+	}
+	return info.Defs[id]
+}
+
+// isErrorInterface reports whether t is the built-in error interface.
+func isErrorInterface(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	return types.Identical(t, types.Universe.Lookup("error").Type())
+}
+
+// implementsError reports whether t satisfies the error interface.
+func implementsError(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	errIface, _ := types.Universe.Lookup("error").Type().Underlying().(*types.Interface)
+	return errIface != nil && types.Implements(t, errIface)
+}
+
+// isNil reports whether expr is the untyped nil.
+func isNil(info *types.Info, expr ast.Expr) bool {
+	tv, ok := info.Types[expr]
+	return ok && tv.IsNil()
+}
+
+// namedOrPointee unwraps a pointer and returns the named type behind
+// t, or nil.
+func namedOrPointee(t types.Type) *types.Named {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	n, _ := t.(*types.Named)
+	return n
+}
+
+// typeFromSyncFamily reports whether t (after unwrapping pointers) is a
+// named type from sync or sync/atomic — lock words and atomics are
+// self-synchronizing and exempt from gate discipline.
+func typeFromSyncFamily(t types.Type) bool {
+	n := namedOrPointee(t)
+	if n == nil || n.Obj().Pkg() == nil {
+		return false
+	}
+	p := n.Obj().Pkg().Path()
+	return p == "sync" || p == "sync/atomic"
+}
+
+// methodCallee resolves call to the *types.Func it invokes via a
+// selector (method or qualified function), or nil.
+func methodCallee(info *types.Info, call *ast.CallExpr) *types.Func {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return nil
+	}
+	fn, _ := objOf(info, sel.Sel).(*types.Func)
+	return fn
+}
+
+// calleeIsPkgFunc reports whether call invokes the package-level
+// function pkgPath.name (e.g. "fmt".Errorf).
+func calleeIsPkgFunc(info *types.Info, call *ast.CallExpr, pkgPath, name string) bool {
+	fn := methodCallee(info, call)
+	if fn == nil {
+		if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+			fn, _ = objOf(info, id).(*types.Func)
+		}
+	}
+	return fn != nil && fn.Name() == name && fn.Pkg() != nil && fn.Pkg().Path() == pkgPath
+}
+
+// recvNamed returns the named type of a method's receiver (unwrapping
+// the pointer), or nil for non-methods.
+func recvNamed(fn *types.Func) *types.Named {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return nil
+	}
+	return namedOrPointee(sig.Recv().Type())
+}

@@ -1,0 +1,183 @@
+// Package loading for agglint. The usual route — golang.org/x/tools'
+// go/packages — is a third-party dependency this repo deliberately
+// avoids, so packages are loaded the way the go command itself feeds
+// vet tools: `go list -export -deps -test -json` names every package's
+// compiled export data in the build cache, and go/importer's gc
+// importer reads those files through a lookup hook. Type information is
+// then complete (including test variants) without compiling anything
+// ourselves.
+package lint
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+)
+
+// listedPkg is the subset of `go list -json` output the loader needs.
+type listedPkg struct {
+	ImportPath string
+	Name       string
+	Dir        string
+	GoFiles    []string
+	CgoFiles   []string
+	Export     string
+	Standard   bool
+	DepOnly    bool
+	ForTest    string
+	ImportMap  map[string]string
+	Error      *struct{ Err string }
+}
+
+// Package is one loaded, type-checked package ready for analysis.
+type Package struct {
+	ImportPath string
+	Fset       *token.FileSet
+	Files      []*ast.File
+	Pkg        *types.Package
+	Info       *types.Info
+}
+
+// goList shells out to the go command and decodes the JSON stream.
+func goList(dir string, patterns []string) ([]*listedPkg, error) {
+	args := append([]string{"list", "-e", "-export", "-deps", "-test", "-json"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go list: %v\n%s", err, stderr.String())
+	}
+	var pkgs []*listedPkg
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var p listedPkg
+		if err := dec.Decode(&p); errors.Is(err, io.EOF) {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("go list: decoding output: %v", err)
+		}
+		pkgs = append(pkgs, &p)
+	}
+	return pkgs, nil
+}
+
+// exportLookup builds the lookup hook for go/importer: an import path
+// written in source is first rerouted through the package's ImportMap
+// (test variants: "repro" → "repro [repro.test]"), then resolved to its
+// export-data file.
+func exportLookup(exports map[string]string, importMap map[string]string) func(string) (io.ReadCloser, error) {
+	return func(path string) (io.ReadCloser, error) {
+		key := path
+		if mapped, ok := importMap[path]; ok {
+			key = mapped
+		}
+		file, ok := exports[key]
+		if !ok {
+			file, ok = exports[path]
+		}
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	}
+}
+
+func newInfo() *types.Info {
+	return &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+		Scopes:     map[ast.Node]*types.Scope{},
+		Instances:  map[*ast.Ident]types.Instance{},
+	}
+}
+
+// TypeCheck parses and type-checks one package's files against the
+// given importer, returning its syntax plus full type information.
+func TypeCheck(fset *token.FileSet, path string, dir string, files []string, imp types.Importer) (*Package, error) {
+	var syntax []*ast.File
+	for _, name := range files {
+		fn := name
+		if !filepath.IsAbs(fn) {
+			fn = filepath.Join(dir, fn)
+		}
+		f, err := parser.ParseFile(fset, fn, nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		syntax = append(syntax, f)
+	}
+	info := newInfo()
+	conf := types.Config{Importer: imp}
+	pkg, err := conf.Check(path, fset, syntax, info)
+	if err != nil {
+		return nil, fmt.Errorf("type-checking %s: %v", path, err)
+	}
+	return &Package{ImportPath: path, Fset: fset, Files: syntax, Pkg: pkg, Info: info}, nil
+}
+
+// Load lists patterns in dir and returns every in-module package,
+// type-checked and ready for analysis. Test variants ("p [p.test]")
+// replace their plain counterpart so _test.go files are covered too;
+// the go-generated .test mains are skipped.
+func Load(dir string, patterns ...string) ([]*Package, error) {
+	listed, err := goList(dir, patterns)
+	if err != nil {
+		return nil, err
+	}
+	exports := make(map[string]string, len(listed))
+	hasVariant := map[string]bool{}
+	for _, p := range listed {
+		if p.Error != nil && !p.DepOnly {
+			return nil, fmt.Errorf("go list: %s: %s", p.ImportPath, p.Error.Err)
+		}
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+		if p.ForTest != "" && p.Name != "main" && !strings.HasSuffix(p.ImportPath, "_test ["+p.ForTest+".test]") {
+			hasVariant[p.ForTest] = true
+		}
+	}
+	fset := token.NewFileSet()
+	var out []*Package
+	for _, p := range listed {
+		switch {
+		case p.DepOnly || p.Standard:
+			continue
+		case p.Name == "main" && strings.HasSuffix(p.ImportPath, ".test"):
+			continue // synthesized test main: generated code, no source of ours
+		case p.ForTest == "" && hasVariant[p.ImportPath]:
+			continue // the test variant supersedes the plain package
+		case len(p.CgoFiles) > 0:
+			continue // cgo files need compiler preprocessing; none in this repo
+		}
+		if p.Export == "" && p.Error != nil {
+			return nil, fmt.Errorf("go list: %s: %s", p.ImportPath, p.Error.Err)
+		}
+		// A fresh importer per package: the gc importer caches by path,
+		// and two packages may map the same source path to different
+		// test variants.
+		imp := importer.ForCompiler(fset, "gc", exportLookup(exports, p.ImportMap))
+		pkg, err := TypeCheck(fset, p.ImportPath, p.Dir, p.GoFiles, imp)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, pkg)
+	}
+	return out, nil
+}

@@ -1,0 +1,266 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// MetricLabel reports unbounded metric label values. The metrics
+// registry interns one series per (name, labels) tuple and never
+// evicts, so a label value derived from request data (a node ID, a user
+// key, an arbitrary string off the wire) grows the registry without
+// bound — the classic cardinality blowup. Label values must be:
+//
+//   - compile-time constants,
+//   - a String() method call on a named type (enum stringers are a
+//     closed set),
+//   - or a variable ranged over a package-level slice (a closed set
+//     spelled out in the source).
+//
+// Anything else needs an explicit bound and an
+// //agglint:ignore metriclabel <why it is bounded> waiver.
+var MetricLabel = &Analyzer{
+	Name: "metriclabel",
+	Doc:  "metric label values must be constant or provably bounded",
+	Run:  runMetricLabel,
+}
+
+// registryMethods are the series-creating calls; the variadic tail of
+// each is alternating label key/value pairs.
+var registryMethods = map[string]bool{
+	"Counter":     true,
+	"Gauge":       true,
+	"Histogram":   true,
+	"GaugeFunc":   true,
+	"CounterFunc": true,
+}
+
+func runMetricLabel(pass *Pass) error {
+	for _, f := range pass.Files {
+		var stack []ast.Node
+		ast.Inspect(f, func(n ast.Node) bool {
+			if n == nil {
+				stack = stack[:len(stack)-1]
+				return true
+			}
+			stack = append(stack, n)
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			checkMetricCall(pass, call, stack)
+			return true
+		})
+	}
+	return nil
+}
+
+func checkMetricCall(pass *Pass, call *ast.CallExpr, stack []ast.Node) {
+	fn := methodCallee(pass.Info, call)
+	if fn == nil || !registryMethods[fn.Name()] {
+		return
+	}
+	recv := recvNamed(fn)
+	if recv == nil || recv.Obj().Name() != "Registry" {
+		return
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || !sig.Variadic() {
+		return
+	}
+	fixed := sig.Params().Len() - 1 // args before the labels tail
+	if len(call.Args) <= fixed {
+		return // no labels at all
+	}
+	if call.Ellipsis.IsValid() {
+		pass.Reportf(call.Ellipsis, "labels spread with ... cannot be proven bounded; pass literal key/value pairs")
+		return
+	}
+	labels := call.Args[fixed:]
+	for i, arg := range labels {
+		if i%2 == 0 {
+			// Label keys must simply be constants.
+			if !isConst(pass, arg) {
+				pass.Reportf(arg.Pos(), "metric label key must be a constant string")
+			}
+			continue
+		}
+		if boundedLabelValue(pass, arg, stack) {
+			continue
+		}
+		pass.Reportf(arg.Pos(), "metric label value %q is not provably bounded (constant, enum String(), or range over a package-level slice); unbounded values blow up series cardinality", render(arg))
+	}
+}
+
+func isConst(pass *Pass, expr ast.Expr) bool {
+	tv, ok := pass.Info.Types[expr]
+	return ok && tv.Value != nil
+}
+
+// boundedLabelValue accepts the provably-closed shapes; depth bounds
+// the local-definition chase.
+func boundedLabelValue(pass *Pass, expr ast.Expr, stack []ast.Node) bool {
+	return boundedValue(pass, expr, stack, 4)
+}
+
+func boundedValue(pass *Pass, expr ast.Expr, stack []ast.Node, depth int) bool {
+	if depth == 0 {
+		return false
+	}
+	expr = ast.Unparen(expr)
+	if isConst(pass, expr) {
+		return true
+	}
+	// String() call on a named type: stringers enumerate a closed set.
+	if call, ok := expr.(*ast.CallExpr); ok {
+		if fn := methodCallee(pass.Info, call); fn != nil && fn.Name() == "String" && len(call.Args) == 0 && recvNamed(fn) != nil {
+			return true
+		}
+	}
+	id, ok := expr.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	obj := objOf(pass.Info, id)
+	if obj == nil {
+		return false
+	}
+	for i := len(stack) - 1; i >= 0; i-- {
+		var body *ast.BlockStmt
+		switch fn := stack[i].(type) {
+		case *ast.FuncDecl:
+			body = fn.Body
+		case *ast.FuncLit:
+			body = fn.Body
+		default:
+			continue
+		}
+		found := false
+		ast.Inspect(body, func(n ast.Node) bool {
+			if found {
+				return false
+			}
+			switch n := n.(type) {
+			case *ast.RangeStmt:
+				// `for _, v := range closedSet`: a package-level slice
+				// or a (possibly local) slice literal is a closed set.
+				for _, bind := range []ast.Expr{n.Key, n.Value} {
+					bid, ok := bind.(*ast.Ident)
+					if !ok || objOf(pass.Info, bid) != obj {
+						continue
+					}
+					if pkgLevelVar(pass, n.X) || literalBacked(pass, n.X, stack, depth-1) {
+						found = true
+					}
+				}
+			case *ast.AssignStmt:
+				// `policy := x.Policy.String()`: follow the local's
+				// definition once.
+				if n.Tok != token.DEFINE || len(n.Lhs) != len(n.Rhs) {
+					return true
+				}
+				for j, lhs := range n.Lhs {
+					lid, ok := lhs.(*ast.Ident)
+					if !ok || pass.Info.Defs[lid] != obj {
+						continue
+					}
+					if boundedValue(pass, n.Rhs[j], stack, depth-1) {
+						found = true
+					}
+				}
+			}
+			return !found
+		})
+		if found {
+			return true
+		}
+	}
+	return false
+}
+
+// literalBacked reports whether expr is a composite literal or a local
+// defined directly from one — a set fully spelled out in the source.
+func literalBacked(pass *Pass, expr ast.Expr, stack []ast.Node, depth int) bool {
+	if depth == 0 {
+		return false
+	}
+	switch e := ast.Unparen(expr).(type) {
+	case *ast.CompositeLit:
+		return true
+	case *ast.Ident:
+		obj := objOf(pass.Info, e)
+		if obj == nil {
+			return false
+		}
+		for i := len(stack) - 1; i >= 0; i-- {
+			var body *ast.BlockStmt
+			switch fn := stack[i].(type) {
+			case *ast.FuncDecl:
+				body = fn.Body
+			case *ast.FuncLit:
+				body = fn.Body
+			default:
+				continue
+			}
+			found := false
+			ast.Inspect(body, func(n ast.Node) bool {
+				if found {
+					return false
+				}
+				as, ok := n.(*ast.AssignStmt)
+				if !ok || as.Tok != token.DEFINE || len(as.Lhs) != len(as.Rhs) {
+					return true
+				}
+				for j, lhs := range as.Lhs {
+					lid, ok := lhs.(*ast.Ident)
+					if !ok || pass.Info.Defs[lid] != obj {
+						continue
+					}
+					if _, isLit := ast.Unparen(as.Rhs[j]).(*ast.CompositeLit); isLit {
+						found = true
+					}
+				}
+				return !found
+			})
+			if found {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// pkgLevelVar reports whether expr denotes a package-level variable
+// (possibly qualified).
+func pkgLevelVar(pass *Pass, expr ast.Expr) bool {
+	var id *ast.Ident
+	switch e := ast.Unparen(expr).(type) {
+	case *ast.Ident:
+		id = e
+	case *ast.SelectorExpr:
+		id = e.Sel
+	default:
+		return false
+	}
+	v, ok := objOf(pass.Info, id).(*types.Var)
+	return ok && v.Pkg() != nil && v.Parent() == v.Pkg().Scope()
+}
+
+// render is a compact source rendering for diagnostics.
+func render(expr ast.Expr) string {
+	switch e := expr.(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.SelectorExpr:
+		return render(e.X) + "." + e.Sel.Name
+	case *ast.CallExpr:
+		return render(e.Fun) + "(...)"
+	case *ast.IndexExpr:
+		return render(e.X) + "[...]"
+	case *ast.BasicLit:
+		return e.Value
+	default:
+		return "value"
+	}
+}

@@ -1,0 +1,192 @@
+package lint
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"strconv"
+)
+
+// SentErr reports sentinel-error misuse. The repo's API contract is
+// that every sentinel (ErrBadParam, ErrOverloaded, ErrClosed, ...) may
+// come back wrapped — server handlers and the federation client wrap
+// them with context — so:
+//
+//   - err == sentinel / err != sentinel comparisons are wrong (they
+//     miss wrapped values): use errors.Is / errors.As;
+//   - switch err { case sentinel: ... } is the same bug;
+//   - fmt.Errorf("...", sentinel) must wrap with %w, or errors.Is on
+//     the result silently stops matching.
+var SentErr = &Analyzer{
+	Name: "senterr",
+	Doc:  "sentinel errors must be compared with errors.Is/As and wrapped with %w",
+	Run:  runSentErr,
+}
+
+func runSentErr(pass *Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.BinaryExpr:
+				checkErrCompare(pass, n)
+			case *ast.SwitchStmt:
+				checkErrSwitch(pass, n)
+			case *ast.CallExpr:
+				checkErrorfWrap(pass, n)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// errorOperand reports whether expr is a non-nil value of the error
+// interface type (the static type under which == comparison is the
+// wrapped-error bug).
+func errorOperand(pass *Pass, expr ast.Expr) bool {
+	if isNil(pass.Info, expr) {
+		return false
+	}
+	tv, ok := pass.Info.Types[expr]
+	return ok && isErrorInterface(tv.Type)
+}
+
+func checkErrCompare(pass *Pass, be *ast.BinaryExpr) {
+	if be.Op != token.EQL && be.Op != token.NEQ {
+		return
+	}
+	if !errorOperand(pass, be.X) || !errorOperand(pass, be.Y) {
+		return
+	}
+	op := "=="
+	if be.Op == token.NEQ {
+		op = "!="
+	}
+	pass.Reportf(be.OpPos, "error compared with %s (misses wrapped errors); use errors.Is", op)
+}
+
+func checkErrSwitch(pass *Pass, sw *ast.SwitchStmt) {
+	if sw.Tag == nil || !errorOperand(pass, sw.Tag) {
+		return
+	}
+	for _, stmt := range sw.Body.List {
+		cc, ok := stmt.(*ast.CaseClause)
+		if !ok {
+			continue
+		}
+		for _, e := range cc.List {
+			if !isNil(pass.Info, e) {
+				pass.Reportf(e.Pos(), "error switched by value (misses wrapped errors); use errors.Is chains")
+				return
+			}
+		}
+	}
+}
+
+// checkErrorfWrap flags fmt.Errorf calls that pass a sentinel error
+// under a verb other than %w.
+func checkErrorfWrap(pass *Pass, call *ast.CallExpr) {
+	if !calleeIsPkgFunc(pass.Info, call, "fmt", "Errorf") || len(call.Args) < 2 || call.Ellipsis.IsValid() {
+		return
+	}
+	format, ok := formatLiteral(pass, call.Args[0])
+	if !ok {
+		return
+	}
+	verbs := formatVerbs(format)
+	for i, arg := range call.Args[1:] {
+		if i >= len(verbs) || verbs[i] == 'w' {
+			continue
+		}
+		if sentinelError(pass, arg) {
+			pass.Reportf(arg.Pos(), "sentinel error passed to fmt.Errorf under %%%c; wrap with %%w so errors.Is keeps matching", verbs[i])
+		}
+	}
+}
+
+// formatLiteral extracts a constant string format argument.
+func formatLiteral(pass *Pass, expr ast.Expr) (string, bool) {
+	tv, ok := pass.Info.Types[expr]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+		return "", false
+	}
+	return constant.StringVal(tv.Value), true
+}
+
+// sentinelError reports whether expr denotes a package-level error
+// variable — the shape of every sentinel this repo defines or consumes.
+func sentinelError(pass *Pass, expr ast.Expr) bool {
+	var id *ast.Ident
+	switch e := ast.Unparen(expr).(type) {
+	case *ast.Ident:
+		id = e
+	case *ast.SelectorExpr:
+		id = e.Sel
+	default:
+		return false
+	}
+	v, ok := objOf(pass.Info, id).(*types.Var)
+	if !ok || v.Pkg() == nil || v.Parent() != v.Pkg().Scope() {
+		return false
+	}
+	return implementsError(v.Type())
+}
+
+// formatVerbs maps each consumed argument of a Printf-style format to
+// the verb that renders it ('*' width/precision args map to '*').
+func formatVerbs(format string) []byte {
+	var verbs []byte
+	i := 0
+	for i < len(format) {
+		if format[i] != '%' {
+			i++
+			continue
+		}
+		i++ // past '%'
+		if i < len(format) && format[i] == '%' {
+			i++
+			continue
+		}
+		for i < len(format) {
+			c := format[i]
+			switch {
+			case c == '+' || c == '-' || c == '#' || c == ' ' || c == '0' || c == '.':
+				i++
+				continue
+			case c >= '1' && c <= '9':
+				for i < len(format) && format[i] >= '0' && format[i] <= '9' {
+					i++
+				}
+				continue
+			case c == '*':
+				verbs = append(verbs, '*')
+				i++
+				continue
+			case c == '[':
+				// Explicit argument index: %[n]v. Re-anchor so that
+				// verbs[n-1] gets this verb; keep it simple by padding.
+				j := i + 1
+				for j < len(format) && format[j] >= '0' && format[j] <= '9' {
+					j++
+				}
+				if j < len(format) && format[j] == ']' {
+					if n, err := strconv.Atoi(format[i+1 : j]); err == nil && n >= 1 {
+						for len(verbs) < n-1 {
+							verbs = append(verbs, 0)
+						}
+						verbs = verbs[:n-1]
+					}
+					i = j + 1
+					continue
+				}
+				i++
+				continue
+			}
+			verbs = append(verbs, c)
+			i++
+			break
+		}
+	}
+	return verbs
+}

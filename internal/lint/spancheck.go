@@ -1,0 +1,241 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// SpanCheck reports trace spans that can leak. The trace package's
+// nil-span no-op API means a Start without an End is silent: nothing
+// panics, the span simply never reaches the ring, and the trace shows a
+// hole where the operation should be. Every span obtained from
+// Tracer.Start/Child must therefore be ended on all return paths —
+// either a `defer span.End()` or an explicit End before each return.
+//
+// Spans that escape the creating function (returned, stored in a
+// struct/map, or handed to another call) transfer End responsibility
+// and are not checked.
+var SpanCheck = &Analyzer{
+	Name: "spancheck",
+	Doc:  "every trace span started must be ended on all return paths",
+	Run:  runSpanCheck,
+}
+
+func runSpanCheck(pass *Pass) error {
+	for _, f := range pass.Files {
+		// Each function body (declared or literal) is its own scope of
+		// return paths.
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				if n.Body != nil {
+					checkSpanBody(pass, n.Body)
+				}
+			case *ast.FuncLit:
+				checkSpanBody(pass, n.Body)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// spanStartCall reports whether call creates a span: a Start or Child
+// method on a Tracer-named type returning *Span.
+func spanStartCall(pass *Pass, call *ast.CallExpr) bool {
+	fn := methodCallee(pass.Info, call)
+	if fn == nil || (fn.Name() != "Start" && fn.Name() != "Child") {
+		return false
+	}
+	recv := recvNamed(fn)
+	if recv == nil || recv.Obj().Name() != "Tracer" {
+		return false
+	}
+	sig := fn.Type().(*types.Signature)
+	if sig.Results().Len() != 1 {
+		return false
+	}
+	res := namedOrPointee(sig.Results().At(0).Type())
+	return res != nil && res.Obj().Name() == "Span"
+}
+
+// spanVar is one span-typed local being tracked through its function.
+type spanVar struct {
+	obj      types.Object
+	name     string
+	created  token.Pos
+	deferred bool        // defer sp.End() (possibly via closure) seen
+	escaped  bool        // ownership left the function; not our problem
+	ends     []token.Pos // positions of plain sp.End() calls
+}
+
+// checkSpanBody tracks spans created directly in body (not in nested
+// function literals — those have their own invocation) and reports any
+// return path that can leave one unended.
+func checkSpanBody(pass *Pass, body *ast.BlockStmt) {
+	spans := map[types.Object]*spanVar{}
+
+	// Pass 1: find creations `sp := tr.Start(...)` / `sp = tr.Child(...)`.
+	walkShallow(body, func(n ast.Node) {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Rhs) != 1 || len(as.Lhs) != 1 {
+			return
+		}
+		call, ok := as.Rhs[0].(*ast.CallExpr)
+		if !ok || !spanStartCall(pass, call) {
+			return
+		}
+		id, ok := as.Lhs[0].(*ast.Ident)
+		if !ok || id.Name == "_" {
+			return
+		}
+		obj := objOf(pass.Info, id)
+		if obj == nil {
+			return
+		}
+		spans[obj] = &spanVar{obj: obj, name: id.Name, created: as.Pos()}
+	})
+	if len(spans) == 0 {
+		return
+	}
+
+	lookup := func(e ast.Expr) *spanVar {
+		id, ok := ast.Unparen(e).(*ast.Ident)
+		if !ok {
+			return nil
+		}
+		if obj := objOf(pass.Info, id); obj != nil {
+			return spans[obj]
+		}
+		return nil
+	}
+
+	// Pass 2: classify every use — End calls, defers, escapes. End
+	// calls inside nested closures count too (a deferred closure is the
+	// idiomatic batch-scoped End).
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.DeferStmt:
+			if sv := spanEndTarget(pass, n.Call, lookup); sv != nil {
+				sv.deferred = true
+			} else if lit, ok := n.Call.Fun.(*ast.FuncLit); ok {
+				ast.Inspect(lit.Body, func(m ast.Node) bool {
+					if call, ok := m.(*ast.CallExpr); ok {
+						if sv := spanEndTarget(pass, call, lookup); sv != nil {
+							sv.deferred = true
+						}
+					}
+					return true
+				})
+			}
+		case *ast.CallExpr:
+			if sv := spanEndTarget(pass, n, lookup); sv != nil {
+				sv.ends = append(sv.ends, n.Pos())
+				return true
+			}
+			// A span passed as an argument escapes (helper may end it).
+			for _, arg := range n.Args {
+				if sv := lookup(arg); sv != nil {
+					sv.escaped = true
+				}
+			}
+		case *ast.AssignStmt:
+			// Reassigning the span elsewhere (field, map, other var)
+			// escapes it.
+			for i, rhs := range n.Rhs {
+				if sv := lookup(rhs); sv != nil && i < len(n.Lhs) {
+					sv.escaped = true
+				}
+			}
+		case *ast.CompositeLit:
+			for _, el := range n.Elts {
+				e := el
+				if kv, ok := el.(*ast.KeyValueExpr); ok {
+					e = kv.Value
+				}
+				if sv := lookup(e); sv != nil {
+					sv.escaped = true
+				}
+			}
+		case *ast.SendStmt:
+			if sv := lookup(n.Value); sv != nil {
+				sv.escaped = true
+			}
+		}
+		return true
+	})
+	// Returned spans escape.
+	returns := returnsOf(body)
+	for _, ret := range returns {
+		for _, res := range ret.Results {
+			if sv := lookup(res); sv != nil {
+				sv.escaped = true
+			}
+		}
+	}
+
+	for _, sv := range spans {
+		if sv.escaped || sv.deferred {
+			continue
+		}
+		if len(sv.ends) == 0 {
+			pass.Reportf(sv.created, "span %s is never ended; add defer %s.End()", sv.name, sv.name)
+			continue
+		}
+		// Without a defer, every return after creation needs an End
+		// between creation and the return (source order approximates
+		// the path; the repo style ends spans right before returning).
+		for _, ret := range returns {
+			if ret.Pos() <= sv.created {
+				continue
+			}
+			ended := false
+			for _, end := range sv.ends {
+				if end > sv.created && end < ret.Pos() {
+					ended = true
+					break
+				}
+			}
+			if !ended {
+				pass.Reportf(ret.Pos(), "return without ending span %s (created at line %d); use defer %s.End()",
+					sv.name, pass.Fset.Position(sv.created).Line, sv.name)
+			}
+		}
+	}
+}
+
+// spanEndTarget returns the tracked span when call is `sp.End()`.
+func spanEndTarget(pass *Pass, call *ast.CallExpr, lookup func(ast.Expr) *spanVar) *spanVar {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "End" {
+		return nil
+	}
+	return lookup(sel.X)
+}
+
+// walkShallow visits body without descending into nested function
+// literals.
+func walkShallow(body *ast.BlockStmt, visit func(ast.Node)) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		if n != nil {
+			visit(n)
+		}
+		return true
+	})
+}
+
+// returnsOf collects the return statements belonging to body itself
+// (not nested function literals).
+func returnsOf(body *ast.BlockStmt) []*ast.ReturnStmt {
+	var out []*ast.ReturnStmt
+	walkShallow(body, func(n ast.Node) {
+		if ret, ok := n.(*ast.ReturnStmt); ok {
+			out = append(out, ret)
+		}
+	})
+	return out
+}

@@ -1,0 +1,79 @@
+// Package gatecheck is the analyzer fixture: a miniature gated
+// aggregate mirroring the streamagg gate idiom. Exported methods must
+// hold the gate before touching sketch state, and must not re-enter it.
+package gatecheck
+
+import "sync"
+
+type gate struct {
+	mu        sync.RWMutex
+	streamLen int64
+}
+
+func (g *gate) read(fn func()) {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	fn()
+}
+
+func (g *gate) ingest(n int64, fn func()) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.streamLen += n
+	fn()
+}
+
+func (g *gate) StreamLen() int64 {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	return g.streamLen
+}
+
+// Agg is a gated aggregate: the embedded gate guards vals.
+type Agg struct {
+	gate
+	vals []uint64
+}
+
+// Bare touches sketch state with no gate at all.
+func (a *Agg) Bare() uint64 {
+	return a.vals[0] // want `Agg\.Bare accesses a\.vals without holding the gate`
+}
+
+// HalfLocked reads once under the lock and once after releasing it.
+func (a *Agg) HalfLocked() uint64 {
+	a.mu.RLock()
+	v := a.vals[0]
+	a.mu.RUnlock()
+	return v + a.vals[1] // want `accesses a\.vals without holding the gate`
+}
+
+// Reentry calls a gate-acquiring method while already inside the gate.
+func (a *Agg) Reentry() int64 {
+	var n int64
+	a.read(func() {
+		n = a.StreamLen() // want `called while a's gate is already held \(self-deadlock`
+	})
+	return n
+}
+
+// Guarded is the idiomatic read path: closure under the gate.
+func (a *Agg) Guarded() uint64 {
+	var v uint64
+	a.read(func() { v = a.vals[0] })
+	return v
+}
+
+// Ingest is the idiomatic write path.
+func (a *Agg) Ingest(items []uint64) {
+	a.ingest(int64(len(items)), func() {
+		a.vals = append(a.vals, items...)
+	})
+}
+
+// Locked holds the RWMutex directly instead of using the closure form.
+func (a *Agg) Locked() uint64 {
+	a.mu.RLock()
+	defer a.mu.RUnlock()
+	return a.vals[0]
+}

@@ -1,0 +1,69 @@
+// Package hotalloc is the analyzer fixture: functions annotated
+// //agglint:hotpath must not allocate per call; the grow/scratch idioms
+// the repo uses must stay clean.
+package hotalloc
+
+import (
+	"fmt"
+	"time"
+)
+
+func sink(v any)     { _ = v }
+func use(s string)   { _ = s }
+func visit(f func()) { f() }
+
+type buf struct {
+	scratch []uint64
+	out     []uint64
+}
+
+// Alloc is the deliberately-allocating fixture: every construct the
+// analyzer knows about, in one hot function.
+//
+//agglint:hotpath
+func (b *buf) Alloc(items []uint64) int64 {
+	tmp := make([]uint64, len(items)) // want `make allocates in a hot path`
+	copy(tmp, items)
+	b.out = append([]uint64{}, items...) // want `slice literal allocates in a hot path` `append onto freshly allocated backing`
+	var total int64
+	for _, it := range items {
+		visit(func() { // want `closure inside a loop allocates per iteration`
+			total += int64(it)
+		})
+	}
+	use(fmt.Sprintf("%d", total)) // want `fmt\.Sprintf call in a hot path`
+	start := time.Now()           // want `time\.Now in a hot path`
+	sink(42)                      // want `scalar int boxed into interface argument`
+	seen := map[uint64]int{}      // want `map literal allocates in a hot path`
+	seen[items[0]]++
+	return total + start.Unix() + int64(len(seen)) + int64(len(tmp))
+}
+
+// Grow is the repo's amortized-growth idiom: the make is behind a cap
+// guard, so it is allowed.
+//
+//agglint:hotpath
+func (b *buf) Grow(n int) []uint64 {
+	if cap(b.scratch) < n {
+		b.scratch = make([]uint64, n)
+	}
+	return b.scratch[:n]
+}
+
+// Fill appends into reusable field-backed scratch — not fresh backing.
+//
+//agglint:hotpath
+func (b *buf) Fill(items []uint64) {
+	out := b.out[:0]
+	for _, it := range items {
+		out = append(out, it)
+	}
+	b.out = out
+}
+
+// Cold is not annotated; it may allocate freely.
+func Cold(items []uint64) string {
+	c := make([]uint64, len(items))
+	copy(c, items)
+	return fmt.Sprint(len(c), time.Now().Unix())
+}

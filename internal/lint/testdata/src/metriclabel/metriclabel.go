@@ -1,0 +1,41 @@
+// Package metriclabel is the analyzer fixture: metric label values must
+// be provably bounded (constants, enum String() methods, or ranges over
+// fixed slices) so series cardinality cannot grow with input.
+package metriclabel
+
+import "fmt"
+
+type Registry struct{}
+
+func (r *Registry) Counter(name, help string, labels ...string) int { return 0 }
+func (r *Registry) Gauge(name, help string, labels ...string) int   { return 0 }
+
+func bad(r *Registry, user string) {
+	r.Counter("requests_total", "Help.", "user", user)       // want `not provably bounded`
+	r.Counter("requests_total", "Help.", "n", fmt.Sprint(1)) // want `not provably bounded`
+	key := "k"
+	r.Counter("x_total", "Help.", key, "v") // want `label key must be a constant string`
+	labels := []string{"a", "b"}
+	r.Counter("y_total", "Help.", labels...) // want `labels spread with \.\.\. cannot be proven bounded`
+}
+
+type mode int
+
+const modeFast mode = iota
+
+func (m mode) String() string { return "fast" }
+
+var classes = []string{"2xx", "5xx"}
+
+func good(r *Registry, m mode) {
+	r.Counter("ok_total", "Help.", "class", "2xx")
+	r.Gauge("mode", "Help.", "mode", m.String())
+	for _, c := range classes {
+		r.Counter("by_class_total", "Help.", "class", c)
+	}
+	local := []string{"a", "b"}
+	for _, v := range local {
+		r.Counter("local_total", "Help.", "v", v)
+	}
+	_ = modeFast
+}

@@ -1,0 +1,44 @@
+// Package senterr is the analyzer fixture: sentinel errors must be
+// matched with errors.Is/As and wrapped with %w, never compared or
+// re-stringified.
+package senterr
+
+import (
+	"errors"
+	"fmt"
+	"io"
+)
+
+var ErrBad = errors.New("bad")
+
+func compare(err error) bool {
+	if err == ErrBad { // want `error compared with == \(misses wrapped errors\); use errors\.Is`
+		return true
+	}
+	if err != io.EOF { // want `error compared with != \(misses wrapped errors\)`
+		return false
+	}
+	return errors.Is(err, ErrBad)
+}
+
+// Nil checks are the one comparison that stays legal.
+func nilOnly(err error) bool {
+	return err != nil
+}
+
+func switched(err error) int {
+	switch err {
+	case nil:
+		return 0
+	case ErrBad: // want `error switched by value \(misses wrapped errors\)`
+		return 1
+	}
+	return 2
+}
+
+func wrap(fail bool) error {
+	if fail {
+		return fmt.Errorf("op failed: %v", ErrBad) // want `wrap with %w so errors\.Is keeps matching`
+	}
+	return fmt.Errorf("op: %w", io.EOF)
+}

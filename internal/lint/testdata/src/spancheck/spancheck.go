@@ -1,0 +1,54 @@
+// Package spancheck is the analyzer fixture: every span a function
+// starts must be ended on all return paths, unless ownership escapes.
+package spancheck
+
+type Span struct{ ended bool }
+
+func (s *Span) End()  { s.ended = true }
+func (s *Span) Note() {}
+
+type Tracer struct{}
+
+func (t *Tracer) Start(name string, parent int) *Span { return &Span{} }
+func (t *Tracer) Child(name string, parent int) *Span { return new(Span) }
+
+func leak(tr *Tracer) {
+	sp := tr.Start("leak", 0) // want `span sp is never ended; add defer sp\.End\(\)`
+	sp.Note()
+}
+
+func missedPath(tr *Tracer, fail bool) int {
+	sp := tr.Start("op", 0)
+	if fail {
+		return 0 // want `return without ending span sp`
+	}
+	sp.End()
+	return 1
+}
+
+func deferred(tr *Tracer, fail bool) int {
+	sp := tr.Start("ok", 0)
+	defer sp.End()
+	if fail {
+		return 0
+	}
+	return 1
+}
+
+func deferredClosure(tr *Tracer) {
+	sp := tr.Start("closure", 0)
+	defer func() { sp.End() }()
+	sp.Note()
+}
+
+// returned escapes to the caller, who owns the End.
+func returned(tr *Tracer) *Span {
+	sp := tr.Child("escape", 1)
+	return sp
+}
+
+// handed escapes into the callee, who owns the End.
+func handed(tr *Tracer, take func(*Span)) {
+	sp := tr.Start("handed", 0)
+	take(sp)
+}

@@ -53,6 +53,7 @@ type entryRec struct {
 	items atomic.Int64
 }
 
+//agglint:hotpath
 func (e *entryRec) observe(class int, d time.Duration, items int) {
 	ns := uint64(max(d, 0))
 	e.lat[class].Observe(ns)

@@ -1,0 +1,179 @@
+package server
+
+// Flag-help drift guard: every RunConfig field must stay reachable from
+// both front ends — a documented flag.* registration in cmd/aggserve and
+// a read in cmd/streamtool's runServe. The field→flag table is explicit
+// so adding a RunConfig field fails this test until both commands (and
+// the table) are updated.
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"path/filepath"
+	"reflect"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// runConfigFlags maps each RunConfig field to its command-line flag
+// name. An empty name marks a field that is deliberately not a flag.
+var runConfigFlags = map[string]string{
+	"Addr":          "addr",
+	"Specs":         "agg",
+	"BatchSize":     "batch",
+	"MaxLatency":    "latency",
+	"QueueCap":      "queue",
+	"Backpressure":  "backpressure",
+	"DataDir":       "data-dir",
+	"Fsync":         "fsync",
+	"SnapshotEvery": "snapshot-every",
+	"NoMetrics":     "metrics",
+	"TraceSample":   "trace-sample",
+	"DebugAddr":     "debug-addr",
+	"PushTo":        "push-to",
+	"PushEvery":     "push-every",
+	"NodeID":        "node-id",
+	"PushMode":      "push-mode",
+	"Logger":        "", // process wiring, not configuration
+}
+
+func TestRunConfigFlagTableComplete(t *testing.T) {
+	rc := reflect.TypeOf(RunConfig{})
+	seen := map[string]bool{}
+	for i := 0; i < rc.NumField(); i++ {
+		name := rc.Field(i).Name
+		seen[name] = true
+		if _, ok := runConfigFlags[name]; !ok {
+			t.Errorf("RunConfig.%s has no entry in runConfigFlags; add the flag to cmd/aggserve and cmd/streamtool, then record it here", name)
+		}
+	}
+	for name := range runConfigFlags {
+		if !seen[name] {
+			t.Errorf("runConfigFlags lists %s, which is no longer a RunConfig field", name)
+		}
+	}
+}
+
+func parseMain(t *testing.T, rel string) (*token.FileSet, *ast.File) {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, filepath.Join("..", "cmd", rel, "main.go"), nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fset, f
+}
+
+func strLit(e ast.Expr) (string, bool) {
+	lit, ok := e.(*ast.BasicLit)
+	if !ok || lit.Kind != token.STRING {
+		return "", false
+	}
+	s, err := strconv.Unquote(lit.Value)
+	return s, err == nil
+}
+
+// aggserveFlags collects the flags main registers on the flag package,
+// mapped to their usage strings.
+func aggserveFlags(t *testing.T) map[string]string {
+	t.Helper()
+	_, f := parseMain(t, "aggserve")
+	flags := map[string]string{}
+	ast.Inspect(f, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		pkg, ok := sel.X.(*ast.Ident)
+		if !ok || pkg.Name != "flag" || len(call.Args) < 2 {
+			return true
+		}
+		name, ok := strLit(call.Args[0])
+		if !ok {
+			return true
+		}
+		// flag.Func(name, usage, fn); everything else is (name, def, usage).
+		usageArg := call.Args[len(call.Args)-1]
+		if sel.Sel.Name == "Func" {
+			usageArg = call.Args[1]
+		}
+		usage, _ := strLit(usageArg)
+		flags[name] = usage
+		return true
+	})
+	return flags
+}
+
+// streamtoolServeFlags collects the flag names runServe reads from the
+// parsed -name value map: f.str/f.int/f.float calls and f["name"]
+// index expressions.
+func streamtoolServeFlags(t *testing.T) map[string]bool {
+	t.Helper()
+	_, f := parseMain(t, "streamtool")
+	var serve *ast.FuncDecl
+	for _, d := range f.Decls {
+		if fd, ok := d.(*ast.FuncDecl); ok && fd.Name.Name == "runServe" {
+			serve = fd
+		}
+	}
+	if serve == nil {
+		t.Fatal("cmd/streamtool/main.go has no runServe")
+	}
+	names := map[string]bool{}
+	ast.Inspect(serve.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			sel, ok := n.Fun.(*ast.SelectorExpr)
+			if !ok || len(n.Args) == 0 {
+				return true
+			}
+			switch sel.Sel.Name {
+			case "str", "int", "float":
+				if name, ok := strLit(n.Args[0]); ok {
+					names[name] = true
+				}
+			}
+		case *ast.IndexExpr:
+			if name, ok := strLit(n.Index); ok {
+				names[name] = true
+			}
+		}
+		return true
+	})
+	return names
+}
+
+func TestAggserveDocumentsEveryRunConfigFlag(t *testing.T) {
+	flags := aggserveFlags(t)
+	for field, name := range runConfigFlags {
+		if name == "" {
+			continue
+		}
+		usage, ok := flags[name]
+		if !ok {
+			t.Errorf("RunConfig.%s: cmd/aggserve does not register -%s", field, name)
+			continue
+		}
+		if strings.TrimSpace(usage) == "" {
+			t.Errorf("RunConfig.%s: cmd/aggserve flag -%s has no usage string", field, name)
+		}
+	}
+}
+
+func TestStreamtoolServeReadsEveryRunConfigFlag(t *testing.T) {
+	names := streamtoolServeFlags(t)
+	for field, name := range runConfigFlags {
+		if name == "" {
+			continue
+		}
+		if !names[name] {
+			t.Errorf("RunConfig.%s: streamtool serve does not read -%s", field, name)
+		}
+	}
+}

@@ -10,6 +10,7 @@ package server
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"log/slog"
 	"net/http"
@@ -191,7 +192,7 @@ func Run(ctx context.Context, cfg RunConfig) error {
 		ds := debugServer(cfg.DebugAddr)
 		go func() {
 			logger.Info("debug listener (pprof) serving", "addr", cfg.DebugAddr)
-			if err := ds.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+			if err := ds.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
 				logger.Warn("debug listener failed", "addr", cfg.DebugAddr, "err", err)
 			}
 		}()

@@ -15,6 +15,7 @@ func TestTraceparentRoundTrip(t *testing.T) {
 	if span == nil {
 		t.Fatal("sampled tracer returned nil span")
 	}
+	defer span.End()
 	sc := span.Context()
 	h := sc.Traceparent()
 	if len(h) != 55 || !strings.HasPrefix(h, "00-") || !strings.HasSuffix(h, "-01") {
@@ -60,6 +61,7 @@ func TestParseTraceparentRejects(t *testing.T) {
 func TestSamplingRates(t *testing.T) {
 	never := New(Config{SampleRate: 0})
 	for i := 0; i < 1000; i++ {
+		//agglint:ignore spancheck asserting the unsampled path returns a nil span; nothing to end
 		if s := never.Start("x", SpanContext{}); s != nil {
 			t.Fatal("rate-0 tracer sampled a root span")
 		}
@@ -116,10 +118,12 @@ func TestNilSafety(t *testing.T) {
 func TestChildJoinsOnlySampledParents(t *testing.T) {
 	tr := New(Config{SampleRate: 1})
 	root := tr.Start("root", SpanContext{})
+	defer root.End()
 	child := tr.Child("child", root.Context())
 	if child == nil {
 		t.Fatal("child of sampled parent is nil")
 	}
+	defer child.End()
 	if child.data.Trace != root.data.Trace {
 		t.Fatal("child did not join the parent's trace")
 	}
@@ -143,6 +147,7 @@ func TestChildJoinsOnlySampledParents(t *testing.T) {
 	if joined == nil {
 		t.Fatal("rate-0 tracer refused a sampled caller's trace")
 	}
+	defer joined.End()
 	if joined.data.Trace != root.data.Trace {
 		t.Fatal("joined span is on the wrong trace")
 	}
